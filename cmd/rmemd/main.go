@@ -1,0 +1,67 @@
+// Command rmemd is the remote memory server daemon: a user-level
+// program that donates part of its host's main memory as paging
+// space for RMP clients (paper §3.2).
+//
+// Usage:
+//
+//	rmemd -listen :7077 -capacity-mb 256 -overflow 0.10
+//
+// The daemon serves until interrupted. SIGUSR1 toggles the memory-
+// pressure advisory, emulating native memory-demanding processes
+// starting on the host (§2.1): while set, new swap-space allocations
+// are denied and clients are advised to migrate their pages away.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"rmp/internal/page"
+	"rmp/internal/server"
+)
+
+func main() {
+	var (
+		listen     = flag.String("listen", ":7077", "listen address")
+		capacityMB = flag.Int("capacity-mb", 256, "donated memory in MB")
+		overflow   = flag.Float64("overflow", 0.10, "overflow fraction kept for parity logging")
+		token      = flag.String("token", "", "auth token clients must present (empty = open)")
+		name       = flag.String("name", "", "server name for logs (default: listen address)")
+		spill      = flag.Bool("spill", true, "under memory pressure, swap donated pages to local disk (paper §2.1)")
+	)
+	flag.Parse()
+
+	n := *name
+	if n == "" {
+		n = "rmemd" + *listen
+	}
+	srv := server.New(server.Config{
+		Name:          n,
+		CapacityPages: *capacityMB << 20 / page.Size,
+		OverflowFrac:  *overflow,
+		AuthToken:     *token,
+		Spill:         *spill,
+		Logger:        log.New(os.Stderr, "", log.LstdFlags),
+	})
+	if err := srv.ListenAndServe(*listen); err != nil {
+		log.Fatalf("rmemd: %v", err)
+	}
+	log.Printf("rmemd: serving %d MB (%d pages) on %v", *capacityMB,
+		*capacityMB<<20/page.Size, srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGUSR1)
+	for s := range sig {
+		if s == syscall.SIGUSR1 {
+			srv.SetPressure(!srv.Pressure())
+			log.Printf("rmemd: memory pressure advisory now %v", srv.Pressure())
+			continue
+		}
+		log.Printf("rmemd: shutting down (%v)", s)
+		srv.Close()
+		return
+	}
+}

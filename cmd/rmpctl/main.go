@@ -1,0 +1,181 @@
+// Command rmpctl is a diagnostic client for remote memory servers:
+// it speaks the RMP wire protocol from the command line so an
+// operator can probe servers, move pages by hand, and rehearse
+// failure drills.
+//
+// Usage:
+//
+//	rmpctl -server host:7077 load
+//	rmpctl -server host:7077 stats
+//	rmpctl -server host:7077 alloc 64
+//	rmpctl -server host:7077 put 7 < page.bin     (exactly 8192 bytes)
+//	rmpctl -server host:7077 get 7 > page.bin
+//	rmpctl -server host:7077 free 7 8 9
+//	rmpctl -server host:7077 ping
+//	rmpctl -registry servers.conf survey           (load of every server)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"time"
+
+	"rmp/internal/client"
+	"rmp/internal/page"
+)
+
+func main() {
+	var (
+		serverAddr = flag.String("server", "", "server address (host:port)")
+		registry   = flag.String("registry", "", "registry file for the survey command")
+		name       = flag.String("name", "rmpctl", "client name (namespace on the server)")
+		token      = flag.String("token", "", "auth token")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		log.Fatal("rmpctl: need a command: load | stats | alloc N | put KEY | get KEY | free KEY... | ping | survey")
+	}
+
+	cmd := args[0]
+	if cmd == "survey" {
+		survey(*registry, *name, *token)
+		return
+	}
+	if *serverAddr == "" {
+		log.Fatal("rmpctl: -server required")
+	}
+	c, err := client.Dial(*serverAddr, *name, *token)
+	if err != nil {
+		log.Fatalf("rmpctl: %v", err)
+	}
+	defer c.Bye()
+
+	switch cmd {
+	case "load":
+		free, err := c.Load()
+		check(err)
+		fmt.Printf("%s: %d free pages (%d MB), pressure=%v\n",
+			*serverAddr, free, free*page.Size>>20, c.PressureAdvised())
+
+	case "alloc":
+		need(args, 2)
+		n, err := strconv.Atoi(args[1])
+		check(err)
+		granted, err := c.Alloc(n)
+		check(err)
+		fmt.Printf("granted %d of %d pages\n", granted, n)
+
+	case "put":
+		need(args, 2)
+		key := parseKey(args[1])
+		buf := page.NewBuf()
+		if _, err := io.ReadFull(os.Stdin, buf); err != nil {
+			log.Fatalf("rmpctl: reading page from stdin: %v (need exactly %d bytes)", err, page.Size)
+		}
+		check(c.PageOut(key, buf))
+		fmt.Printf("stored page %d (crc %08x)\n", key, buf.Checksum())
+
+	case "get":
+		need(args, 2)
+		key := parseKey(args[1])
+		data, err := c.PageIn(key)
+		check(err)
+		if _, err := os.Stdout.Write(data); err != nil {
+			log.Fatal(err)
+		}
+
+	case "free":
+		need(args, 2)
+		keys := make([]uint64, 0, len(args)-1)
+		for _, a := range args[1:] {
+			keys = append(keys, parseKey(a))
+		}
+		check(c.Free(keys...))
+		fmt.Printf("freed %d pages\n", len(keys))
+
+	case "stats":
+		info, err := c.Stat()
+		check(err)
+		fmt.Printf("server %s\n", info.Name)
+		fmt.Printf("  stored pages    %d (%d MB)%s\n", info.StoredPages,
+			info.StoredPages*page.Size>>20, overflowTag(info.InOverflow))
+		fmt.Printf("  free pages      %d (%d MB)\n", info.FreePages, info.FreePages*page.Size>>20)
+		fmt.Printf("  clients         %d\n", info.Clients)
+		fmt.Printf("  pressure        %v\n", info.Pressure)
+		fmt.Printf("  puts/gets       %d / %d\n", info.Puts, info.Gets)
+		fmt.Printf("  deletes         %d\n", info.Deletes)
+		fmt.Printf("  xor writes      %d\n", info.XorWrites)
+		fmt.Printf("  misses          %d\n", info.Misses)
+		fmt.Printf("  denied allocs   %d\n", info.DeniedAllocs)
+
+	case "ping":
+		start := time.Now()
+		_, err := c.Load()
+		check(err)
+		fmt.Printf("%s: ok (%v)\n", *serverAddr, time.Since(start).Round(time.Microsecond))
+
+	default:
+		log.Fatalf("rmpctl: unknown command %q", cmd)
+	}
+}
+
+// survey polls every registered server, like the pager's periodic
+// load check (§2.1).
+func survey(registry, name, token string) {
+	if registry == "" {
+		log.Fatal("rmpctl: survey needs -registry")
+	}
+	servers, err := client.LoadRegistry(registry)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, addr := range servers {
+		c, err := client.Dial(addr, name, token)
+		if err != nil {
+			fmt.Printf("%-24s DOWN (%v)\n", addr, err)
+			continue
+		}
+		free, err := c.Load()
+		pressured := c.PressureAdvised()
+		c.Bye()
+		if err != nil {
+			fmt.Printf("%-24s ERROR (%v)\n", addr, err)
+			continue
+		}
+		state := "ok"
+		if pressured {
+			state = "PRESSURED"
+		}
+		fmt.Printf("%-24s %s  %6d free pages (%d MB)\n", addr, state, free, free*page.Size>>20)
+	}
+}
+
+func overflowTag(in bool) string {
+	if in {
+		return "  [IN OVERFLOW: parity-log GC advised]"
+	}
+	return ""
+}
+
+func parseKey(s string) uint64 {
+	k, err := strconv.ParseUint(s, 10, 64)
+	check(err)
+	return k
+}
+
+func need(args []string, n int) {
+	if len(args) < n {
+		log.Fatalf("rmpctl: %s needs %d argument(s)", args[0], n-1)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatalf("rmpctl: %v", err)
+	}
+}

@@ -1,0 +1,102 @@
+// Heterogeneous networks and load adaptation (paper §5, implemented).
+//
+// Demonstrates the two future-work policies the paper sketches:
+//
+//  1. a memory hierarchy over unequal links — near servers are
+//     preferred, a distant (high-latency) server is used only as
+//     overflow before falling back to disk;
+//
+//  2. network-load adaptation — when every server's measured request
+//     latency crosses a threshold, the pager routes pageouts to the
+//     local disk, and promotes them back when the network recovers.
+//
+//     go run ./examples/heterogeneous
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rmp/internal/client"
+	"rmp/internal/page"
+	"rmp/internal/server"
+)
+
+func main() {
+	// A small near server (LAN) and a large far server (across a
+	// slow link, emulated with a service delay).
+	near := server.New(server.Config{Name: "near", CapacityPages: 64})
+	far := server.New(server.Config{Name: "far", CapacityPages: 4096, ServiceDelay: 10 * time.Millisecond})
+	for _, s := range []*server.Server{near, far} {
+		if err := s.ListenAndServe("127.0.0.1:0"); err != nil {
+			log.Fatal(err)
+		}
+		defer s.Close()
+	}
+
+	pager, err := client.New(client.Config{
+		ClientName:          "hetero-demo",
+		Servers:             []string{near.Addr().String(), far.Addr().String()},
+		Policy:              client.PolicyNone,
+		FarLatencyFactor:    4,                     // near tier = within 4x of the fastest
+		NetLatencyThreshold: 50 * time.Millisecond, // beyond this, disk wins
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pager.Close()
+
+	fmt.Println("phase 1: paging a working set across the hierarchy")
+	buf := page.NewBuf()
+	for i := uint64(0); i < 150; i++ {
+		buf.Fill(i)
+		if err := pager.PageOut(page.ID(i), buf); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("  near server holds %d pages (filled first)\n", near.Store().Len())
+	fmt.Printf("  far server holds  %d pages (overflow tier)\n", far.Store().Len())
+	fmt.Printf("  disk fallbacks:   %d\n", pager.Stats().FallbackPageOuts)
+
+	fmt.Println("phase 2: the far link degrades past the disk threshold")
+	far.SetExtraDelay(120 * time.Millisecond) // WAN congestion sets in
+	// A few requests ramp the smoothed RTT estimate over the 50 ms
+	// threshold (reads of far-tier pages pay the slow link meanwhile).
+	for i := uint64(64); i < 80; i++ {
+		if _, err := pager.PageIn(page.ID(i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	before := pager.Stats().FallbackPageOuts
+	for i := uint64(200); i < 230; i++ {
+		buf.Fill(i)
+		if err := pager.PageOut(page.ID(i), buf); err != nil {
+			log.Fatal(err)
+		}
+	}
+	st := pager.Stats()
+	fmt.Printf("  new pageouts diverted to disk: %d of 30 (threshold %v)\n",
+		st.FallbackPageOuts-before, 50*time.Millisecond)
+	far.SetExtraDelay(0) // the congestion clears; Rebalance would promote
+
+	fmt.Println("phase 3: everything still reads back correctly")
+	for i := uint64(0); i < 150; i++ {
+		got, err := pager.PageIn(page.ID(i))
+		if err != nil {
+			log.Fatalf("pagein %d: %v", i, err)
+		}
+		want := page.NewBuf()
+		want.Fill(i)
+		if got.Checksum() != want.Checksum() {
+			log.Fatalf("page %d corrupted", i)
+		}
+	}
+	for i := uint64(200); i < 230; i++ {
+		if _, err := pager.PageIn(page.ID(i)); err != nil {
+			log.Fatalf("pagein %d: %v", i, err)
+		}
+	}
+	fmt.Printf("  verified 180 pages across near memory, far memory and disk\n")
+	fmt.Printf("stats: %+v\n", pager.Stats())
+}

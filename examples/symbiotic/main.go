@@ -1,0 +1,126 @@
+// Symbiotic workstations: every machine both donates and consumes.
+//
+// The paper's §2.1: "Depending on its workload, a workstation may act
+// either as a server, or as a client." Here two workstations each run
+// a memory server AND a pager that swaps to the *other* machine — the
+// cluster arrangement the paper deploys ("the system ... is in
+// everyday use"). Both sides page workloads simultaneously, and one
+// side then comes under local memory pressure, pushing its guest
+// pages back across the wire.
+//
+//	go run ./examples/symbiotic
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"rmp/internal/apps"
+	"rmp/internal/blockdev"
+	"rmp/internal/client"
+	"rmp/internal/page"
+	"rmp/internal/server"
+	"rmp/internal/vm"
+)
+
+// workstation bundles the two roles one machine plays.
+type workstation struct {
+	name  string
+	srv   *server.Server // donates local memory
+	pager *client.Pager  // consumes the peer's memory
+}
+
+func main() {
+	// Each machine donates 16 MB.
+	mk := func(name string) *workstation {
+		srv := server.New(server.Config{
+			Name:          name,
+			CapacityPages: 16 << 20 / page.Size,
+			OverflowFrac:  0.10,
+			Spill:         true,
+		})
+		if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
+			log.Fatal(err)
+		}
+		return &workstation{name: name, srv: srv}
+	}
+	alpha, beta := mk("alpha"), mk("beta")
+	defer alpha.srv.Close()
+	defer beta.srv.Close()
+
+	// Cross-wire the pagers: alpha swaps to beta and vice versa.
+	connect := func(ws, peer *workstation) {
+		p, err := client.New(client.Config{
+			ClientName: ws.name,
+			Servers:    []string{peer.srv.Addr().String()},
+			Policy:     client.PolicyWriteThrough, // single peer: disk shadow for safety
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ws.pager = p
+	}
+	connect(alpha, beta)
+	connect(beta, alpha)
+	defer alpha.pager.Close()
+	defer beta.pager.Close()
+	fmt.Println("alpha swaps to beta, beta swaps to alpha")
+
+	// Both machines run a paging workload at the same time.
+	var wg sync.WaitGroup
+	results := make(map[string]uint64)
+	var mu sync.Mutex
+	for _, ws := range []*workstation{alpha, beta} {
+		ws := ws
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := apps.NewFFT(1 << 13) // 256 KB working set
+			space, err := vm.New(w.Bytes(), w.Bytes()/4, blockdev.NewPagerDevice(ws.pager))
+			if err != nil {
+				log.Fatal(err)
+			}
+			sum, err := w.Run(space)
+			if err != nil {
+				log.Fatalf("%s: %v", ws.name, err)
+			}
+			mu.Lock()
+			results[ws.name] = sum
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if results["alpha"] != results["beta"] {
+		log.Fatal("the two machines computed different FFTs")
+	}
+	fmt.Printf("both machines completed the same FFT (checksum %016x)\n", results["alpha"])
+	fmt.Printf("alpha's server hosts %d pages for beta; beta's hosts %d for alpha\n",
+		alpha.srv.Store().Len(), beta.srv.Store().Len())
+
+	// Beta's owner comes back: local memory pressure. Its guests
+	// (alpha's pages) spill to beta's disk and alpha is advised to
+	// migrate; the write-through disk shadow keeps everything safe.
+	fmt.Println("beta comes under local memory pressure...")
+	beta.srv.SetPressure(true)
+	if err := alpha.pager.Rebalance(); err != nil {
+		log.Fatal(err)
+	}
+	st := alpha.pager.Stats()
+	fmt.Printf("alpha migrated %d pages (disk-shadowed writes: %d)\n", st.Migrated, st.DiskWrites)
+
+	// Alpha's data must still be fully readable.
+	w := apps.NewFFT(1 << 13)
+	space, err := vm.New(w.Bytes(), w.Bytes()/4, blockdev.NewPagerDevice(alpha.pager))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum, err := w.Run(space)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if sum != results["alpha"] {
+		log.Fatal("alpha's recomputation diverged after migration")
+	}
+	fmt.Println("alpha re-ran its workload correctly after beta reclaimed its memory")
+}

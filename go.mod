@@ -1,0 +1,3 @@
+module rmp
+
+go 1.22

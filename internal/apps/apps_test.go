@@ -1,0 +1,254 @@
+package apps
+
+import (
+	"testing"
+
+	"rmp/internal/blockdev"
+	"rmp/internal/page"
+	"rmp/internal/vm"
+)
+
+// smallAll returns test-sized instances of all six workloads.
+func smallAll() []Workload {
+	return []Workload{
+		NewGauss(96),         // 72 KB
+		NewQsort(40_000),     // 312 KB
+		NewFFT(1 << 13),      // 128 KB
+		NewMvec(128),         // 130 KB
+		NewFilter(1024, 256), // 512 KB
+		NewCC(2),             // ~3.9 MB
+	}
+}
+
+// runWorkload executes w over a memory-backed space with the given
+// resident fraction and returns (checksum, stats).
+func runWorkload(t *testing.T, w Workload, residentFrac float64) (uint64, vm.Stats) {
+	t.Helper()
+	dev := blockdev.NewMemDevice()
+	res := int64(float64(w.Bytes()) * residentFrac)
+	s, err := vm.New(w.Bytes(), res, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := w.Run(s)
+	if err != nil {
+		t.Fatalf("%s: %v", w.Name(), err)
+	}
+	return sum, s.Stats()
+}
+
+// TestRunDeterministic: same workload, same checksum, paging or not.
+func TestRunDeterministic(t *testing.T) {
+	for _, w := range smallAll() {
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			full, _ := runWorkload(t, w, 2.0)   // everything resident
+			paged, st := runWorkload(t, w, 0.3) // heavy paging
+			if full != paged {
+				t.Fatalf("%s: checksum differs when paging (%x vs %x)", w.Name(), full, paged)
+			}
+			if st.PageOuts == 0 {
+				t.Fatalf("%s: no paging at 0.3 residency — test not exercising the pager", w.Name())
+			}
+		})
+	}
+}
+
+// TestTraceMatchesRun: replaying the page trace through the LRU
+// produces fault counts close to the real execution's. QSORT's trace
+// approximates data-dependent splits, so it gets a looser tolerance.
+func TestTraceMatchesRun(t *testing.T) {
+	for _, w := range smallAll() {
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			residentPages := int(w.Bytes() / page.Size / 3)
+			if residentPages < 2 {
+				residentPages = 2
+			}
+			_, st := runWorkload(t, w, 1.0/3.0)
+
+			rp := vm.NewReplayer(residentPages, nil)
+			w.Trace(func(pg int64, write bool) { rp.Ref(pg, write) })
+			ins, outs := rp.Counts()
+
+			tol := 0.15
+			if w.Name() == "QSORT" {
+				tol = 0.45 // split points are data-dependent in Run
+			}
+			checkClose(t, w.Name()+" pageins", float64(ins), float64(st.PageIns), tol)
+			checkClose(t, w.Name()+" pageouts", float64(outs), float64(st.PageOuts), tol)
+		})
+	}
+}
+
+func checkClose(t *testing.T, what string, got, want, tol float64) {
+	t.Helper()
+	if want == 0 {
+		if got > 16 {
+			t.Errorf("%s: trace %v vs run %v", what, got, want)
+		}
+		return
+	}
+	ratio := got / want
+	if ratio < 1-tol || ratio > 1+tol {
+		t.Errorf("%s: trace %v vs run %v (ratio %.2f outside ±%.0f%%)", what, got, want, ratio, tol*100)
+	}
+}
+
+// TestMvecPageoutDominated: the paper's stated MVEC profile — many
+// pageouts, almost no pageins.
+func TestMvecPageoutDominated(t *testing.T) {
+	w := NewMvec(256) // 512 KB matrix
+	_, st := runWorkload(t, w, 0.25)
+	if st.PageOuts < 20 {
+		t.Fatalf("MVEC produced only %d pageouts", st.PageOuts)
+	}
+	if st.PageIns > st.PageOuts/5 {
+		t.Fatalf("MVEC pageins (%d) not small vs pageouts (%d); paper says 'many pageouts and almost no pageins'",
+			st.PageIns, st.PageOuts)
+	}
+}
+
+// TestNoPagingWhenResident: with the whole footprint resident there
+// must be no pageins (matching Figure 3's flat region below 18 MB).
+func TestNoPagingWhenResident(t *testing.T) {
+	for _, w := range smallAll() {
+		_, st := runWorkload(t, w, 1.5)
+		if st.PageIns != 0 {
+			t.Errorf("%s: %d pageins despite full residency", w.Name(), st.PageIns)
+		}
+	}
+}
+
+// TestFaultsGrowWithPressure: shrinking resident memory must not
+// decrease paging traffic (Figure 3's sharp rise past the limit).
+func TestFaultsGrowWithPressure(t *testing.T) {
+	w := NewFFT(1 << 13)
+	var prev uint64
+	for _, frac := range []float64{0.9, 0.5, 0.25} {
+		_, st := runWorkload(t, w, frac)
+		total := st.PageIns + st.PageOuts
+		if total < prev {
+			t.Fatalf("paging shrank when memory shrank: %d -> %d at %.2f", prev, total, frac)
+		}
+		prev = total
+	}
+	if prev == 0 {
+		t.Fatal("no paging at 0.25 residency")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"GAUSS", "QSORT", "FFT", "MVEC", "FILTER", "CC"} {
+		w, err := ByName(name, 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Name() != name {
+			t.Fatalf("ByName(%s) returned %s", name, w.Name())
+		}
+	}
+	if _, err := ByName("NOPE", 1); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestAllPaperScaleFootprints(t *testing.T) {
+	// At scale 1.0 the inputs must be in the paper's ballpark: every
+	// array workload exceeds the 18 MB resident limit of the testbed.
+	for _, w := range All(1.0) {
+		mb := float64(w.Bytes()) / (1 << 20)
+		switch w.Name() {
+		case "GAUSS":
+			if mb < 20 || mb > 25 {
+				t.Errorf("GAUSS footprint %.1f MB, want ~22 (1700^2 doubles)", mb)
+			}
+		case "MVEC":
+			if mb < 30 || mb > 40 {
+				t.Errorf("MVEC footprint %.1f MB, want ~34 (2100^2 doubles)", mb)
+			}
+		case "FFT":
+			if mb < 20 || mb > 28 {
+				t.Errorf("FFT footprint %.1f MB, want ~24 (data + scratch)", mb)
+			}
+		case "QSORT":
+			if mb < 20 || mb > 26 {
+				t.Errorf("QSORT footprint %.1f MB, want ~23 (3M records)", mb)
+			}
+		case "FILTER":
+			if mb < 20 || mb > 28 {
+				t.Errorf("FILTER footprint %.1f MB, want ~24 (12 MB image x2)", mb)
+			}
+		case "CC":
+			if mb < 25 || mb > 40 {
+				t.Errorf("CC footprint %.1f MB, want ~33", mb)
+			}
+		}
+	}
+}
+
+// TestFFTSizing: large sizes become m * 2^k with m <= the base-case
+// size, so radix-2 recursion always reaches a small direct DFT.
+func TestFFTSizing(t *testing.T) {
+	for _, n := range []int{700_000, 786_432, 1 << 20, 999_999} {
+		p := NewFFT(n).Points()
+		if p < n {
+			t.Fatalf("NewFFT(%d) shrank to %d", n, p)
+		}
+		m := p
+		for m > 1024 {
+			if m%2 != 0 {
+				t.Fatalf("NewFFT(%d) = %d has odd factor %d > base", n, p, m)
+			}
+			m /= 2
+		}
+	}
+	if NewFFT(0).Points() != 8 {
+		t.Fatal("FFT minimum size wrong")
+	}
+	if NewFFT(1000).Points() != 1000 {
+		t.Fatal("small FFT sizes should be used as-is")
+	}
+}
+
+// TestTraceInBounds: every trace reference stays inside the footprint.
+func TestTraceInBounds(t *testing.T) {
+	for _, w := range smallAll() {
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			maxPg := (w.Bytes() + page.Size - 1) / page.Size
+			count := 0
+			w.Trace(func(pg int64, write bool) {
+				count++
+				if pg < 0 || pg >= maxPg {
+					t.Fatalf("%s: trace ref page %d outside [0,%d)", w.Name(), pg, maxPg)
+				}
+			})
+			if count == 0 {
+				t.Fatalf("%s: empty trace", w.Name())
+			}
+		})
+	}
+}
+
+func BenchmarkGaussRun(b *testing.B) {
+	w := NewGauss(64)
+	for i := 0; i < b.N; i++ {
+		dev := blockdev.NewMemDevice()
+		s, _ := vm.New(w.Bytes(), w.Bytes()/2, dev)
+		if _, err := w.Run(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFFTTracePaperScale(b *testing.B) {
+	w := NewFFT(1_572_864) // the paper's 24 MB point
+	for i := 0; i < b.N; i++ {
+		n := 0
+		w.Trace(func(pg int64, wr bool) { n++ })
+		if n == 0 {
+			b.Fatal("empty trace")
+		}
+	}
+}

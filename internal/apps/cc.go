@@ -1,0 +1,179 @@
+package apps
+
+import (
+	"rmp/internal/vm"
+)
+
+// CC is the paper's CC application: "a kernel build after modifying
+// the code of our device driver" — a long sequence of compilations.
+// It models a compiler driver processing many translation units:
+//
+//   - a resident compiler image, touched throughout (read-only),
+//   - per unit: a sequential read of the source file, several
+//     read-write sweeps over a scratch arena (ASTs, symbol tables),
+//     and a sequential write of the object file.
+//
+// CPU time dominates (compilation is compute-heavy); paging traffic
+// is moderate and comes from the sources and objects not all fitting
+// in memory together with the scratch arena — which is why the paper
+// measures smaller (but still real) improvements for CC than for the
+// array codes.
+//
+// Layout: [compiler image][scratch arena][unit 0 src][unit 0 obj]
+// [unit 1 src][unit 1 obj]...
+type CC struct {
+	units int
+}
+
+// Model constants (bytes). A 1996 kernel build: ~2 MB compiler, 128 KB
+// sources, 64 KB objects, 1.5 MB of compiler scratch per unit.
+const (
+	ccCompilerBytes = 2 << 20
+	ccScratchBytes  = 3 << 19 // 1.5 MB
+	ccSrcBytes      = 128 << 10
+	ccObjBytes      = 64 << 10
+	ccScratchSweeps = 3
+)
+
+// NewCC creates a kernel-build model with the given number of
+// translation units (the paper-scale default in All() is 160, for a
+// ~33 MB footprint).
+func NewCC(units int) *CC {
+	if units < 1 {
+		units = 1
+	}
+	return &CC{units: units}
+}
+
+func (c *CC) Name() string { return "CC" }
+
+func (c *CC) Bytes() int64 {
+	return ccCompilerBytes + ccScratchBytes + int64(c.units)*(ccSrcBytes+ccObjBytes)
+}
+
+func (c *CC) compilerOff() int64 { return 0 }
+func (c *CC) scratchOff() int64  { return ccCompilerBytes }
+func (c *CC) srcOff(u int64) int64 {
+	return ccCompilerBytes + ccScratchBytes + u*(ccSrcBytes+ccObjBytes)
+}
+func (c *CC) objOff(u int64) int64 { return c.srcOff(u) + ccSrcBytes }
+
+// Run "builds the kernel": generates sources, compiles each unit
+// (hashing source through scratch sweeps into an object), and
+// checksums the objects — a deterministic, verifiable stand-in for
+// cc's data flow with the same memory behaviour.
+func (c *CC) Run(s *vm.Space) (uint64, error) {
+	rng := newXorshift(uint64(c.units) + 6)
+
+	// Install the compiler image.
+	buf := make([]byte, 4096)
+	for off := int64(0); off < ccCompilerBytes; off += int64(len(buf)) {
+		for i := range buf {
+			buf[i] = byte(rng.next())
+		}
+		if err := s.Write(c.compilerOff()+off, buf); err != nil {
+			return 0, err
+		}
+	}
+
+	// Generate all the sources (checking out the tree).
+	for u := int64(0); u < int64(c.units); u++ {
+		for off := int64(0); off < ccSrcBytes; off += int64(len(buf)) {
+			for i := range buf {
+				buf[i] = byte(rng.next())
+			}
+			if err := s.Write(c.srcOff(u)+off, buf); err != nil {
+				return 0, err
+			}
+		}
+	}
+
+	h := uint64(14695981039346656037)
+	cbuf := make([]byte, 4096)
+	for u := int64(0); u < int64(c.units); u++ {
+		// Lex/parse: read the source sequentially into scratch,
+		// touching compiler pages as we go.
+		var acc uint64
+		for off := int64(0); off < ccSrcBytes; off += int64(len(buf)) {
+			if err := s.Read(c.srcOff(u)+off, buf); err != nil {
+				return 0, err
+			}
+			for _, b := range buf {
+				acc = mix(acc, uint64(b))
+			}
+			// Touch a compiler page (the code doing the work).
+			cpg := (off / 4096) % (ccCompilerBytes / 4096)
+			if err := s.Read(c.compilerOff()+cpg*4096, cbuf[:64]); err != nil {
+				return 0, err
+			}
+			// Append to scratch (building the AST).
+			spos := (off * (ccScratchBytes / ccSrcBytes)) % (ccScratchBytes - int64(len(buf)))
+			if err := s.Write(c.scratchOff()+spos, buf); err != nil {
+				return 0, err
+			}
+		}
+		// Optimization passes: sweeps over the scratch arena.
+		for pass := 0; pass < ccScratchSweeps; pass++ {
+			for off := int64(0); off+int64(len(buf)) <= ccScratchBytes; off += int64(len(buf)) {
+				if err := s.Read(c.scratchOff()+off, buf); err != nil {
+					return 0, err
+				}
+				for i := range buf {
+					buf[i] ^= byte(acc >> (uint(i) % 48))
+				}
+				if err := s.Write(c.scratchOff()+off, buf); err != nil {
+					return 0, err
+				}
+			}
+		}
+		// Emit the object file.
+		for off := int64(0); off < ccObjBytes; off += int64(len(buf)) {
+			for i := range buf {
+				buf[i] = byte(acc >> (uint(i) % 56))
+				acc = acc*6364136223846793005 + 1442695040888963407
+			}
+			if err := s.Write(c.objOff(u)+off, buf); err != nil {
+				return 0, err
+			}
+		}
+	}
+
+	// "ld": checksum all objects.
+	for u := int64(0); u < int64(c.units); u++ {
+		for off := int64(0); off < ccObjBytes; off += int64(len(buf)) {
+			if err := s.Read(c.objOff(u)+off, buf); err != nil {
+				return 0, err
+			}
+			for _, b := range buf {
+				h = mix(h, uint64(b))
+			}
+		}
+	}
+	return h, nil
+}
+
+// Trace emits the page-reference stream of Run.
+func (c *CC) Trace(emit EmitFunc) {
+	emitRange(emit, c.compilerOff(), ccCompilerBytes, true)
+	for u := int64(0); u < int64(c.units); u++ {
+		emitRange(emit, c.srcOff(u), ccSrcBytes, true)
+	}
+	for u := int64(0); u < int64(c.units); u++ {
+		// Lex/parse: interleaved source reads, compiler touches,
+		// scratch writes, at 4 KB granularity.
+		for off := int64(0); off < ccSrcBytes; off += 4096 {
+			emit(pageOfByte(c.srcOff(u)+off), false)
+			cpg := (off / 4096) % (ccCompilerBytes / 4096)
+			emit(pageOfByte(c.compilerOff()+cpg*4096), false)
+			spos := (off * (ccScratchBytes / ccSrcBytes)) % (ccScratchBytes - 4096)
+			emit(pageOfByte(c.scratchOff()+spos), true)
+		}
+		for pass := 0; pass < ccScratchSweeps; pass++ {
+			emitRange(emit, c.scratchOff(), ccScratchBytes, true)
+		}
+		emitRange(emit, c.objOff(u), ccObjBytes, true)
+	}
+	for u := int64(0); u < int64(c.units); u++ {
+		emitRange(emit, c.objOff(u), ccObjBytes, false)
+	}
+}

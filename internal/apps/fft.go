@@ -1,0 +1,250 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"rmp/internal/vm"
+)
+
+// FFT is the paper's FFT application: a recursive decimation-in-time
+// FFT over n complex points stored as interleaved float64 pairs
+// (16 bytes per point), with an equally sized scratch plane — total
+// footprint 32 bytes per point, so the paper's "array with 700 K
+// elements" is a ~22 MB job and Figure 3's input sizes of 17-24 MB
+// correspond to 0.56-0.79 M points.
+//
+// The recursive organization (split even/odd into scratch, transform
+// halves, combine back) is the page-aware formulation in the spirit
+// of the paper's reference [20]: once a subproblem fits in memory it
+// faults nothing, so paging is confined to the top recursion levels'
+// sequential sweeps — which is what makes the measured fault counts
+// of the paper (thousands, not hundreds of thousands) reproducible.
+//
+// n may be any multiple of a power of two; recursion splits while the
+// size is even and above fftBase, and the base case is a direct DFT.
+type FFT struct {
+	n int // points
+}
+
+// fftBase is the size at or below which the direct O(b^2) DFT runs;
+// base blocks span at most 32 KB and live comfortably in memory.
+const fftBase = 1024
+
+// NewFFT creates an FFT over n complex points (minimum 8; sizes with
+// large odd factors are rounded up to the next multiple of 1024 so
+// the base case stays small).
+func NewFFT(n int) *FFT {
+	if n < 8 {
+		n = 8
+	}
+	if n > fftBase {
+		// Round up so n = m * 2^k with m <= fftBase.
+		m := n
+		for m > fftBase {
+			m = (m + 1) / 2
+		}
+		for m <= fftBase/2 {
+			m *= 2
+		}
+		k := 1
+		for m*k < n {
+			k *= 2
+		}
+		n = m * k
+	}
+	return &FFT{n: n}
+}
+
+func (f *FFT) Name() string { return "FFT" }
+
+// Points returns the transform size.
+func (f *FFT) Points() int { return f.n }
+
+// Bytes is data plane + scratch plane.
+func (f *FFT) Bytes() int64 { return 2 * int64(f.n) * 16 }
+
+// scratchOff is the element offset of the scratch plane.
+func (f *FFT) scratchOff() int64 { return int64(f.n) }
+
+// cplx reads point i (element index, either plane).
+func cplx(s *vm.Space, i int64) (re, im float64, err error) {
+	re, err = s.Float64(2 * i)
+	if err != nil {
+		return
+	}
+	im, err = s.Float64(2*i + 1)
+	return
+}
+
+func setCplx(s *vm.Space, i int64, re, im float64) error {
+	if err := s.SetFloat64(2*i, re); err != nil {
+		return err
+	}
+	return s.SetFloat64(2*i+1, im)
+}
+
+// Run fills the array with a deterministic signal, transforms it, and
+// checksums a sample of the spectrum.
+func (f *FFT) Run(s *vm.Space) (uint64, error) {
+	n := int64(f.n)
+	rng := newXorshift(uint64(n) + 2)
+	for i := int64(0); i < n; i++ {
+		if err := setCplx(s, i, rng.float01()-0.5, 0); err != nil {
+			return 0, err
+		}
+	}
+	if err := f.rec(s, 0, f.scratchOff(), int(n)); err != nil {
+		return 0, err
+	}
+	h := uint64(14695981039346656037)
+	for i := int64(0); i < n; i += 64 {
+		re, _, err := cplx(s, i)
+		if err != nil {
+			return 0, err
+		}
+		h = mix(h, math.Float64bits(roundTo(re, 1e6)))
+	}
+	return h, nil
+}
+
+// roundTo quantizes v to absorb float rounding differences.
+func roundTo(v, scale float64) float64 { return math.Round(v*scale) / scale }
+
+// rec transforms n points at element offset a, using n scratch points
+// at element offset t.
+func (f *FFT) rec(s *vm.Space, a, t int64, n int) error {
+	if n <= fftBase || n%2 != 0 {
+		return f.dft(s, a, t, n)
+	}
+	half := int64(n / 2)
+	// Split: evens to scratch lower half, odds to scratch upper half.
+	for i := int64(0); i < half; i++ {
+		re, im, err := cplx(s, a+2*i)
+		if err != nil {
+			return err
+		}
+		if err := setCplx(s, t+i, re, im); err != nil {
+			return err
+		}
+		re, im, err = cplx(s, a+2*i+1)
+		if err != nil {
+			return err
+		}
+		if err := setCplx(s, t+half+i, re, im); err != nil {
+			return err
+		}
+	}
+	// Transform halves (scratch as data, original as their scratch).
+	if err := f.rec(s, t, a, int(half)); err != nil {
+		return err
+	}
+	if err := f.rec(s, t+half, a+half, int(half)); err != nil {
+		return err
+	}
+	// Combine back into a.
+	ang := -2 * math.Pi / float64(n)
+	for k := int64(0); k < half; k++ {
+		eRe, eIm, err := cplx(s, t+k)
+		if err != nil {
+			return err
+		}
+		oRe, oIm, err := cplx(s, t+half+k)
+		if err != nil {
+			return err
+		}
+		wRe, wIm := math.Cos(ang*float64(k)), math.Sin(ang*float64(k))
+		xRe := wRe*oRe - wIm*oIm
+		xIm := wRe*oIm + wIm*oRe
+		if err := setCplx(s, a+k, eRe+xRe, eIm+xIm); err != nil {
+			return err
+		}
+		if err := setCplx(s, a+half+k, eRe-xRe, eIm-xIm); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dft is the direct O(n^2) base case: a+0..n-1 transformed using
+// t+0..n-1 as scratch.
+func (f *FFT) dft(s *vm.Space, a, t int64, n int) error {
+	for k := 0; k < n; k++ {
+		var accRe, accIm float64
+		for j := 0; j < n; j++ {
+			re, im, err := cplx(s, a+int64(j))
+			if err != nil {
+				return err
+			}
+			ang := -2 * math.Pi * float64(k) * float64(j) / float64(n)
+			c, sn := math.Cos(ang), math.Sin(ang)
+			accRe += re*c - im*sn
+			accIm += re*sn + im*c
+		}
+		if err := setCplx(s, t+int64(k), accRe, accIm); err != nil {
+			return err
+		}
+	}
+	for k := int64(0); k < int64(n); k++ {
+		re, im, err := cplx(s, t+k)
+		if err != nil {
+			return err
+		}
+		if err := setCplx(s, a+k, re, im); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Trace emits the page-reference stream of Run.
+func (f *FFT) Trace(emit EmitFunc) {
+	n := int64(f.n)
+	emitRange(emit, 0, n*16, true) // signal generation
+	f.traceRec(emit, 0, f.scratchOff(), int(n))
+	for i := int64(0); i < n; i += 64 { // spectrum checksum
+		emit(pageOfByte(i*16), false)
+	}
+}
+
+func (f *FFT) traceRec(emit EmitFunc, a, t int64, n int) {
+	if n <= fftBase || n%2 != 0 {
+		// Base DFT: repeated passes over one in-memory block; page-
+		// wise it touches the block's pages read-write once (the
+		// block is far smaller than any resident set, repeats dedup).
+		emitRange(emit, a*16, int64(n)*16, true)
+		emitRange(emit, t*16, int64(n)*16, true)
+		return
+	}
+	half := int64(n / 2)
+	// Split: sequential read of a, interleaved writes of both scratch
+	// halves.
+	const chunk = int64(traceChunk)
+	for i := int64(0); i < half; i += chunk {
+		end := i + chunk
+		if end > half {
+			end = half
+		}
+		emitRange(emit, (a+2*i)*16, (end-i)*2*16, false)
+		emitRange(emit, (t+i)*16, (end-i)*16, true)
+		emitRange(emit, (t+half+i)*16, (end-i)*16, true)
+	}
+	f.traceRec(emit, t, a, int(half))
+	f.traceRec(emit, t+half, a+half, int(half))
+	// Combine: read both scratch halves, write both output halves.
+	for k := int64(0); k < half; k += chunk {
+		end := k + chunk
+		if end > half {
+			end = half
+		}
+		emitRange(emit, (t+k)*16, (end-k)*16, false)
+		emitRange(emit, (t+half+k)*16, (end-k)*16, false)
+		emitRange(emit, (a+k)*16, (end-k)*16, true)
+		emitRange(emit, (a+half+k)*16, (end-k)*16, true)
+	}
+}
+
+// String describes the instance.
+func (f *FFT) String() string {
+	return fmt.Sprintf("FFT(%d points, %.1f MB)", f.n, float64(f.Bytes())/(1<<20))
+}

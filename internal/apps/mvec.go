@@ -1,0 +1,92 @@
+package apps
+
+import (
+	"math"
+
+	"rmp/internal/vm"
+)
+
+// Mvec is the paper's MVEC application: y = A*x on an n x n matrix
+// (paper: n = 2100, about 35 MB). The matrix is generated row by row
+// and each row is consumed immediately for the dot product, so rows
+// are dirty-evicted and never touched again: MVEC "performs many
+// pageouts and almost no pageins" (paper §4.1) — which is exactly why
+// MIRRORING (2 transfers per pageout) is the one policy that loses to
+// the disk on it.
+//
+// Layout: A at offset 0 (n*n floats), x after A, y after x.
+type Mvec struct {
+	n int
+}
+
+// NewMvec creates an MVEC instance with an n x n matrix.
+func NewMvec(n int) *Mvec { return &Mvec{n: n} }
+
+func (m *Mvec) Name() string { return "MVEC" }
+
+func (m *Mvec) Bytes() int64 {
+	n := int64(m.n)
+	return (n*n + 2*n) * 8
+}
+
+func (m *Mvec) aOff() int64 { return 0 }
+func (m *Mvec) xOff() int64 { return int64(m.n) * int64(m.n) * 8 }
+func (m *Mvec) yOff() int64 { return m.xOff() + int64(m.n)*8 }
+
+// Run generates x, then generates each row of A and immediately
+// accumulates y[i]; the checksum folds y.
+func (m *Mvec) Run(s *vm.Space) (uint64, error) {
+	n := int64(m.n)
+	rng := newXorshift(uint64(n) + 1)
+	for j := int64(0); j < n; j++ {
+		if err := s.SetFloat64(m.xOff()/8+j, rng.float01()); err != nil {
+			return 0, err
+		}
+	}
+	for i := int64(0); i < n; i++ {
+		var acc float64
+		for j := int64(0); j < n; j++ {
+			v := rng.float01()
+			if err := s.SetFloat64(i*n+j, v); err != nil {
+				return 0, err
+			}
+			xj, err := s.Float64(m.xOff()/8 + j)
+			if err != nil {
+				return 0, err
+			}
+			acc += v * xj
+		}
+		if err := s.SetFloat64(m.yOff()/8+i, acc); err != nil {
+			return 0, err
+		}
+	}
+	h := uint64(14695981039346656037)
+	for i := int64(0); i < n; i++ {
+		v, err := s.Float64(m.yOff()/8 + i)
+		if err != nil {
+			return 0, err
+		}
+		h = mix(h, math.Float64bits(v))
+	}
+	return h, nil
+}
+
+// Trace emits the page-reference stream of Run.
+func (m *Mvec) Trace(emit EmitFunc) {
+	n := int64(m.n)
+	emitRange(emit, m.xOff(), n*8, true) // generate x
+	for i := int64(0); i < n; i++ {
+		// Row generation + dot product: writes to row i interleaved
+		// with reads of x (x is small and stays hot).
+		for j := int64(0); j < n; j += traceChunk {
+			end := j + traceChunk
+			if end > n {
+				end = n
+			}
+			emitRange(emit, (i*n+j)*8, (end-j)*8, true)
+			emitRange(emit, m.xOff()+j*8, (end-j)*8, false)
+		}
+		emit(pageOfByte(m.yOff()+i*8), true)
+	}
+	emitRange(emit, m.yOff(), n*8, false) // checksum pass
+}

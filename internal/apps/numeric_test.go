@@ -1,0 +1,217 @@
+package apps
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"rmp/internal/blockdev"
+	"rmp/internal/vm"
+)
+
+// TestFFTComputesCorrectTransform checks the recursive FFT against a
+// direct O(n^2) DFT computed independently in plain Go.
+func TestFFTComputesCorrectTransform(t *testing.T) {
+	const n = 1 << 11 // 2048 points: recursion + base DFT both exercised
+	w := NewFFT(n)
+	if w.Points() != n {
+		t.Fatalf("size %d", w.Points())
+	}
+	s, err := vm.New(w.Bytes(), w.Bytes()*2, blockdev.NewMemDevice())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Run(s); err != nil {
+		t.Fatal(err)
+	}
+
+	// Regenerate the same input signal the workload used.
+	rng := newXorshift(uint64(n) + 2)
+	input := make([]complex128, n)
+	for i := range input {
+		input[i] = complex(rng.float01()-0.5, 0)
+	}
+	// Reference DFT at a sample of bins (full O(n^2) at 2048 is fine).
+	for _, k := range []int64{0, 1, 7, 100, n / 2, n - 1} {
+		var ref complex128
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64(k) * float64(j) / float64(n)
+			ref += input[j] * cmplx.Exp(complex(0, ang))
+		}
+		gotRe, err := s.Float64(2 * k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotIm, err := s.Float64(2*k + 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(gotRe-real(ref)) > 1e-6 || math.Abs(gotIm-imag(ref)) > 1e-6 {
+			t.Fatalf("bin %d = (%g,%g), reference DFT (%g,%g)", k, gotRe, gotIm, real(ref), imag(ref))
+		}
+	}
+}
+
+// TestFFTParseval: energy is conserved (sum|x|^2 * n == sum|X|^2),
+// a global sanity check over every bin.
+func TestFFTParseval(t *testing.T) {
+	const n = 1 << 10
+	w := NewFFT(n)
+	s, err := vm.New(w.Bytes(), w.Bytes()*2, blockdev.NewMemDevice())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Run(s); err != nil {
+		t.Fatal(err)
+	}
+	rng := newXorshift(uint64(n) + 2)
+	var eIn float64
+	for i := 0; i < n; i++ {
+		v := rng.float01() - 0.5
+		eIn += v * v
+	}
+	var eOut float64
+	for i := int64(0); i < n; i++ {
+		re, _ := s.Float64(2 * i)
+		im, _ := s.Float64(2*i + 1)
+		eOut += re*re + im*im
+	}
+	if math.Abs(eOut-eIn*float64(n)) > 1e-6*eIn*float64(n) {
+		t.Fatalf("Parseval violated: in %g*n=%g, out %g", eIn, eIn*float64(n), eOut)
+	}
+}
+
+// TestFFTNonPowerOfTwoSize: the odd-base recursion (n = m * 2^k) also
+// computes a correct transform.
+func TestFFTNonPowerOfTwoSize(t *testing.T) {
+	w := NewFFT(1536) // 3 * 512: recursion bottoms out at a 768-point DFT
+	n := w.Points()
+	s, err := vm.New(w.Bytes(), w.Bytes()*2, blockdev.NewMemDevice())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Run(s); err != nil {
+		t.Fatal(err)
+	}
+	rng := newXorshift(uint64(n) + 2)
+	input := make([]complex128, n)
+	for i := range input {
+		input[i] = complex(rng.float01()-0.5, 0)
+	}
+	for _, k := range []int64{0, 5, int64(n) - 1} {
+		var ref complex128
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64(k) * float64(j) / float64(n)
+			ref += input[j] * cmplx.Exp(complex(0, ang))
+		}
+		gotRe, _ := s.Float64(2 * k)
+		gotIm, _ := s.Float64(2*k + 1)
+		if math.Abs(gotRe-real(ref)) > 1e-6 || math.Abs(gotIm-imag(ref)) > 1e-6 {
+			t.Fatalf("bin %d = (%g,%g), want (%g,%g)", k, gotRe, gotIm, real(ref), imag(ref))
+		}
+	}
+}
+
+// TestGaussEliminationCorrect checks the panel-blocked elimination
+// against an independent in-memory implementation of the textbook
+// algorithm: the resulting upper-triangular matrices must agree.
+func TestGaussEliminationCorrect(t *testing.T) {
+	const n = 300 // larger than gaussBlock for panel+trailing coverage
+	if n <= gaussBlock {
+		t.Fatal("test size must exceed the panel to exercise blocking")
+	}
+	w := NewGauss(n)
+	s, err := vm.New(w.Bytes(), w.Bytes()*2, blockdev.NewMemDevice())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Run(s); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: plain row-by-row elimination on the same matrix.
+	rng := newXorshift(uint64(n))
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+		for j := range a[i] {
+			v := rng.float01()
+			if i == j {
+				v += float64(n)
+			}
+			a[i][j] = v
+		}
+	}
+	for k := 0; k < n-1; k++ {
+		for i := k + 1; i < n; i++ {
+			factor := a[i][k] / a[k][k]
+			for j := k; j < n; j++ {
+				a[i][j] -= factor * a[k][j]
+			}
+		}
+	}
+
+	// Compare the upper triangle (the blocked variant reorders the
+	// same arithmetic; tiny float divergence is acceptable).
+	maxRel := 0.0
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			got, err := s.Float64(w.idx(i, j))
+			if err != nil {
+				t.Fatal(err)
+			}
+			den := math.Abs(a[i][j])
+			if den < 1e-9 {
+				den = 1e-9
+			}
+			rel := math.Abs(got-a[i][j]) / den
+			if rel > maxRel {
+				maxRel = rel
+			}
+		}
+	}
+	if maxRel > 1e-9 {
+		t.Fatalf("blocked elimination diverges from reference: max rel err %g", maxRel)
+	}
+}
+
+// TestQsortSortsRandomData double-checks QSORT beyond its internal
+// verification, via an independent pass.
+func TestQsortSortsRandomData(t *testing.T) {
+	w := NewQsort(10_000)
+	s, err := vm.New(w.Bytes(), w.Bytes()/3, blockdev.NewMemDevice())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Run(s); err != nil {
+		t.Fatal(err) // Run fails internally if unsorted
+	}
+	var prev uint64
+	for i := int64(0); i < 10_000; i++ {
+		v, err := s.Uint64(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < prev {
+			t.Fatalf("unsorted at %d", i)
+		}
+		prev = v
+	}
+	// The multiset must be preserved: same XOR and sum as the input.
+	rng := newXorshift(uint64(10_000) + 3)
+	var wantXor, wantSum uint64
+	for i := 0; i < 10_000; i++ {
+		v := rng.next()
+		wantXor ^= v
+		wantSum += v
+	}
+	var gotXor, gotSum uint64
+	for i := int64(0); i < 10_000; i++ {
+		v, _ := s.Uint64(i)
+		gotXor ^= v
+		gotSum += v
+	}
+	if gotXor != wantXor || gotSum != wantSum {
+		t.Fatal("sort did not preserve the multiset of keys")
+	}
+}

@@ -1,0 +1,132 @@
+package blockdev_test
+
+import (
+	"testing"
+
+	"rmp/internal/blockdev"
+	"rmp/internal/client"
+	"rmp/internal/page"
+	"rmp/internal/server"
+)
+
+func mkPage(seed uint64) page.Buf {
+	p := page.NewBuf()
+	p.Fill(seed)
+	return p
+}
+
+func TestMemDeviceRoundTrip(t *testing.T) {
+	d := blockdev.NewMemDevice()
+	want := mkPage(1)
+	if err := d.WriteBlock(5, want); err != nil {
+		t.Fatal(err)
+	}
+	got := page.NewBuf()
+	if err := d.ReadBlock(5, got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Checksum() != want.Checksum() {
+		t.Fatal("block mangled")
+	}
+}
+
+func TestMemDeviceMissingBlock(t *testing.T) {
+	d := blockdev.NewMemDevice()
+	if err := d.ReadBlock(9, page.NewBuf()); err == nil {
+		t.Fatal("read of never-written block succeeded")
+	}
+}
+
+func TestMemDeviceDiscard(t *testing.T) {
+	d := blockdev.NewMemDevice()
+	for bn := int64(0); bn < 5; bn++ {
+		if err := d.WriteBlock(bn, mkPage(uint64(bn))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Discard(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d after discard, want 3", d.Len())
+	}
+}
+
+func TestNegativeBlockRejected(t *testing.T) {
+	d := blockdev.NewMemDevice()
+	if err := d.WriteBlock(-1, mkPage(0)); err != blockdev.ErrBadBlock {
+		t.Fatalf("got %v, want ErrBadBlock", err)
+	}
+	if err := d.ReadBlock(-1, page.NewBuf()); err != blockdev.ErrBadBlock {
+		t.Fatalf("got %v, want ErrBadBlock", err)
+	}
+	if err := d.Discard(-1); err != blockdev.ErrBadBlock {
+		t.Fatalf("got %v, want ErrBadBlock", err)
+	}
+}
+
+func TestCountingDevice(t *testing.T) {
+	d := blockdev.NewCountingDevice(blockdev.NewMemDevice())
+	if err := d.WriteBlock(0, mkPage(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ReadBlock(0, page.NewBuf()); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ReadBlock(0, page.NewBuf()); err != nil {
+		t.Fatal(err)
+	}
+	r, w := d.Counts()
+	if r != 2 || w != 1 {
+		t.Fatalf("Counts = (%d,%d), want (2,1)", r, w)
+	}
+}
+
+// TestPagerDevice drives the full stack: blockdev -> pager -> TCP ->
+// remote memory server.
+func TestPagerDevice(t *testing.T) {
+	srv := server.New(server.Config{CapacityPages: 128})
+	if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv2 := server.New(server.Config{CapacityPages: 128})
+	if err := srv2.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+
+	p, err := client.New(client.Config{
+		Servers: []string{srv.Addr().String(), srv2.Addr().String()},
+		Policy:  client.PolicyMirroring,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := blockdev.NewPagerDevice(p)
+	defer d.Close()
+
+	for bn := int64(0); bn < 10; bn++ {
+		if err := d.WriteBlock(bn, mkPage(uint64(bn))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := page.NewBuf()
+	for bn := int64(0); bn < 10; bn++ {
+		if err := d.ReadBlock(bn, got); err != nil {
+			t.Fatal(err)
+		}
+		if got.Checksum() != mkPage(uint64(bn)).Checksum() {
+			t.Fatalf("block %d corrupted through pager", bn)
+		}
+	}
+	if err := d.Discard(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ReadBlock(0, got); err == nil {
+		t.Fatal("discarded block still readable")
+	}
+	if err := d.WriteBlock(-2, mkPage(0)); err != blockdev.ErrBadBlock {
+		t.Fatal("negative block accepted by pager device")
+	}
+}

@@ -1,0 +1,162 @@
+// Package chaos is a fault-injecting TCP proxy for reliability
+// testing: it relays byte streams between RMP clients and servers
+// while letting tests cut connections mid-frame, inject latency, or
+// throttle — the failure modes a real workstation cluster produces
+// and unit tests otherwise cannot reach deterministically.
+package chaos
+
+import (
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Proxy relays TCP connections to a backend with injectable faults.
+type Proxy struct {
+	backend string
+	ln      net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	// delayNanos is added before relaying each chunk (per direction).
+	delayNanos atomic.Int64
+	// cutAfter, when positive, cuts each NEW connection after that
+	// many client->server bytes — typically mid-frame.
+	cutAfter atomic.Int64
+	// dropAll makes new connections fail immediately (backend
+	// unreachable) without stopping existing ones.
+	dropAll atomic.Bool
+
+	wg sync.WaitGroup
+}
+
+// New starts a proxy in front of backend on an ephemeral port.
+func New(backend string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{backend: backend, ln: ln, conns: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the address clients should dial instead of the backend.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// SetDelay adds d of latency to every relayed chunk in each direction
+// (so one request/response round trip pays roughly 2d).
+func (p *Proxy) SetDelay(d time.Duration) { p.delayNanos.Store(int64(d)) }
+
+// CutAfterBytes arranges for each subsequently accepted connection to
+// be severed after n client-to-server bytes. 0 disables.
+func (p *Proxy) CutAfterBytes(n int64) { p.cutAfter.Store(n) }
+
+// RefuseNew makes the proxy refuse new connections (accept + close),
+// emulating a crashed daemon whose host still answers TCP.
+func (p *Proxy) RefuseNew(on bool) { p.dropAll.Store(on) }
+
+// CutAll severs every active connection immediately (network
+// partition / machine crash).
+func (p *Proxy) CutAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for c := range p.conns {
+		c.Close()
+	}
+}
+
+// Close shuts the proxy down.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.ln.Close()
+	p.CutAll()
+	p.wg.Wait()
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		if p.dropAll.Load() {
+			conn.Close()
+			continue
+		}
+		back, err := net.DialTimeout("tcp", p.backend, 5*time.Second)
+		if err != nil {
+			conn.Close()
+			continue
+		}
+		p.track(conn)
+		p.track(back)
+		budget := p.cutAfter.Load()
+		p.wg.Add(2)
+		go p.relay(conn, back, budget) // client -> server, budgeted
+		go p.relay(back, conn, 0)      // server -> client
+	}
+}
+
+func (p *Proxy) track(c net.Conn) {
+	p.mu.Lock()
+	p.conns[c] = struct{}{}
+	p.mu.Unlock()
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+// relay copies src -> dst in chunks, applying the configured delay,
+// and severing both sides after budget bytes (0 = unlimited).
+func (p *Proxy) relay(src, dst net.Conn, budget int64) {
+	defer p.wg.Done()
+	defer func() {
+		src.Close()
+		dst.Close()
+		p.untrack(src)
+		p.untrack(dst)
+	}()
+	buf := make([]byte, 4096)
+	var relayed int64
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if d := time.Duration(p.delayNanos.Load()); d > 0 {
+				time.Sleep(d)
+			}
+			chunk := buf[:n]
+			if budget > 0 && relayed+int64(n) > budget {
+				chunk = buf[:budget-relayed] // partial frame, then cut
+			}
+			if _, werr := dst.Write(chunk); werr != nil {
+				return
+			}
+			relayed += int64(len(chunk))
+			if budget > 0 && relayed >= budget {
+				return // the cut
+			}
+		}
+		if err != nil {
+			if err != io.EOF {
+				return
+			}
+			return
+		}
+	}
+}

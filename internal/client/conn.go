@@ -1,0 +1,306 @@
+// Package client implements the Remote Memory Pager (RMP): the
+// client side of the paper's system. It connects to remote memory
+// servers over TCP, forwards pagein/pageout requests to them under a
+// configurable reliability policy, falls back to the local disk when
+// no server has free memory, migrates pages away from loaded servers,
+// and reconstructs lost pages after a server crash.
+//
+// This file holds Conn, the low-level request/response channel to one
+// server. Conn is safe for concurrent use: requests are serialized on
+// the wire (the protocol is strict request/response), so callers that
+// want parallel transfers to the same server open several Conns.
+package client
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rmp/internal/page"
+	"rmp/internal/wire"
+)
+
+// Conn is one authenticated protocol connection to a remote memory
+// server.
+type Conn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	addr string
+
+	// pressured is latched when any ack arrives with FlagPressure set;
+	// the pager polls and clears it to drive migration.
+	pressureMu sync.Mutex
+	pressured  bool
+
+	// serverFree is the last free-page count reported by the server
+	// (HELLO_ACK and LOAD_ACK carry it).
+	serverFree uint32
+
+	// rttNanos is an EWMA of request round-trip time. The paper's §5
+	// network-load adaptation ("measuring the time it takes to
+	// satisfy a request and using a threshold") and its heterogeneous-
+	// network placement both key off this.
+	rttNanos atomic.Int64
+}
+
+// rttAlpha is the EWMA weight of a new sample (1/8, classic TCP).
+const rttAlpha = 8
+
+// DialTimeout is how long Dial waits for TCP establishment.
+const DialTimeout = 5 * time.Second
+
+// Dial connects to a server, performs the HELLO handshake as
+// clientName with the given auth token, and returns the ready Conn.
+func Dial(addr, clientName, token string) (*Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	c := &Conn{conn: nc, addr: addr}
+	hello := &wire.Msg{Type: wire.THello, Host: clientName, Data: []byte(token)}
+	ack, err := c.roundTrip(hello)
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("client: hello %s: %w", addr, err)
+	}
+	if err := ack.Status.Err(); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("client: hello %s: %w", addr, err)
+	}
+	c.serverFree = ack.N
+	return c, nil
+}
+
+// Addr returns the server address this connection targets.
+func (c *Conn) Addr() string { return c.addr }
+
+// Close tears the connection down without the BYE exchange.
+func (c *Conn) Close() error { return c.conn.Close() }
+
+// roundTrip sends req and reads one ack, latching pressure advisories
+// and folding the measured service time into the RTT estimate.
+func (c *Conn) roundTrip(req *wire.Msg) (*wire.Msg, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	start := time.Now()
+	if err := wire.Encode(c.conn, req); err != nil {
+		return nil, err
+	}
+	ack, err := wire.Decode(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	sample := time.Since(start).Nanoseconds()
+	if old := c.rttNanos.Load(); old == 0 {
+		c.rttNanos.Store(sample)
+	} else {
+		c.rttNanos.Store(old + (sample-old)/rttAlpha)
+	}
+	if ack.Type != req.Type.Ack() {
+		return nil, fmt.Errorf("client: got %v in reply to %v", ack.Type, req.Type)
+	}
+	if ack.Flags&wire.FlagPressure != 0 {
+		c.pressureMu.Lock()
+		c.pressured = true
+		c.pressureMu.Unlock()
+	}
+	return ack, nil
+}
+
+// RTT returns the smoothed request round-trip estimate (0 before the
+// first completed request).
+func (c *Conn) RTT() time.Duration { return time.Duration(c.rttNanos.Load()) }
+
+// Stat fetches the server's state snapshot.
+func (c *Conn) Stat() (wire.StatInfo, error) {
+	ack, err := c.roundTrip(&wire.Msg{Type: wire.TStat})
+	if err != nil {
+		return wire.StatInfo{}, err
+	}
+	if err := ack.Status.Err(); err != nil {
+		return wire.StatInfo{}, err
+	}
+	var info wire.StatInfo
+	if err := json.Unmarshal(ack.Data, &info); err != nil {
+		return wire.StatInfo{}, fmt.Errorf("client: stat: %w", err)
+	}
+	return info, nil
+}
+
+// PressureAdvised reports and clears the latched pressure advisory.
+func (c *Conn) PressureAdvised() bool {
+	c.pressureMu.Lock()
+	defer c.pressureMu.Unlock()
+	p := c.pressured
+	c.pressured = false
+	return p
+}
+
+// Alloc asks the server to promise n pages of swap space and returns
+// the number granted (0 with a nil error means the server is full).
+func (c *Conn) Alloc(n int) (int, error) {
+	ack, err := c.roundTrip(&wire.Msg{Type: wire.TAlloc, N: uint32(n)})
+	if err != nil {
+		return 0, err
+	}
+	if ack.Status == wire.StatusNoSpace {
+		return int(ack.N), nil
+	}
+	if err := ack.Status.Err(); err != nil {
+		return 0, err
+	}
+	return int(ack.N), nil
+}
+
+// PageOut stores data under key on the server.
+func (c *Conn) PageOut(key uint64, data page.Buf) error {
+	if err := data.CheckLen(); err != nil {
+		return err
+	}
+	req := (&wire.Msg{Type: wire.TPageOut, Key: key, Data: data}).WithChecksum()
+	ack, err := c.roundTrip(req)
+	if err != nil {
+		return err
+	}
+	return ack.Status.Err()
+}
+
+// PageIn fetches the page stored under key.
+func (c *Conn) PageIn(key uint64) (page.Buf, error) {
+	ack, err := c.roundTrip(&wire.Msg{Type: wire.TPageIn, Key: key})
+	if err != nil {
+		return nil, err
+	}
+	if err := ack.Status.Err(); err != nil {
+		return nil, err
+	}
+	if err := ack.VerifyData(); err != nil {
+		return nil, err
+	}
+	buf := page.Buf(ack.Data)
+	if err := buf.CheckLen(); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// PageOutBatch stores several pages in one pipelined exchange: all
+// requests are written back to back, then all acks are read. On a
+// network with real latency this costs ~one round trip for the whole
+// batch instead of one per page (used by bulk paths like recovery
+// re-homing and VM flushes). Returns the first failure, after
+// draining every ack so the connection stays framed.
+func (c *Conn) PageOutBatch(keys []uint64, pages []page.Buf) error {
+	if len(keys) != len(pages) {
+		return fmt.Errorf("client: batch of %d keys with %d pages", len(keys), len(pages))
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	for _, p := range pages {
+		if err := p.CheckLen(); err != nil {
+			return err
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	start := time.Now()
+	for i, key := range keys {
+		req := (&wire.Msg{Type: wire.TPageOut, Key: key, Data: pages[i]}).WithChecksum()
+		if err := wire.Encode(c.conn, req); err != nil {
+			return err
+		}
+	}
+	var firstErr error
+	for range keys {
+		ack, err := wire.Decode(c.conn)
+		if err != nil {
+			return err // stream broken; cannot drain further
+		}
+		if ack.Flags&wire.FlagPressure != 0 {
+			c.pressureMu.Lock()
+			c.pressured = true
+			c.pressureMu.Unlock()
+		}
+		if e := ack.Status.Err(); e != nil && firstErr == nil {
+			firstErr = e
+		}
+	}
+	// One batch = one latency sample per page on average.
+	sample := time.Since(start).Nanoseconds() / int64(len(keys))
+	if old := c.rttNanos.Load(); old == 0 {
+		c.rttNanos.Store(sample)
+	} else {
+		c.rttNanos.Store(old + (sample-old)/rttAlpha)
+	}
+	return firstErr
+}
+
+// Free releases the given keys on the server.
+func (c *Conn) Free(keys ...uint64) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	ack, err := c.roundTrip(&wire.Msg{Type: wire.TFree, Keys: keys})
+	if err != nil {
+		return err
+	}
+	return ack.Status.Err()
+}
+
+// Load polls the server's free-page count.
+func (c *Conn) Load() (free int, err error) {
+	ack, err := c.roundTrip(&wire.Msg{Type: wire.TLoad})
+	if err != nil {
+		return 0, err
+	}
+	c.serverFree = ack.N
+	return int(ack.N), ack.Status.Err()
+}
+
+// XorWrite stores data under key and has the server forward
+// old^new to parityAddr under parityKey (basic parity policy).
+func (c *Conn) XorWrite(key uint64, data page.Buf, parityAddr string, parityKey uint64) error {
+	if err := data.CheckLen(); err != nil {
+		return err
+	}
+	req := (&wire.Msg{
+		Type:      wire.TXorWrite,
+		Key:       key,
+		Data:      data,
+		Host:      parityAddr,
+		ParityKey: parityKey,
+	}).WithChecksum()
+	ack, err := c.roundTrip(req)
+	if err != nil {
+		return err
+	}
+	return ack.Status.Err()
+}
+
+// XorDelta merges data into the page at key on the server (used
+// directly by parity-logging recovery tooling and tests; in normal
+// operation servers send these to each other).
+func (c *Conn) XorDelta(key uint64, data page.Buf) error {
+	if err := data.CheckLen(); err != nil {
+		return err
+	}
+	req := (&wire.Msg{Type: wire.TXorDelta, Key: key, Data: data}).WithChecksum()
+	ack, err := c.roundTrip(req)
+	if err != nil {
+		return err
+	}
+	return ack.Status.Err()
+}
+
+// Bye performs the graceful goodbye exchange and closes the
+// connection. After the last BYE from a client, the server discards
+// the client's pages and reservation.
+func (c *Conn) Bye() error {
+	_, err := c.roundTrip(&wire.Msg{Type: wire.TBye})
+	c.conn.Close()
+	return err
+}

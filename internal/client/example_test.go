@@ -1,0 +1,50 @@
+package client_test
+
+import (
+	"fmt"
+	"log"
+
+	"rmp/internal/client"
+	"rmp/internal/page"
+	"rmp/internal/server"
+)
+
+// Example shows the smallest complete use of the pager: two in-process
+// remote memory servers, mirrored pageout, pagein, verification.
+func Example() {
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		srv := server.New(server.Config{CapacityPages: 1024})
+		if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		addrs = append(addrs, srv.Addr().String())
+	}
+
+	pager, err := client.New(client.Config{
+		ClientName: "example",
+		Servers:    addrs,
+		Policy:     client.PolicyMirroring,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pager.Close()
+
+	out := page.NewBuf()
+	out.Fill(42)
+	if err := pager.PageOut(7, out); err != nil {
+		log.Fatal(err)
+	}
+	in, err := pager.PageIn(7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("round trip ok:", in.Checksum() == out.Checksum())
+	fmt.Println("transfers:", pager.Stats().NetTransfers) // 2 mirror writes + 1 read
+
+	// Output:
+	// round trip ok: true
+	// transfers: 3
+}

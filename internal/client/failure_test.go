@@ -1,0 +1,230 @@
+package client_test
+
+import (
+	"errors"
+	"net"
+	"testing"
+
+	"rmp/internal/client"
+	"rmp/internal/page"
+	"rmp/internal/server"
+)
+
+// TestDoubleCrashMirroring: losing both replica servers of a page is
+// beyond mirroring's single-failure guarantee; the pager must report
+// the loss rather than return wrong data.
+func TestDoubleCrashMirroring(t *testing.T) {
+	c := newCluster(t, 2, 512)
+	p := c.pager(client.PolicyMirroring)
+	for i := uint64(0); i < 10; i++ {
+		if err := p.PageOut(page.ID(i), mkPage(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.crash(0)
+	c.crash(1)
+	lost := 0
+	for i := uint64(0); i < 10; i++ {
+		if _, err := p.PageIn(page.ID(i)); err != nil {
+			lost++
+		}
+	}
+	if lost != 10 {
+		t.Fatalf("double failure: %d/10 reads failed, want all (no silent corruption)", lost)
+	}
+}
+
+// TestDoubleCrashMirroringWithSpare: with a third server the pager
+// re-mirrors after the first crash, so a second crash later is
+// survivable.
+func TestDoubleCrashMirroringWithSpare(t *testing.T) {
+	c := newCluster(t, 3, 512)
+	p := c.pager(client.PolicyMirroring)
+	for i := uint64(0); i < 10; i++ {
+		if err := p.PageOut(page.ID(i), mkPage(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.crash(0)
+	// Touch every page: the crash handler re-mirrors onto the spare.
+	for i := uint64(0); i < 10; i++ {
+		if _, err := p.PageIn(page.ID(i)); err != nil {
+			t.Fatalf("pagein %d after first crash: %v", i, err)
+		}
+	}
+	c.crash(1)
+	for i := uint64(0); i < 10; i++ {
+		got, err := p.PageIn(page.ID(i))
+		if err != nil || got.Checksum() != mkPage(i).Checksum() {
+			t.Fatalf("pagein %d after second crash: %v", i, err)
+		}
+	}
+}
+
+// TestDoubleCrashParityLogging: two simultaneous data-column losses
+// exceed single-parity protection; affected pages must error, and the
+// LostPages stat must account for them.
+func TestDoubleCrashParityLogging(t *testing.T) {
+	c := newCluster(t, 5, 512)
+	p := c.pager(client.PolicyParityLogging)
+	const n = 40
+	for i := uint64(0); i < n; i++ {
+		if err := p.PageOut(page.ID(i), mkPage(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two data columns die before the pager can react.
+	c.crash(0)
+	c.crash(1)
+	lost, ok := 0, 0
+	for i := uint64(0); i < n; i++ {
+		got, err := p.PageIn(page.ID(i))
+		switch {
+		case err == nil:
+			if got.Checksum() != mkPage(i).Checksum() {
+				t.Fatalf("page %d silently corrupted after double crash", i)
+			}
+			ok++
+		default:
+			lost++
+		}
+	}
+	if lost == 0 {
+		t.Fatal("double crash lost nothing — test not exercising the limit")
+	}
+	if ok == 0 {
+		t.Fatal("pages on surviving columns also lost")
+	}
+	if p.Stats().LostPages == 0 {
+		t.Fatal("LostPages not accounted")
+	}
+	// The pager must remain usable for new pageouts.
+	if err := p.PageOut(page.ID(1000), mkPage(1000)); err != nil {
+		t.Fatalf("pageout after double crash: %v", err)
+	}
+	got, err := p.PageIn(page.ID(1000))
+	if err != nil || got.Checksum() != mkPage(1000).Checksum() {
+		t.Fatalf("pagein after double crash: %v", err)
+	}
+}
+
+// TestAllServersCrashParityLogging: with every server gone, new
+// pageouts fall back to the local disk and remain readable.
+func TestAllServersCrashParityLogging(t *testing.T) {
+	c := newCluster(t, 3, 512)
+	p := c.pager(client.PolicyParityLogging)
+	if err := p.PageOut(1, mkPage(1)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range c.servers {
+		c.crash(i)
+	}
+	// The old page is gone (total loss is beyond any single-parity
+	// scheme), but the pager keeps working via the disk.
+	if err := p.PageOut(2, mkPage(2)); err != nil {
+		t.Fatalf("pageout with no servers: %v", err)
+	}
+	got, err := p.PageIn(2)
+	if err != nil || got.Checksum() != mkPage(2).Checksum() {
+		t.Fatalf("disk-fallback pagein: %v", err)
+	}
+	if p.Stats().FallbackPageOuts == 0 {
+		t.Fatal("no disk fallback counted")
+	}
+}
+
+// TestFreeDiskFallbackPage: freeing a page that lives on the local
+// disk must release its slot under every policy.
+func TestFreeDiskFallbackPage(t *testing.T) {
+	for _, pol := range allPolicies {
+		t.Run(pol.String(), func(t *testing.T) {
+			c := newCluster(t, 2, 4) // tiny: forces fallback
+			if pol == client.PolicyParityLogging || pol == client.PolicyParity {
+				c = newCluster(t, 3, 4)
+			}
+			p := c.pager(pol)
+			for i := uint64(0); i < 30; i++ {
+				if err := p.PageOut(page.ID(i), mkPage(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if p.Stats().FallbackPageOuts == 0 {
+				t.Skip("policy kept everything remote at this size")
+			}
+			for i := uint64(0); i < 30; i++ {
+				if err := p.Free(page.ID(i)); err != nil {
+					t.Fatalf("free %d: %v", i, err)
+				}
+			}
+			for i := uint64(0); i < 30; i++ {
+				if _, err := p.PageIn(page.ID(i)); err == nil {
+					t.Fatalf("freed page %d still readable", i)
+				}
+			}
+		})
+	}
+}
+
+// TestServerRejoinsAfterRestart: a crashed server that comes back
+// (restarted daemon on the same address) is re-dialed by Rebalance
+// and used for new placements.
+func TestServerRejoinsAfterRestart(t *testing.T) {
+	c := newCluster(t, 2, 256)
+	p := c.pager(client.PolicyNone)
+	for i := uint64(0); i < 8; i++ {
+		if err := p.PageOut(page.ID(i), mkPage(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	addr := c.addrs[0]
+	c.crash(0)
+	// Touch a page so the pager notices the death.
+	for i := uint64(0); i < 8; i++ {
+		p.PageIn(page.ID(i))
+	}
+
+	// Restart a daemon on the same address.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("port %s not immediately reusable: %v", addr, err)
+	}
+	srv2 := server.New(server.Config{CapacityPages: 256})
+	srv2.Serve(ln)
+	t.Cleanup(func() { srv2.Close() })
+
+	if err := p.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	// New pageouts spread over both servers again.
+	for i := uint64(100); i < 140; i++ {
+		if err := p.PageOut(page.ID(i), mkPage(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if srv2.Store().Len() == 0 {
+		t.Fatal("rejoined server received no pages")
+	}
+}
+
+// TestPageLostErrorIdentity: loss reports use ErrPageLost so callers
+// can distinguish them from transient failures.
+func TestPageLostErrorIdentity(t *testing.T) {
+	c := newCluster(t, 2, 256)
+	p := c.pager(client.PolicyNone)
+	if err := p.PageOut(1, mkPage(1)); err != nil {
+		t.Fatal(err)
+	}
+	c.crash(0)
+	c.crash(1)
+	_, err := p.PageIn(1)
+	if err == nil {
+		t.Fatal("pagein succeeded with all servers dead")
+	}
+	if !errors.Is(err, client.ErrPageLost) {
+		// Either lost (if crash detected first) or a connection error;
+		// force detection with a second attempt.
+		if _, err2 := p.PageIn(1); err2 != nil && !errors.Is(err2, client.ErrPageLost) {
+			t.Fatalf("loss not reported as ErrPageLost: %v / %v", err, err2)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package client_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"rmp/internal/client"
+	"rmp/internal/page"
+)
+
+// TestPressureMigrationAllPolicies: every policy must evacuate a
+// pressured server on Rebalance and keep all pages readable
+// afterwards (paper §2.1).
+func TestPressureMigrationAllPolicies(t *testing.T) {
+	cases := []struct {
+		pol      client.Policy
+		servers  int
+		pressure int // which server to pressure
+	}{
+		{client.PolicyNone, 3, 0},
+		{client.PolicyMirroring, 3, 0},
+		{client.PolicyParity, 4, 1},        // a data server
+		{client.PolicyParity, 4, 3},        // the parity server
+		{client.PolicyParityLogging, 5, 1}, // a data column
+		{client.PolicyWriteThrough, 3, 0},
+	}
+	for _, c := range cases {
+		name := c.pol.String()
+		if c.pol == client.PolicyParity && c.pressure == 3 {
+			name += "/parity-server"
+		}
+		t.Run(name, func(t *testing.T) {
+			cl := newCluster(t, c.servers, 1024)
+			p := cl.pager(c.pol)
+			const n = 24
+			for i := uint64(0); i < n; i++ {
+				if err := p.PageOut(page.ID(i), mkPage(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if cl.servers[c.pressure].Store().Len() == 0 {
+				t.Skip("pressured server holds nothing under this layout")
+			}
+			cl.servers[c.pressure].SetPressure(true)
+			if err := p.Rebalance(); err != nil {
+				t.Fatalf("rebalance: %v", err)
+			}
+			if got := cl.servers[c.pressure].Store().Len(); got != 0 {
+				t.Fatalf("pressured server still holds %d pages after rebalance", got)
+			}
+			for i := uint64(0); i < n; i++ {
+				got, err := p.PageIn(page.ID(i))
+				if err != nil || got.Checksum() != mkPage(i).Checksum() {
+					t.Fatalf("pagein %d after migration: %v", i, err)
+				}
+			}
+			// And the system stays writable.
+			if err := p.PageOut(page.ID(100), mkPage(100)); err != nil {
+				t.Fatalf("pageout after migration: %v", err)
+			}
+		})
+	}
+}
+
+// TestParityServerCrashReelects: after the parity server dies, the
+// policy must re-elect a parity holder and keep protecting pages
+// remotely — not silently degrade to disk.
+func TestParityServerCrashReelects(t *testing.T) {
+	cl := newCluster(t, 4, 1024) // 3 data + 1 parity
+	p := cl.pager(client.PolicyParity)
+	const n = 18
+	for i := uint64(0); i < n; i++ {
+		if err := p.PageOut(page.ID(i), mkPage(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl.crash(3) // the parity server
+	// The next pageout's forwarding failure must trigger re-election.
+	for i := uint64(0); i < n; i++ {
+		if err := p.PageOut(page.ID(i), mkPage(i+1000)); err != nil {
+			t.Fatalf("pageout %d after parity crash: %v", i, err)
+		}
+	}
+	if p.Stats().FallbackPageOuts > 0 {
+		t.Fatalf("%d pageouts fell back to disk instead of re-electing a parity server",
+			p.Stats().FallbackPageOuts)
+	}
+	for i := uint64(0); i < n; i++ {
+		got, err := p.PageIn(page.ID(i))
+		if err != nil || got.Checksum() != mkPage(i+1000).Checksum() {
+			t.Fatalf("pagein %d: %v", i, err)
+		}
+	}
+	// The re-elected parity holder doubled up on one of the data
+	// servers (no spare exists); groups with a member elsewhere must
+	// still tolerate losing their member. Crash a data server that is
+	// NOT the parity host — identifiable as the one holding the most
+	// pages (its data plus every parity page).
+	parityHost, most := -1, -1
+	for i := 0; i < 3; i++ {
+		if n := cl.servers[i].Store().Len(); n > most {
+			parityHost, most = i, n
+		}
+	}
+	victim := (parityHost + 1) % 3
+	cl.crash(victim)
+	for i := uint64(0); i < n; i++ {
+		got, err := p.PageIn(page.ID(i))
+		if err != nil || got.Checksum() != mkPage(i+1000).Checksum() {
+			t.Fatalf("pagein %d after second crash: %v", i, err)
+		}
+	}
+}
+
+// TestParityDoubleRoleCrashLosesOnlyItsPages: in degraded double-up
+// mode, crashing the host that carries both parity and data loses
+// exactly the data homed there (reported as ErrPageLost), while pages
+// on other servers survive with fresh parity.
+func TestParityDoubleRoleCrashLosesOnlyItsPages(t *testing.T) {
+	cl := newCluster(t, 4, 1024)
+	p := cl.pager(client.PolicyParity)
+	const n = 18
+	for i := uint64(0); i < n; i++ {
+		if err := p.PageOut(page.ID(i), mkPage(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl.crash(3) // parity server; re-election doubles up on a data server
+	for i := uint64(0); i < n; i++ {
+		if err := p.PageOut(page.ID(i), mkPage(i+1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	parityHost, most := -1, -1
+	for i := 0; i < 3; i++ {
+		if n := cl.servers[i].Store().Len(); n > most {
+			parityHost, most = i, n
+		}
+	}
+	cl.crash(parityHost)
+	lost, survived := 0, 0
+	for i := uint64(0); i < n; i++ {
+		got, err := p.PageIn(page.ID(i))
+		switch {
+		case err == nil:
+			if got.Checksum() != mkPage(i+1000).Checksum() {
+				t.Fatalf("page %d silently corrupted", i)
+			}
+			survived++
+		case errors.Is(err, client.ErrPageLost):
+			lost++
+		default:
+			t.Fatalf("pagein %d: unexpected error %v", i, err)
+		}
+	}
+	if lost == 0 {
+		t.Fatal("double-role crash lost nothing — degraded mode not exercised")
+	}
+	if survived == 0 {
+		t.Fatal("pages on other servers also lost")
+	}
+	// Still writable afterwards.
+	if err := p.PageOut(page.ID(0), mkPage(5000)); err != nil {
+		t.Fatalf("pageout after degraded crash: %v", err)
+	}
+	got, err := p.PageIn(page.ID(0))
+	if err != nil || got.Checksum() != mkPage(5000).Checksum() {
+		t.Fatalf("re-pageout of a lost page: %v", err)
+	}
+}
+
+// TestBackgroundRebalanceLoop: with RebalanceEvery set, migration
+// happens without explicit Rebalance calls.
+func TestBackgroundRebalanceLoop(t *testing.T) {
+	cl := newCluster(t, 3, 1024)
+	p, err := client.New(client.Config{
+		ClientName:     "bg-rebalance",
+		Servers:        cl.addrs,
+		Policy:         client.PolicyNone,
+		RebalanceEvery: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	for i := uint64(0); i < 12; i++ {
+		if err := p.PageOut(page.ID(i), mkPage(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victim := -1
+	for i, s := range cl.servers {
+		if s.Store().Len() > 0 {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no server holds pages")
+	}
+	cl.servers[victim].SetPressure(true)
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cl.servers[victim].Store().Len() == 0 {
+			return // background loop drained it
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("background rebalance never migrated the pressured server's pages")
+}

@@ -1,0 +1,758 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"rmp/internal/disk"
+	"rmp/internal/page"
+	"rmp/internal/wire"
+)
+
+// Policy selects the reliability scheme (paper §2.2, §4.7).
+type Policy int
+
+const (
+	// PolicyNone stores a single copy on one remote server. Fastest;
+	// a server crash loses pages.
+	PolicyNone Policy = iota
+	// PolicyMirroring stores two copies on two different servers.
+	// 2 transfers per pageout, 2x memory.
+	PolicyMirroring
+	// PolicyParity is the basic parity scheme: each page has a fixed
+	// home server and parity group; on pageout the home server XORs
+	// old and new and forwards the delta to the parity server.
+	// 2 transfers per pageout (one client->server, one server->parity),
+	// 1+1/S memory.
+	PolicyParity
+	// PolicyParityLogging is the paper's contribution: round-robin
+	// placement into fresh parity groups with a client-side parity
+	// buffer. 1+1/S transfers per pageout, 1+1/S memory plus overflow.
+	PolicyParityLogging
+	// PolicyWriteThrough stores one remote copy and writes every page
+	// to the local disk in parallel (§4.7), treating remote memory as
+	// a write-through cache of the disk.
+	PolicyWriteThrough
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyNone:
+		return "NO_RELIABILITY"
+	case PolicyMirroring:
+		return "MIRRORING"
+	case PolicyParity:
+		return "PARITY"
+	case PolicyParityLogging:
+		return "PARITY_LOGGING"
+	case PolicyWriteThrough:
+		return "WRITE_THROUGH"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// allocChunk is how many pages of swap space the pager reserves from
+// a server at a time.
+const allocChunk = 64
+
+// Config parametrizes a Pager.
+type Config struct {
+	// ClientName identifies this client; all its connections (and
+	// parity deltas forwarded on its behalf) share one namespace per
+	// server. Defaults to "rmp-client".
+	ClientName string
+	// Servers are the remote memory server addresses, in registry
+	// order (the paper registers participants "in a common file"; see
+	// LoadRegistry). Policies that use a parity server take the last
+	// address for it.
+	Servers []string
+	// Policy is the reliability policy.
+	Policy Policy
+	// AuthToken authenticates to the servers.
+	AuthToken string
+	// SwapPath is the local swap file used for disk fallback and the
+	// write-through policy; empty means an unlinked temp file.
+	SwapPath string
+	// DiskModel optionally throttles the local swap file to emulate a
+	// 1996 paging disk.
+	DiskModel disk.LatencyModel
+	// Logger receives diagnostics; nil silences them.
+	Logger *log.Logger
+	// RebalanceEvery, if positive, starts a background ticker that
+	// migrates pages away from pressured servers and promotes disk
+	// pages back to remote memory (paper §2.1). Zero disables it;
+	// tests and callers can invoke Rebalance directly.
+	RebalanceEvery time.Duration
+	// NetLatencyThreshold, if positive, enables the paper's §5
+	// network-load adaptation: a server whose smoothed request RTT
+	// exceeds the threshold is not used for new placements, and when
+	// every server is that slow, pageouts go to the local disk (which
+	// "may become [cheaper] than the cost of using the network").
+	// Disk pages are promoted back by Rebalance once the network
+	// recovers.
+	NetLatencyThreshold time.Duration
+	// FarLatencyFactor, if > 1, enables the §5 heterogeneous-network
+	// placement: servers whose RTT exceeds the fastest server's by
+	// this factor form a "far" memory tier used only when every near
+	// server is full — a four-level hierarchy of local memory, near
+	// remote memory, far remote memory, and disk.
+	FarLatencyFactor float64
+	// OverflowBudget is the fraction of extra (inactive) page
+	// versions parity logging may accumulate on the servers before
+	// garbage-collecting fragmented groups. Zero means the paper's
+	// 10%. Only meaningful for PolicyParityLogging.
+	OverflowBudget float64
+}
+
+// Stats counts pager activity.
+type Stats struct {
+	PageOuts         uint64
+	PageIns          uint64
+	NetTransfers     uint64 // page-sized network transfers (incl. parity)
+	DiskReads        uint64
+	DiskWrites       uint64
+	Migrated         uint64
+	Recovered        uint64 // pages reconstructed after a crash
+	Rehomed          uint64 // pages moved off damaged/pressured servers
+	GCPasses         uint64
+	LostPages        uint64 // unrecoverable (PolicyNone after crash)
+	FallbackPageOuts uint64 // pageouts that went to local disk
+}
+
+// ErrPageLost is returned by PageIn when a page is unrecoverable
+// (PolicyNone after its server crashed).
+var ErrPageLost = errors.New("client: page lost in server crash")
+
+// ErrNotPagedOut is returned by PageIn for a page never paged out.
+var ErrNotPagedOut = errors.New("client: page was never paged out")
+
+// remoteServer is the pager's view of one server.
+type remoteServer struct {
+	addr    string
+	conn    *Conn
+	alive   bool
+	granted int // swap space reserved there
+	used    int // pages currently stored there
+	// pressured is set when the server advises migration; cleared
+	// when migration away from it completes.
+	pressured bool
+}
+
+// headroom is how many more pages the server has promised to take.
+func (rs *remoteServer) headroom() int { return rs.granted - rs.used }
+
+// slotRef names a stored copy: server index + storage key.
+type slotRef struct {
+	srv int
+	key uint64
+}
+
+// location records where a logical page lives. Exactly one of the
+// fields is populated for NONE/PARITY; MIRRORING fills two replicas;
+// WRITE_THROUGH fills one replica and onDisk; a fallback page fills
+// only onDisk. PARITY_LOGGING pages are tracked by the parity log
+// instead unless they fell back to disk.
+type location struct {
+	replicas []slotRef
+	onDisk   bool
+	lost     bool
+}
+
+// Pager is the Remote Memory Pager: the client that the OS block
+// device layer (or our user-space VM) hands pagein/pageout requests
+// to. All methods are safe for concurrent use; requests are serialized
+// like the paper's "one dedicated paging daemon".
+type Pager struct {
+	mu  sync.Mutex
+	cfg Config
+
+	servers []*remoteServer
+	swap    *disk.Store
+
+	table   map[page.ID]*location
+	nextKey uint64
+
+	pol policyImpl
+
+	stats  Stats
+	closed bool
+
+	stopRebalance chan struct{}
+	rebalanceWG   sync.WaitGroup
+}
+
+// policyImpl is the per-policy strategy. Implementations run with
+// p.mu held.
+type policyImpl interface {
+	// pageOut stores data for id.
+	pageOut(id page.ID, data page.Buf) error
+	// pageIn retrieves the page for id.
+	pageIn(id page.ID) (page.Buf, error)
+	// free releases storage for id.
+	free(id page.ID) error
+	// handleCrash recovers from the death of server srv (already
+	// marked dead).
+	handleCrash(srv int) error
+	// evacuate moves pages off the (still alive) pressured server.
+	evacuate(srv int) error
+}
+
+// New creates a pager, connects to every reachable server, allocates
+// initial swap space, and opens the local swap file.
+func New(cfg Config) (*Pager, error) {
+	if cfg.ClientName == "" {
+		cfg.ClientName = "rmp-client"
+	}
+	p := &Pager{
+		cfg:   cfg,
+		table: make(map[page.ID]*location),
+	}
+	for _, addr := range cfg.Servers {
+		rs := &remoteServer{addr: addr}
+		if conn, err := Dial(addr, cfg.ClientName, cfg.AuthToken); err == nil {
+			rs.conn = conn
+			rs.alive = true
+		} else {
+			p.logf("server %s unreachable at startup: %v", addr, err)
+		}
+		p.servers = append(p.servers, rs)
+	}
+
+	var err error
+	if cfg.SwapPath != "" {
+		p.swap, err = disk.Open(cfg.SwapPath, cfg.DiskModel)
+	} else {
+		p.swap, err = disk.OpenTemp(cfg.DiskModel)
+	}
+	if err != nil {
+		p.closeConns()
+		return nil, err
+	}
+
+	if p.pol, err = p.newPolicy(); err != nil {
+		p.swap.Close()
+		p.closeConns()
+		return nil, err
+	}
+
+	if cfg.RebalanceEvery > 0 {
+		p.stopRebalance = make(chan struct{})
+		p.rebalanceWG.Add(1)
+		go p.rebalanceLoop(cfg.RebalanceEvery)
+	}
+	return p, nil
+}
+
+func (p *Pager) newPolicy() (policyImpl, error) {
+	alive := p.aliveServers()
+	switch p.cfg.Policy {
+	case PolicyNone:
+		return &nonePolicy{p: p}, nil
+	case PolicyMirroring:
+		if len(alive) < 2 {
+			return nil, errors.New("client: mirroring needs >= 2 reachable servers")
+		}
+		return &mirrorPolicy{p: p}, nil
+	case PolicyParity:
+		if len(alive) < 2 {
+			return nil, errors.New("client: parity needs >= 1 data server + 1 parity server")
+		}
+		return newParityPolicy(p), nil
+	case PolicyParityLogging:
+		if len(alive) < 2 {
+			return nil, errors.New("client: parity logging needs >= 1 data server + 1 parity server")
+		}
+		return newParityLogPolicy(p)
+	case PolicyWriteThrough:
+		if len(alive) < 1 {
+			return nil, errors.New("client: write-through needs >= 1 reachable server")
+		}
+		return &writeThroughPolicy{p: p}, nil
+	default:
+		return nil, fmt.Errorf("client: unknown policy %v", p.cfg.Policy)
+	}
+}
+
+func (p *Pager) logf(format string, args ...any) {
+	if p.cfg.Logger != nil {
+		p.cfg.Logger.Printf(format, args...)
+	}
+}
+
+func (p *Pager) closeConns() {
+	for _, rs := range p.servers {
+		if rs.conn != nil {
+			rs.conn.Close()
+		}
+	}
+}
+
+// aliveServers returns the indexes of servers currently reachable.
+func (p *Pager) aliveServers() []int {
+	var out []int
+	for i, rs := range p.servers {
+		if rs.alive {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// allocKey issues a fresh storage key (< 2^48, see server package).
+func (p *Pager) allocKey() uint64 {
+	k := p.nextKey
+	p.nextKey++
+	return k
+}
+
+// Close says goodbye to every server and closes the swap file.
+func (p *Pager) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	if p.stopRebalance != nil {
+		close(p.stopRebalance)
+		p.rebalanceWG.Wait()
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, rs := range p.servers {
+		if rs.alive && rs.conn != nil {
+			rs.conn.Bye()
+		}
+	}
+	return p.swap.Close()
+}
+
+// Stats returns a snapshot of the pager's counters.
+func (p *Pager) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// ServerInfo is one row of a cluster survey.
+type ServerInfo struct {
+	Addr      string
+	Alive     bool
+	Pressured bool
+	RTT       time.Duration
+	Stat      wire.StatInfo // zero when the server is unreachable
+}
+
+// Survey polls every configured server's state — the operational view
+// behind `rmpctl survey`, as a library call.
+func (p *Pager) Survey() []ServerInfo {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]ServerInfo, 0, len(p.servers))
+	for i, rs := range p.servers {
+		info := ServerInfo{Addr: rs.addr, Alive: rs.alive, Pressured: rs.pressured}
+		if rs.alive {
+			info.RTT = rs.conn.RTT()
+			st, err := rs.conn.Stat()
+			if err != nil {
+				p.serverDied(i, err)
+				info.Alive = false
+			} else {
+				info.Stat = st
+			}
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// PageOut stores the page under the configured reliability policy.
+func (p *Pager) PageOut(id page.ID, data page.Buf) error {
+	if err := data.CheckLen(); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return errors.New("client: pager closed")
+	}
+	p.stats.PageOuts++
+	return p.pol.pageOut(id, data)
+}
+
+// PageIn retrieves a previously paged-out page.
+func (p *Pager) PageIn(id page.ID) (page.Buf, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, errors.New("client: pager closed")
+	}
+	p.stats.PageIns++
+	return p.pol.pageIn(id)
+}
+
+// Free releases the swap space of the given pages.
+func (p *Pager) Free(ids ...page.ID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var firstErr error
+	for _, id := range ids {
+		if err := p.pol.free(id); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// --- shared transfer helpers (run with p.mu held) -----------------------
+
+// pickServer returns the most promising server for a new placement;
+// exclude lists server indexes to skip. Returns -1 if no server can
+// take a page (the caller then falls back to the local disk).
+func (p *Pager) pickServer(exclude ...int) int {
+	allowed := make([]int, len(p.servers))
+	for i := range p.servers {
+		allowed[i] = i
+	}
+	return p.pickFrom(allowed, exclude...)
+}
+
+// pickFrom implements the selection policy over an allowed set:
+//
+//  1. only alive, unpressured servers with headroom qualify (topping
+//     up swap reservations as needed) — the paper's §2.1 selection;
+//  2. servers slower than Config.NetLatencyThreshold are skipped —
+//     the §5 network-load adaptation;
+//  3. with Config.FarLatencyFactor set, near-tier servers are
+//     preferred over far ones — the §5 heterogeneous hierarchy;
+//  4. ties break to the most free headroom ("the most promising
+//     server").
+func (p *Pager) pickFrom(allowed []int, exclude ...int) int {
+	skip := make(map[int]bool, len(exclude))
+	for _, e := range exclude {
+		skip[e] = true
+	}
+	type cand struct {
+		idx  int
+		room int
+		rtt  time.Duration
+	}
+	var cands []cand
+	for _, i := range allowed {
+		rs := p.servers[i]
+		if !rs.alive || rs.pressured || skip[i] {
+			continue
+		}
+		if rs.headroom() <= 0 {
+			p.topUp(i)
+		}
+		if !rs.alive {
+			continue // topUp discovered a dead server
+		}
+		room := rs.headroom()
+		if room <= 0 {
+			continue
+		}
+		rtt := rs.conn.RTT()
+		if p.cfg.NetLatencyThreshold > 0 && rtt > p.cfg.NetLatencyThreshold {
+			continue // slower than the local disk would be
+		}
+		cands = append(cands, cand{idx: i, room: room, rtt: rtt})
+	}
+	if len(cands) == 0 {
+		return -1
+	}
+	if f := p.cfg.FarLatencyFactor; f > 1 {
+		// Establish the near tier relative to the fastest measured
+		// server; unmeasured servers (rtt 0) count as near.
+		min := time.Duration(0)
+		for _, c := range cands {
+			if c.rtt > 0 && (min == 0 || c.rtt < min) {
+				min = c.rtt
+			}
+		}
+		if min > 0 {
+			far := time.Duration(float64(min) * f)
+			near := cands[:0]
+			for _, c := range cands {
+				if c.rtt <= far {
+					near = append(near, c)
+				}
+			}
+			if len(near) > 0 {
+				cands = near
+			}
+		}
+	}
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.room > best.room {
+			best = c
+		}
+	}
+	return best.idx
+}
+
+// topUp tries to reserve another chunk of swap space on server i.
+func (p *Pager) topUp(i int) {
+	rs := p.servers[i]
+	n, err := rs.conn.Alloc(allocChunk)
+	if err != nil {
+		p.serverDied(i, err)
+		return
+	}
+	rs.granted += n
+	if rs.conn.PressureAdvised() {
+		rs.pressured = true
+	}
+}
+
+// sendPage stores data under key on server srv, accounting transfers
+// and detecting death.
+func (p *Pager) sendPage(srv int, key uint64, data page.Buf, fresh bool) error {
+	rs := p.servers[srv]
+	if !rs.alive {
+		return fmt.Errorf("client: server %s is down", rs.addr)
+	}
+	if err := rs.conn.PageOut(key, data); err != nil {
+		p.serverDied(srv, err)
+		return err
+	}
+	p.stats.NetTransfers++
+	if fresh {
+		rs.used++
+	}
+	if rs.conn.PressureAdvised() {
+		rs.pressured = true
+	}
+	return nil
+}
+
+// sendReq is one transfer for sendPages.
+type sendReq struct {
+	srv   int
+	key   uint64
+	data  page.Buf
+	fresh bool
+}
+
+// sendPages performs several page transfers concurrently — the wire
+// I/O overlaps (each Conn serializes itself), while all shared pager
+// state is updated single-threaded after the joins. Mirroring uses it
+// so a pageout costs one round trip instead of two.
+func (p *Pager) sendPages(reqs []sendReq) []error {
+	errs := make([]error, len(reqs))
+	var wg sync.WaitGroup
+	for i, r := range reqs {
+		rs := p.servers[r.srv]
+		if !rs.alive {
+			errs[i] = fmt.Errorf("client: server %s is down", rs.addr)
+			continue
+		}
+		wg.Add(1)
+		go func(i int, conn *Conn, r sendReq) {
+			defer wg.Done()
+			errs[i] = conn.PageOut(r.key, r.data)
+		}(i, rs.conn, r)
+	}
+	wg.Wait()
+	for i, r := range reqs {
+		rs := p.servers[r.srv]
+		if !rs.alive {
+			continue
+		}
+		if errs[i] != nil {
+			p.serverDied(r.srv, errs[i])
+			continue
+		}
+		p.stats.NetTransfers++
+		if r.fresh {
+			rs.used++
+		}
+		if rs.conn.PressureAdvised() {
+			rs.pressured = true
+		}
+	}
+	return errs
+}
+
+// fetchPage reads the page stored under key on server srv.
+func (p *Pager) fetchPage(srv int, key uint64) (page.Buf, error) {
+	rs := p.servers[srv]
+	if !rs.alive {
+		return nil, fmt.Errorf("client: server %s is down", rs.addr)
+	}
+	data, err := rs.conn.PageIn(key)
+	if err != nil {
+		if isConnError(err) {
+			p.serverDied(srv, err)
+		}
+		return nil, err
+	}
+	p.stats.NetTransfers++
+	if rs.conn.PressureAdvised() {
+		rs.pressured = true
+	}
+	return data, nil
+}
+
+// freeSlots releases keys on server srv; failures on dead servers are
+// ignored (their memory is gone anyway).
+func (p *Pager) freeSlots(srv int, keys ...uint64) {
+	rs := p.servers[srv]
+	if !rs.alive || len(keys) == 0 {
+		return
+	}
+	if err := rs.conn.Free(keys...); err != nil {
+		p.serverDied(srv, err)
+		return
+	}
+	rs.used -= len(keys)
+	if rs.used < 0 {
+		rs.used = 0
+	}
+}
+
+// isConnError distinguishes transport failures (server crash) from
+// server-reported statuses like NOT_FOUND.
+func isConnError(err error) bool {
+	var se *wire.StatusError
+	return !errors.As(err, &se)
+}
+
+// serverDied marks a server dead and triggers policy recovery.
+func (p *Pager) serverDied(srv int, cause error) {
+	rs := p.servers[srv]
+	if !rs.alive {
+		return
+	}
+	p.logf("server %s died: %v", rs.addr, cause)
+	rs.alive = false
+	rs.granted, rs.used = 0, 0
+	if rs.conn != nil {
+		rs.conn.Close()
+	}
+	if err := p.pol.handleCrash(srv); err != nil {
+		p.logf("recovery after %s crash: %v", rs.addr, err)
+	}
+}
+
+// diskPut stores a page in the local swap file under the page id.
+func (p *Pager) diskPut(id page.ID, data page.Buf) error {
+	if err := p.swap.Put(uint64(id), data); err != nil {
+		return err
+	}
+	p.stats.DiskWrites++
+	return nil
+}
+
+// diskGet reads a page from the local swap file.
+func (p *Pager) diskGet(id page.ID) (page.Buf, error) {
+	data, err := p.swap.Get(uint64(id))
+	if err != nil {
+		return nil, err
+	}
+	p.stats.DiskReads++
+	return data, nil
+}
+
+// --- rebalancing (paper §2.1) -------------------------------------------
+
+func (p *Pager) rebalanceLoop(every time.Duration) {
+	defer p.rebalanceWG.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stopRebalance:
+			return
+		case <-t.C:
+			if err := p.Rebalance(); err != nil {
+				p.logf("rebalance: %v", err)
+			}
+		}
+	}
+}
+
+// Rebalance performs one pass of the paper's load-adaptation policy:
+// dead servers are re-dialed (a restarted workstation rejoins the
+// donor pool with empty memory), pages are migrated away from servers
+// that advised memory pressure, and pages that fell back to the local
+// disk are promoted to servers that have free memory again.
+func (p *Pager) Rebalance() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	// Refresh load/pressure via LOAD polls; try to revive the dead.
+	for i, rs := range p.servers {
+		if !rs.alive {
+			if conn, err := Dial(rs.addr, p.cfg.ClientName, p.cfg.AuthToken); err == nil {
+				rs.conn = conn
+				rs.alive = true
+				rs.granted, rs.used = 0, 0
+				rs.pressured = false
+				p.logf("server %s rejoined", rs.addr)
+			}
+			continue
+		}
+		if _, err := rs.conn.Load(); err != nil {
+			p.serverDied(i, err)
+			continue
+		}
+		if rs.conn.PressureAdvised() {
+			rs.pressured = true
+		} else {
+			rs.pressured = false
+		}
+	}
+	var firstErr error
+	for i, rs := range p.servers {
+		if rs.alive && rs.pressured {
+			if err := p.pol.evacuate(i); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	if err := p.promoteDiskPages(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// promoteDiskPages re-pages disk-fallback pages out through the
+// policy now that remote space may exist. (The paper replicates them
+// and prefers the remote copy; we move them, freeing the disk slot.)
+func (p *Pager) promoteDiskPages() error {
+	if p.cfg.Policy == PolicyWriteThrough {
+		return nil // every page has a disk copy by design
+	}
+	var promote []page.ID
+	for id, loc := range p.table {
+		if loc.onDisk && len(loc.replicas) == 0 && !loc.lost {
+			promote = append(promote, id)
+		}
+	}
+	for _, id := range promote {
+		if p.pickServer() < 0 {
+			return nil // still no room anywhere
+		}
+		data, err := p.diskGet(id)
+		if err != nil {
+			return err
+		}
+		loc := p.table[id]
+		loc.onDisk = false
+		p.swap.Delete(uint64(id))
+		if err := p.pol.pageOut(id, data); err != nil {
+			return err
+		}
+		p.stats.Migrated++
+	}
+	return nil
+}

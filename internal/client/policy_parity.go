@@ -1,0 +1,651 @@
+package client
+
+import (
+	"fmt"
+
+	"rmp/internal/page"
+)
+
+// parityPolicy is the basic parity scheme (paper §2.2 "Parity"):
+// every page has a fixed home server and a fixed parity group — group
+// g contains the page at slot g of each data server, and the parity
+// server holds the XOR of the group. On pageout the client sends the
+// new contents to the home server, which computes old XOR new and
+// forwards the delta to the parity server (two page transfers per
+// pageout). Memory overhead is only 1/S, but the runtime overhead is
+// what motivated the paper to invent parity logging.
+type parityPolicy struct {
+	p *Pager
+
+	parityIdx int   // server acting as the parity store
+	dataIdx   []int // data servers
+
+	homes  map[page.ID]parityHome
+	groups map[int]*parityGroup
+	slots  map[int]*srvSlots // per data server slot allocator
+}
+
+type parityHome struct {
+	srv  int
+	slot int
+	key  uint64
+}
+
+type parityGroup struct {
+	slot      int
+	parityKey uint64
+	members   map[int]page.ID // server index -> page
+}
+
+type srvSlots struct {
+	next int
+	free []int
+}
+
+func (s *srvSlots) alloc() int {
+	if n := len(s.free); n > 0 {
+		slot := s.free[n-1]
+		s.free = s.free[:n-1]
+		return slot
+	}
+	slot := s.next
+	s.next++
+	return slot
+}
+
+func (s *srvSlots) release(slot int) { s.free = append(s.free, slot) }
+
+// newParityPolicy dedicates the last alive server to parity, the rest
+// to data — mirroring the paper's "S servers ... plus a parity
+// server" arrangement.
+func newParityPolicy(p *Pager) *parityPolicy {
+	alive := p.aliveServers()
+	pp := &parityPolicy{
+		p:         p,
+		parityIdx: alive[len(alive)-1],
+		dataIdx:   alive[:len(alive)-1],
+		homes:     make(map[page.ID]parityHome),
+		groups:    make(map[int]*parityGroup),
+		slots:     make(map[int]*srvSlots),
+	}
+	for _, i := range pp.dataIdx {
+		pp.slots[i] = &srvSlots{}
+	}
+	return pp
+}
+
+func (pp *parityPolicy) parityAddr() string { return pp.p.servers[pp.parityIdx].addr }
+
+// xorWrite performs the two-transfer pageout: client -> home server
+// (which stores the page) and home server -> parity server (the
+// delta). Both count as network page transfers.
+//
+// A dead parity server surfaces here as a server-reported INTERNAL
+// status (the home server could not forward the delta), not as a
+// connection error — so that case probes the parity server directly
+// and triggers its crash handling.
+func (pp *parityPolicy) xorWrite(srv int, key uint64, data page.Buf, parityKey uint64, fresh bool) error {
+	p := pp.p
+	rs := p.servers[srv]
+	if !rs.alive {
+		return fmt.Errorf("client: server %s is down", rs.addr)
+	}
+	if err := rs.conn.XorWrite(key, data, pp.parityAddr(), parityKey); err != nil {
+		if isConnError(err) {
+			p.serverDied(srv, err)
+		} else {
+			pp.checkParityServer()
+		}
+		return err
+	}
+	p.stats.NetTransfers += 2
+	if fresh {
+		rs.used++
+	}
+	if rs.conn.PressureAdvised() {
+		rs.pressured = true
+	}
+	return nil
+}
+
+func (pp *parityPolicy) pageOut(id page.ID, data page.Buf) error {
+	p := pp.p
+	// Overwrite in place; a mid-write crash triggers recovery (which
+	// re-homes the page with its pre-crash contents), after which the
+	// retry lands the new contents on the new home.
+	for attempt := 0; attempt < 3; attempt++ {
+		home, ok := pp.homes[id]
+		if !ok {
+			break
+		}
+		g := pp.groups[home.slot]
+		if !p.servers[home.srv].alive {
+			// Crash handler failed to clean this up (e.g. reconstruction
+			// error); the version is gone.
+			pp.dropMemberBookkeeping(id)
+			break
+		}
+		if err := pp.xorWrite(home.srv, home.key, data, g.parityKey, false); err == nil {
+			return nil
+		}
+	}
+	// Disk-fallback page being rewritten?
+	if loc := p.table[id]; loc != nil && loc.onDisk {
+		if pp.pickDataServer() < 0 {
+			p.stats.FallbackPageOuts++
+			return p.diskPut(id, data)
+		}
+		p.swap.Delete(uint64(id))
+		delete(p.table, id)
+	}
+	return pp.place(id, data)
+}
+
+// pickDataServer selects the most promising data server, with the
+// same latency-aware policy as the pager's general selection.
+func (pp *parityPolicy) pickDataServer() int {
+	return pp.p.pickFrom(pp.dataIdx)
+}
+
+// place assigns a fresh home (server, slot, group) and writes the page.
+func (pp *parityPolicy) place(id page.ID, data page.Buf) error {
+	p := pp.p
+	for tries := 0; tries < len(pp.dataIdx)+1; tries++ {
+		srv := pp.pickDataServer()
+		if srv < 0 {
+			break
+		}
+		slot := pp.slots[srv].alloc()
+		g, ok := pp.groups[slot]
+		if !ok {
+			g = &parityGroup{slot: slot, parityKey: p.allocKey(), members: make(map[int]page.ID)}
+			pp.groups[slot] = g
+			p.servers[pp.parityIdx].used++
+		}
+		key := p.allocKey()
+		if err := pp.xorWrite(srv, key, data, g.parityKey, true); err != nil {
+			if s, ok := pp.slots[srv]; ok {
+				s.release(slot)
+			}
+			// A transport failure leaves it ambiguous whether the delta
+			// reached the parity page; since this member was never
+			// registered, recompute the group's parity from its
+			// registered members to close the write hole.
+			if isConnError(err) {
+				if g2, ok := pp.groups[slot]; ok {
+					pp.repairGroup(g2)
+				}
+			}
+			continue
+		}
+		g.members[srv] = id
+		pp.homes[id] = parityHome{srv: srv, slot: slot, key: key}
+		delete(p.table, id) // clear any stale disk/lost marker
+		return nil
+	}
+	// No data server: local disk fallback.
+	p.stats.FallbackPageOuts++
+	loc := p.table[id]
+	if loc == nil {
+		loc = &location{}
+		p.table[id] = loc
+	}
+	loc.onDisk = true
+	return p.diskPut(id, data)
+}
+
+func (pp *parityPolicy) pageIn(id page.ID) (page.Buf, error) {
+	p := pp.p
+	if home, ok := pp.homes[id]; ok {
+		data, err := p.fetchPage(home.srv, home.key)
+		if err == nil {
+			return data, nil
+		}
+		// Home crashed mid-fetch; handleCrash reconstructed and
+		// re-homed the page, so retry through the new home.
+		if home2, ok := pp.homes[id]; ok && home2 != home {
+			return p.fetchPage(home2.srv, home2.key)
+		}
+		if loc := p.table[id]; loc != nil {
+			if loc.onDisk {
+				return p.diskGet(id)
+			}
+			if loc.lost {
+				return nil, fmt.Errorf("%w: %v", ErrPageLost, id)
+			}
+		}
+		return nil, err
+	}
+	if loc := p.table[id]; loc != nil {
+		if loc.onDisk {
+			return p.diskGet(id)
+		}
+		if loc.lost {
+			return nil, fmt.Errorf("%w: %v", ErrPageLost, id)
+		}
+	}
+	return nil, ErrNotPagedOut
+}
+
+// dropMemberBookkeeping removes id from its group and slot tables
+// without any I/O (used after a crash invalidated the home).
+func (pp *parityPolicy) dropMemberBookkeeping(id page.ID) {
+	home, ok := pp.homes[id]
+	if !ok {
+		return
+	}
+	delete(pp.homes, id)
+	if g, ok := pp.groups[home.slot]; ok {
+		delete(g.members, home.srv)
+		if len(g.members) == 0 {
+			pp.deleteGroup(g)
+		}
+	}
+	if s, ok := pp.slots[home.srv]; ok {
+		s.release(home.slot)
+	}
+}
+
+// checkParityServer probes the parity server after a forwarding
+// failure; if it is unreachable, its crash handling (re-election and
+// parity recomputation) runs now instead of on some later direct use.
+func (pp *parityPolicy) checkParityServer() {
+	p := pp.p
+	if pp.parityIdx < 0 || pp.parityIdx >= len(p.servers) {
+		return
+	}
+	rs := p.servers[pp.parityIdx]
+	if !rs.alive {
+		return
+	}
+	if _, err := rs.conn.Load(); err != nil {
+		p.serverDied(pp.parityIdx, err)
+	}
+}
+
+// repairGroup recomputes g's parity from its registered members and
+// installs it under a fresh key, discarding any ambiguous state left
+// by a transport failure mid-XORWRITE.
+func (pp *parityPolicy) repairGroup(g *parityGroup) {
+	p := pp.p
+	if !p.servers[pp.parityIdx].alive {
+		return // a parity-server crash handler will rebuild everything
+	}
+	parityPage := page.NewBuf()
+	for srv, id := range g.members {
+		home, ok := pp.homes[id]
+		if !ok || !p.servers[srv].alive {
+			return
+		}
+		data, err := p.fetchPage(srv, home.key)
+		if err != nil {
+			return
+		}
+		page.XORInto(parityPage, data)
+	}
+	oldKey := g.parityKey
+	g.parityKey = p.allocKey()
+	if err := p.sendPage(pp.parityIdx, g.parityKey, parityPage, true); err != nil {
+		return
+	}
+	p.freeSlots(pp.parityIdx, oldKey)
+}
+
+// deleteGroup frees the group's parity slot.
+func (pp *parityPolicy) deleteGroup(g *parityGroup) {
+	delete(pp.groups, g.slot)
+	pp.p.freeSlots(pp.parityIdx, g.parityKey)
+}
+
+// free releases the page: its contribution is XORed out of the group
+// parity (by writing zeros, whose delta is the old contents), then
+// the slot is freed.
+func (pp *parityPolicy) free(id page.ID) error {
+	p := pp.p
+	home, ok := pp.homes[id]
+	if !ok {
+		if loc := p.table[id]; loc != nil {
+			p.swap.Delete(uint64(id))
+			delete(p.table, id)
+		}
+		return nil
+	}
+	g := pp.groups[home.slot]
+	if p.servers[home.srv].alive {
+		zero := page.NewBuf()
+		if err := pp.xorWrite(home.srv, home.key, zero, g.parityKey, false); err == nil {
+			p.freeSlots(home.srv, home.key)
+		}
+	}
+	pp.dropMemberBookkeeping(id)
+	return nil
+}
+
+// handleCrash reconstructs the dead server's pages via the parity
+// groups (or rebuilds the parity server's contents if it was the
+// parity server that died).
+//
+// If the dead server was hosting parity *and* data (the degraded
+// double-up after an earlier failure), its data pages cannot be
+// reconstructed — their parity died with them. They are marked lost
+// and the remaining groups get fresh parity.
+func (pp *parityPolicy) handleCrash(srv int) error {
+	if srv == pp.parityIdx {
+		pp.dropDataServerLost(srv)
+		return pp.rebuildParity()
+	}
+	in := false
+	for _, i := range pp.dataIdx {
+		if i == srv {
+			in = true
+		}
+	}
+	if !in {
+		return nil
+	}
+	p := pp.p
+
+	// Collect this server's members before mutating bookkeeping.
+	type lost struct {
+		id   page.ID
+		g    *parityGroup
+		home parityHome
+	}
+	var losses []lost
+	for id, home := range pp.homes {
+		if home.srv == srv {
+			losses = append(losses, lost{id: id, g: pp.groups[home.slot], home: home})
+		}
+	}
+	// Remove the dead server from the data set.
+	kept := pp.dataIdx[:0]
+	for _, i := range pp.dataIdx {
+		if i != srv {
+			kept = append(kept, i)
+		}
+	}
+	pp.dataIdx = kept
+	delete(pp.slots, srv)
+
+	var firstErr error
+	for _, l := range losses {
+		data, err := pp.reconstruct(l.g, srv)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("reconstruct %v: %w", l.id, err)
+			}
+			delete(pp.homes, l.id)
+			delete(l.g.members, srv)
+			p.stats.LostPages++
+			continue
+		}
+		// Subtract the lost page from its group's parity, then drop it
+		// from the group and re-home it as a fresh pageout.
+		if err := pp.xorOutOfParity(l.g, data); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		delete(pp.homes, l.id)
+		delete(l.g.members, srv)
+		if len(l.g.members) == 0 {
+			pp.deleteGroup(l.g)
+		}
+		if err := pp.place(l.id, data); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		p.stats.Recovered++
+	}
+	// Groups may still list the dead server from pages we never saw
+	// (shouldn't happen, but keep the invariant tight).
+	for _, g := range pp.groups {
+		delete(g.members, srv)
+	}
+	return firstErr
+}
+
+// dropDataServerLost removes srv from the data set, marking every
+// page homed there as lost (no reconstruction possible — used when
+// the same host held the parity).
+func (pp *parityPolicy) dropDataServerLost(srv int) {
+	p := pp.p
+	in := false
+	for _, i := range pp.dataIdx {
+		if i == srv {
+			in = true
+		}
+	}
+	if !in {
+		return
+	}
+	var doomed []page.ID
+	for id, home := range pp.homes {
+		if home.srv == srv {
+			doomed = append(doomed, id)
+		}
+	}
+	for _, id := range doomed {
+		pp.dropMemberBookkeeping(id)
+		loc := p.table[id]
+		if loc == nil {
+			loc = &location{}
+			p.table[id] = loc
+		}
+		loc.lost = true
+		p.stats.LostPages++
+	}
+	kept := pp.dataIdx[:0]
+	for _, i := range pp.dataIdx {
+		if i != srv {
+			kept = append(kept, i)
+		}
+	}
+	pp.dataIdx = kept
+	delete(pp.slots, srv)
+	for _, g := range pp.groups {
+		delete(g.members, srv)
+	}
+}
+
+// reconstruct XORs the group's parity page with its surviving members
+// to recover the member stored on dead.
+func (pp *parityPolicy) reconstruct(g *parityGroup, dead int) (page.Buf, error) {
+	p := pp.p
+	out, err := p.fetchPage(pp.parityIdx, g.parityKey)
+	if err != nil {
+		return nil, err
+	}
+	for srv, id := range g.members {
+		if srv == dead {
+			continue
+		}
+		home := pp.homes[id]
+		data, err := p.fetchPage(srv, home.key)
+		if err != nil {
+			return nil, err
+		}
+		page.XORInto(out, data)
+	}
+	return out, nil
+}
+
+// xorOutOfParity removes data's contribution from g's parity page.
+func (pp *parityPolicy) xorOutOfParity(g *parityGroup, data page.Buf) error {
+	p := pp.p
+	rs := p.servers[pp.parityIdx]
+	if !rs.alive {
+		return fmt.Errorf("client: parity server %s is down", rs.addr)
+	}
+	if err := rs.conn.XorDelta(g.parityKey, data); err != nil {
+		if isConnError(err) {
+			p.serverDied(pp.parityIdx, err)
+		}
+		return err
+	}
+	p.stats.NetTransfers++
+	return nil
+}
+
+// rebuildParity elects a new parity server and recomputes every
+// group's parity from its members. Data pages are untouched.
+func (pp *parityPolicy) rebuildParity() error {
+	p := pp.p
+	// Prefer an alive server that holds no data; otherwise double up
+	// on the data server with the most headroom (degraded but live).
+	newIdx := -1
+	for _, i := range p.aliveServers() {
+		isData := false
+		for _, d := range pp.dataIdx {
+			if d == i {
+				isData = true
+			}
+		}
+		if !isData {
+			newIdx = i
+			break
+		}
+	}
+	if newIdx < 0 {
+		best, bestRoom := -1, -1
+		for _, i := range pp.dataIdx {
+			if rs := p.servers[i]; rs.alive && rs.headroom() > bestRoom {
+				best, bestRoom = i, rs.headroom()
+			}
+		}
+		if best < 0 {
+			return fmt.Errorf("client: no server left to host parity")
+		}
+		newIdx = best
+		p.logf("parity server doubling up on data server %s (degraded)", p.servers[best].addr)
+	}
+	pp.parityIdx = newIdx
+
+	var firstErr error
+	for _, g := range pp.groups {
+		parity := page.NewBuf()
+		for srv, id := range g.members {
+			home := pp.homes[id]
+			data, err := p.fetchPage(srv, home.key)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			page.XORInto(parity, data)
+		}
+		g.parityKey = p.allocKey()
+		if err := p.sendPage(pp.parityIdx, g.parityKey, parity, true); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		p.stats.Recovered++
+	}
+	return firstErr
+}
+
+// evacuate migrates pages (or parity pages) off a pressured server.
+func (pp *parityPolicy) evacuate(srv int) error {
+	p := pp.p
+	if srv == pp.parityIdx {
+		// Move parity duty: re-elect and recompute. Mark the pressured
+		// server so rebuildParity skips it, then free its parity pages.
+		oldKeys := make([]uint64, 0, len(pp.groups))
+		for _, g := range pp.groups {
+			oldKeys = append(oldKeys, g.parityKey)
+		}
+		oldIdx := pp.parityIdx
+		pp.parityIdx = -1 // not a data server either; rebuild re-elects
+		if err := pp.rebuildParityExcluding(oldIdx); err != nil {
+			pp.parityIdx = oldIdx
+			return err
+		}
+		p.freeSlots(oldIdx, oldKeys...)
+		p.servers[oldIdx].pressured = false
+		return nil
+	}
+	// Data server: re-home each of its pages.
+	var ids []page.ID
+	for id, home := range pp.homes {
+		if home.srv == srv {
+			ids = append(ids, id)
+		}
+	}
+	for _, id := range ids {
+		home := pp.homes[id]
+		g := pp.groups[home.slot]
+		data, err := p.fetchPage(srv, home.key)
+		if err != nil {
+			return err
+		}
+		if err := pp.xorOutOfParity(g, data); err != nil {
+			return err
+		}
+		p.freeSlots(srv, home.key)
+		pp.dropMemberBookkeeping(id)
+		if err := pp.place(id, data); err != nil {
+			return err
+		}
+		p.stats.Migrated++
+	}
+	p.servers[srv].pressured = false
+	return nil
+}
+
+// rebuildParityExcluding is rebuildParity but never elects excluded.
+// With no spare server it doubles parity up on the data server with
+// the most headroom (degraded: groups with a member there lose
+// single-failure tolerance), exactly like rebuildParity.
+func (pp *parityPolicy) rebuildParityExcluding(excluded int) error {
+	p := pp.p
+	newIdx := -1
+	for _, i := range p.aliveServers() {
+		if i == excluded {
+			continue
+		}
+		isData := false
+		for _, d := range pp.dataIdx {
+			if d == i {
+				isData = true
+			}
+		}
+		if !isData {
+			newIdx = i
+			break
+		}
+	}
+	if newIdx < 0 {
+		best, bestRoom := -1, -1
+		for _, i := range pp.dataIdx {
+			if i == excluded {
+				continue
+			}
+			if rs := p.servers[i]; rs.alive && rs.headroom() > bestRoom {
+				best, bestRoom = i, rs.headroom()
+			}
+		}
+		if best < 0 {
+			return fmt.Errorf("client: no server left for parity migration")
+		}
+		newIdx = best
+		p.logf("parity migrating onto data server %s (degraded)", p.servers[best].addr)
+	}
+	pp.parityIdx = newIdx
+	var firstErr error
+	for _, g := range pp.groups {
+		parity := page.NewBuf()
+		for srv, id := range g.members {
+			home := pp.homes[id]
+			data, err := p.fetchPage(srv, home.key)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			page.XORInto(parity, data)
+		}
+		g.parityKey = p.allocKey()
+		if err := p.sendPage(pp.parityIdx, g.parityKey, parity, true); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

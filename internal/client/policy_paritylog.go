@@ -1,0 +1,474 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+
+	"rmp/internal/page"
+	"rmp/internal/parity"
+)
+
+// parityLogPolicy is the paper's contribution (§2.2 "Parity
+// Logging"): pageouts are striped round-robin across S data-server
+// columns while the client XORs them into a local parity buffer;
+// every S pageouts the buffer is shipped to the parity server. Cost:
+// 1 + 1/S transfers per pageout. Superseded page versions are only
+// marked inactive, so servers need overflow memory; when the overflow
+// budget is exceeded the policy garbage-collects fragmented groups by
+// rewriting their live pages.
+//
+// All group bookkeeping lives in parity.Log; this type binds the
+// log's abstract columns to actual servers and performs the I/O.
+//
+// Crash handling (either a data column or the parity server) uses a
+// snapshot-and-rebuild strategy: reconstruct/collect the contents of
+// every live page into client memory, then replay them into a fresh
+// log over the surviving servers. The paper accepts recovery being
+// "a few more seconds" — simplicity and correctness win here.
+type parityLogPolicy struct {
+	p *Pager
+
+	log       *parity.Log
+	cols      []int // server index per log column
+	parityIdx int   // server holding sealed parity pages
+
+	// overflowBudget mirrors the paper's 10% server overflow: GC runs
+	// when stored versions exceed live pages by more than this factor.
+	overflowBudget float64
+
+	// inflight is the pageout currently being transferred; crash
+	// rebuilds read its contents from memory instead of the network.
+	inflight struct {
+		valid bool
+		id    page.ID
+		data  page.Buf
+	}
+
+	rebuilding bool
+	retry      bool
+}
+
+func newParityLogPolicy(p *Pager) (*parityLogPolicy, error) {
+	alive := p.aliveServers()
+	cols := alive[:len(alive)-1]
+	l, err := parity.NewLog(len(cols))
+	if err != nil {
+		return nil, err
+	}
+	l.SetKeySource(p.allocKey)
+	budget := p.cfg.OverflowBudget
+	if budget <= 0 {
+		budget = 0.10 // the paper's experiments devote 10% (§2.2)
+	}
+	return &parityLogPolicy{
+		p:              p,
+		log:            l,
+		cols:           append([]int(nil), cols...),
+		parityIdx:      alive[len(alive)-1],
+		overflowBudget: budget,
+	}, nil
+}
+
+// srvForColumn maps a log column (or parity.ParityColumn) to a server.
+func (pl *parityLogPolicy) srvForColumn(col int) int {
+	if col == parity.ParityColumn {
+		return pl.parityIdx
+	}
+	return pl.cols[col]
+}
+
+// freeReclaims releases reclaimed slots on whichever servers still live.
+func (pl *parityLogPolicy) freeReclaims(recs []parity.Reclaim) {
+	perSrv := make(map[int][]uint64)
+	for _, r := range recs {
+		for _, s := range r.Slots {
+			srv := pl.srvForColumn(s.Column)
+			perSrv[srv] = append(perSrv[srv], s.Key)
+		}
+	}
+	for srv, keys := range perSrv {
+		if pl.p.servers[srv].alive {
+			pl.p.freeSlots(srv, keys...)
+		}
+	}
+}
+
+// appendAndSend runs one pageout through the log: place the data,
+// ship it, ship the parity seal if one completed, free reclaimed
+// slots. Any transport failure triggers the crash rebuild (via
+// serverDied); the caller re-dispatches afterwards.
+func (pl *parityLogPolicy) appendAndSend(id page.ID, data page.Buf) error {
+	p := pl.p
+	pl.inflight.valid = true
+	pl.inflight.id = id
+	pl.inflight.data = data
+	defer func() { pl.inflight.valid = false }()
+
+	place, sealed, recs, err := pl.log.Append(id, data)
+	if err != nil {
+		return err
+	}
+	if err := p.sendPage(pl.cols[place.Column], place.Key, data, true); err != nil {
+		return err
+	}
+	if sealed != nil {
+		if err := p.sendPage(pl.parityIdx, sealed.Key, sealed.Data, true); err != nil {
+			return err
+		}
+	}
+	pl.freeReclaims(recs)
+	return nil
+}
+
+func (pl *parityLogPolicy) pageOut(id page.ID, data page.Buf) error {
+	p := pl.p
+
+	// Promote a disk-fallback page back through the log if possible.
+	if loc := p.table[id]; loc != nil && loc.onDisk {
+		if !pl.columnsAlive() {
+			p.stats.FallbackPageOuts++
+			return p.diskPut(id, data)
+		}
+		p.swap.Delete(uint64(id))
+		delete(p.table, id)
+	}
+	if !pl.columnsAlive() {
+		p.stats.FallbackPageOuts++
+		loc := p.table[id]
+		if loc == nil {
+			loc = &location{}
+			p.table[id] = loc
+		}
+		loc.onDisk = true
+		return p.diskPut(id, data)
+	}
+
+	if err := pl.appendAndSend(id, data); err != nil {
+		// A server died mid-transfer and the rebuild already ran
+		// (using the in-memory inflight copy); one re-dispatch settles
+		// the new layout. If even that fails, fall back to disk.
+		if err2 := pl.pageOut(id, data); err2 != nil {
+			return err2
+		}
+	}
+	pl.maybeGC()
+	return nil
+}
+
+// columnsAlive reports whether the current layout can accept pageouts.
+func (pl *parityLogPolicy) columnsAlive() bool {
+	p := pl.p
+	if !p.servers[pl.parityIdx].alive {
+		return false
+	}
+	for _, srv := range pl.cols {
+		if !p.servers[srv].alive {
+			return false
+		}
+	}
+	return len(pl.cols) > 0
+}
+
+func (pl *parityLogPolicy) pageIn(id page.ID) (page.Buf, error) {
+	p := pl.p
+	for attempt := 0; attempt < 2; attempt++ {
+		if ck, ok := pl.log.Lookup(id); ok {
+			data, err := p.fetchPage(pl.srvForColumn(ck.Column), ck.Key)
+			if err == nil {
+				return data, nil
+			}
+			if !isConnError(err) {
+				return nil, err
+			}
+			continue // crash rebuild ran; retry through the new layout
+		}
+		if loc := p.table[id]; loc != nil && loc.onDisk {
+			return p.diskGet(id)
+		}
+		if loc := p.table[id]; loc != nil && loc.lost {
+			return nil, fmt.Errorf("%w: %v", ErrPageLost, id)
+		}
+		return nil, ErrNotPagedOut
+	}
+	return nil, fmt.Errorf("client: pagein %v failed after crash recovery", id)
+}
+
+func (pl *parityLogPolicy) free(id page.ID) error {
+	p := pl.p
+	if loc := p.table[id]; loc != nil {
+		p.swap.Delete(uint64(id))
+		delete(p.table, id)
+	}
+	pl.freeReclaims(pl.log.Free(id))
+	return nil
+}
+
+// --- overflow garbage collection ----------------------------------------
+
+// maybeGC rewrites live pages of fragmented groups when inactive
+// versions exceed the overflow budget (paper: servers devote 10% more
+// memory; "in this case, one has to perform garbage collection").
+func (pl *parityLogPolicy) maybeGC() {
+	dataVersions, _ := pl.log.VersionsStored()
+	live := len(pl.log.Pages())
+	budget := int(float64(live)*(1+pl.overflowBudget)) + pl.log.Width()
+	excess := dataVersions - budget
+	if excess <= 0 {
+		return
+	}
+	p := pl.p
+	p.stats.GCPasses++
+	for _, id := range pl.log.GCCandidates(excess) {
+		ck, ok := pl.log.Lookup(id)
+		if !ok {
+			continue
+		}
+		data, err := p.fetchPage(pl.srvForColumn(ck.Column), ck.Key)
+		if err != nil {
+			return // crash rebuild ran; GC will retrigger later
+		}
+		if err := pl.appendAndSend(id, data); err != nil {
+			return
+		}
+	}
+}
+
+// --- crash recovery and migration ----------------------------------------
+
+func (pl *parityLogPolicy) handleCrash(srv int) error {
+	if pl.rebuilding {
+		pl.retry = true
+		return nil
+	}
+	return pl.rebuild(nil)
+}
+
+func (pl *parityLogPolicy) evacuate(srv int) error {
+	if pl.rebuilding {
+		return nil
+	}
+	err := pl.rebuild(map[int]bool{srv: true})
+	if err == nil {
+		pl.p.servers[srv].pressured = false
+	}
+	return err
+}
+
+// rebuild snapshots every live page and replays it into a fresh log
+// over the alive servers not in exclude. It loops until a full replay
+// completes without another server dying.
+func (pl *parityLogPolicy) rebuild(exclude map[int]bool) error {
+	p := pl.p
+	pl.rebuilding = true
+	defer func() { pl.rebuilding = false }()
+
+	for attempt := 0; attempt <= len(p.servers)+1; attempt++ {
+		pl.retry = false
+		contents, ok := pl.snapshot()
+		if !ok || pl.retry {
+			continue // a server died during the snapshot; re-plan
+		}
+		if pl.writeback(contents, exclude) && !pl.retry {
+			return nil
+		}
+	}
+	return errors.New("client: parity-log rebuild did not converge")
+}
+
+// snapshot collects the contents of every live page: from the
+// inflight buffer, from healthy columns, or by XOR reconstruction for
+// pages on a single dead column. Pages that cannot be recovered
+// (double failure) are recorded as lost. ok=false means a server died
+// mid-snapshot and the caller must re-plan.
+func (pl *parityLogPolicy) snapshot() (map[page.ID]page.Buf, bool) {
+	p := pl.p
+	contents := make(map[page.ID]page.Buf)
+
+	var deadCols []int
+	for col, srv := range pl.cols {
+		if !p.servers[srv].alive {
+			deadCols = append(deadCols, col)
+		}
+	}
+	parityDead := !p.servers[pl.parityIdx].alive
+
+	// Reconstruct pages on a dead column while the survivors and the
+	// open-group buffer are still intact.
+	rebuilt := make(map[page.ID]page.Buf)
+	if len(deadCols) == 1 {
+		plan, err := pl.log.PlanRecovery(deadCols[0])
+		if err != nil {
+			return nil, false
+		}
+		for _, lp := range plan.Lost {
+			if pl.inflight.valid && lp.Page == pl.inflight.id {
+				continue // have it in memory; no reconstruction needed
+			}
+			var pages []page.Buf
+			failed := false
+			for _, ck := range lp.Survivors {
+				if ck.Column == parity.ParityColumn && parityDead {
+					failed = true // sealed group lost both member and parity
+					break
+				}
+				data, err := p.fetchPage(pl.srvForColumn(ck.Column), ck.Key)
+				if err != nil {
+					if isConnError(err) {
+						return nil, false // another death; re-plan
+					}
+					failed = true
+					break
+				}
+				pages = append(pages, data)
+			}
+			if failed {
+				continue
+			}
+			data, err := pl.log.Reconstruct(lp, pages)
+			if err != nil {
+				continue
+			}
+			rebuilt[lp.Page] = data
+			p.stats.Recovered++
+		}
+	}
+
+	for _, id := range pl.log.Pages() {
+		if pl.inflight.valid && id == pl.inflight.id {
+			contents[id] = pl.inflight.data.Clone()
+			continue
+		}
+		if data, ok := rebuilt[id]; ok {
+			contents[id] = data
+			continue
+		}
+		ck, _ := pl.log.Lookup(id)
+		srv := pl.srvForColumn(ck.Column)
+		if !p.servers[srv].alive {
+			// Unrecoverable: page sat on a dead column and XOR
+			// reconstruction failed (or >1 column died).
+			p.stats.LostPages++
+			loc := p.table[id]
+			if loc == nil {
+				loc = &location{}
+				p.table[id] = loc
+			}
+			loc.lost = true
+			continue
+		}
+		data, err := p.fetchPage(srv, ck.Key)
+		if err != nil {
+			if isConnError(err) {
+				return nil, false
+			}
+			p.stats.LostPages++
+			continue
+		}
+		contents[id] = data
+	}
+	return contents, true
+}
+
+// writeback replays contents into a fresh log over the usable
+// servers, then frees every slot of the old layout. Returns false if
+// a server died mid-replay (caller loops).
+func (pl *parityLogPolicy) writeback(contents map[page.ID]page.Buf, exclude map[int]bool) bool {
+	p := pl.p
+
+	// Old layout's slots, to free on the servers that remain alive.
+	oldSlots := pl.log.AllSlots()
+	oldCols := append([]int(nil), pl.cols...)
+	oldParity := pl.parityIdx
+
+	var usable []int
+	for _, i := range p.aliveServers() {
+		if !exclude[i] {
+			usable = append(usable, i)
+		}
+	}
+
+	if len(usable) < 2 {
+		// Not enough servers for data + parity: everything goes to the
+		// local disk; reliability is preserved by the disk itself.
+		for id, data := range contents {
+			loc := p.table[id]
+			if loc == nil {
+				loc = &location{}
+				p.table[id] = loc
+			}
+			loc.onDisk = true
+			if err := p.diskPut(id, data); err != nil {
+				p.logf("rebuild: disk fallback for %v: %v", id, err)
+			}
+			p.stats.FallbackPageOuts++
+		}
+		newLog, _ := parity.NewLog(1)
+		newLog.SetKeySource(p.allocKey)
+		pl.log = newLog
+		pl.cols = nil
+		if len(usable) == 1 {
+			pl.parityIdx = usable[0]
+		}
+		pl.freeOldLayout(oldSlots, oldCols, oldParity)
+		return true
+	}
+
+	cols := usable[:len(usable)-1]
+	parityIdx := usable[len(usable)-1]
+	newLog, err := parity.NewLog(len(cols))
+	if err != nil {
+		return false
+	}
+	newLog.SetKeySource(p.allocKey)
+	// If this attempt dies midway (another server failing under us),
+	// free whatever it managed to write before the caller retries with
+	// yet another fresh layout.
+	abort := func() bool {
+		pl.freeOldLayout(newLog.AllSlots(), cols, parityIdx)
+		return false
+	}
+
+	for id, data := range contents {
+		place, sealed, _, err := newLog.Append(id, data)
+		if err != nil {
+			return abort()
+		}
+		if err := p.sendPage(cols[place.Column], place.Key, data, true); err != nil {
+			return abort() // serverDied set retry via handleCrash guard
+		}
+		if sealed != nil {
+			if err := p.sendPage(parityIdx, sealed.Key, sealed.Data, true); err != nil {
+				return abort()
+			}
+		}
+		p.stats.Rehomed++
+	}
+
+	pl.log = newLog
+	pl.cols = append([]int(nil), cols...)
+	pl.parityIdx = parityIdx
+	pl.freeOldLayout(oldSlots, oldCols, oldParity)
+	return true
+}
+
+// freeOldLayout releases the previous log's slots on servers that are
+// still alive (dead servers' memory is gone with them).
+func (pl *parityLogPolicy) freeOldLayout(slots []parity.ColumnKey, cols []int, parityIdx int) {
+	p := pl.p
+	perSrv := make(map[int][]uint64)
+	for _, s := range slots {
+		srv := parityIdx
+		if s.Column != parity.ParityColumn {
+			if s.Column >= len(cols) {
+				continue
+			}
+			srv = cols[s.Column]
+		}
+		perSrv[srv] = append(perSrv[srv], s.Key)
+	}
+	for srv, keys := range perSrv {
+		if srv >= 0 && srv < len(p.servers) && p.servers[srv].alive {
+			p.freeSlots(srv, keys...)
+		}
+	}
+}

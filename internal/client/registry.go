@@ -1,0 +1,48 @@
+package client
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// LoadRegistry reads the server registry file: the paper's "common
+// file" in which "all workstations that participate in remote memory
+// paging are registered" (§2.1).
+//
+// Format: one server address per line ("host:port"); blank lines and
+// lines starting with '#' are ignored.
+func LoadRegistry(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("client: registry: %w", err)
+	}
+	defer f.Close()
+
+	var servers []string
+	sc := bufio.NewScanner(f)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// Allow trailing comments after the address.
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if !strings.Contains(line, ":") {
+			return nil, fmt.Errorf("client: registry %s:%d: %q is not host:port", path, lineno, line)
+		}
+		servers = append(servers, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("client: registry: %w", err)
+	}
+	if len(servers) == 0 {
+		return nil, fmt.Errorf("client: registry %s lists no servers", path)
+	}
+	return servers, nil
+}

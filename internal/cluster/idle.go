@@ -1,0 +1,171 @@
+// Package cluster models workstation-cluster memory usage over time,
+// reproducing the paper's Figure 1: the idle DRAM of 16 workstations
+// (800 MB total) profiled for a week (Feb 2-8, 1995). The paper's
+// findings, which this generator reproduces statistically:
+//
+//   - free memory peaks above 700 MB at night and on the weekend,
+//   - it dips at noon and in the afternoon of working days,
+//   - it never falls below ~300 MB ("In all times though, more than
+//     300 Mbytes of main memory were unused").
+//
+// The paper used this profile only to argue that remote memory is
+// plentiful; the synthetic trace preserves exactly the properties
+// that argument needs.
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Config describes the cluster being profiled.
+type Config struct {
+	Workstations int     // paper: 16
+	TotalMB      float64 // paper: 800
+	// BaselineUsedMB is memory used even on an idle machine (kernel,
+	// daemons, X server), per workstation.
+	BaselineUsedMB float64
+	// PeakExtraMB is the additional per-workstation usage at the
+	// working-day peak (the paper's lab ran VERILOG simulations).
+	PeakExtraMB float64
+	Seed        int64
+}
+
+// Paper matches the published profile's cluster.
+var Paper = Config{
+	Workstations:   16,
+	TotalMB:        800,
+	BaselineUsedMB: 4,
+	PeakExtraMB:    26,
+	Seed:           1995,
+}
+
+// Sample is one point of the weekly profile.
+type Sample struct {
+	// Hour is hours since Thursday 00:00 (the paper's trace starts on
+	// a Thursday).
+	Hour int
+	// FreeMB is the cluster-wide unused memory.
+	FreeMB float64
+}
+
+// dayNames maps day index (0 = Thursday, matching Figure 1's x axis).
+var dayNames = []string{"Thursday", "Friday", "Saturday", "Sunday", "Monday", "Tuesday", "Wednesday"}
+
+// DayName returns the figure's day label for a sample hour.
+func DayName(hour int) string { return dayNames[(hour/24)%7] }
+
+// businessActivity returns the 0..1 workday activity level at a given
+// hour-of-day / day-of-week (0 = Thursday).
+func businessActivity(hourOfDay float64, day int) float64 {
+	weekend := day == 2 || day == 3 // Saturday, Sunday
+	if weekend {
+		return 0.04 // the occasional weekend hacker
+	}
+	// Two-humped working day: ramp in from 9:00, peak at noon and
+	// mid-afternoon, ramp out by 19:00.
+	morning := math.Exp(-sq(hourOfDay-12.0) / 6)
+	afternoon := math.Exp(-sq(hourOfDay-15.5) / 7)
+	act := 0.9*morning + 0.85*afternoon
+	if act > 1 {
+		act = 1
+	}
+	return act
+}
+
+func sq(x float64) float64 { return x * x }
+
+// Week generates one week of hourly samples.
+func Week(cfg Config) []Sample {
+	if cfg.Workstations <= 0 {
+		cfg = Paper
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	perWS := cfg.TotalMB / float64(cfg.Workstations)
+	samples := make([]Sample, 0, 7*24)
+	for h := 0; h < 7*24; h++ {
+		day := h / 24
+		hod := float64(h % 24)
+		act := businessActivity(hod, day)
+		used := 0.0
+		for ws := 0; ws < cfg.Workstations; ws++ {
+			u := cfg.BaselineUsedMB
+			// Each workstation independently busy with probability
+			// proportional to activity.
+			if rng.Float64() < act {
+				u += cfg.PeakExtraMB * (0.6 + 0.4*rng.Float64())
+			}
+			if u > perWS {
+				u = perWS
+			}
+			used += u
+		}
+		free := cfg.TotalMB - used
+		samples = append(samples, Sample{Hour: h, FreeMB: free})
+	}
+	return samples
+}
+
+// Summary reports the figures the paper quotes from its profile.
+type Summary struct {
+	MinFreeMB     float64
+	MaxFreeMB     float64
+	MeanFreeMB    float64
+	NightMeanMB   float64 // 00:00-06:00
+	NoonMeanMB    float64 // 11:00-16:00 on working days
+	WeekendMeanMB float64
+}
+
+// Summarize computes the headline statistics of a weekly profile.
+func Summarize(samples []Sample) Summary {
+	var s Summary
+	s.MinFreeMB = math.Inf(1)
+	var sum float64
+	var nightSum, nightN, noonSum, noonN, weSum, weN float64
+	for _, p := range samples {
+		sum += p.FreeMB
+		if p.FreeMB < s.MinFreeMB {
+			s.MinFreeMB = p.FreeMB
+		}
+		if p.FreeMB > s.MaxFreeMB {
+			s.MaxFreeMB = p.FreeMB
+		}
+		day := p.Hour / 24
+		hod := p.Hour % 24
+		weekend := day == 2 || day == 3
+		if hod < 6 {
+			nightSum += p.FreeMB
+			nightN++
+		}
+		if weekend {
+			weSum += p.FreeMB
+			weN++
+		} else if hod >= 11 && hod <= 16 {
+			noonSum += p.FreeMB
+			noonN++
+		}
+	}
+	if n := float64(len(samples)); n > 0 {
+		s.MeanFreeMB = sum / n
+	}
+	if nightN > 0 {
+		s.NightMeanMB = nightSum / nightN
+	}
+	if noonN > 0 {
+		s.NoonMeanMB = noonSum / noonN
+	}
+	if weN > 0 {
+		s.WeekendMeanMB = weSum / weN
+	}
+	return s
+}
+
+// PagesAvailable converts free MB into 8 KB pages — what a remote
+// memory server fleet could donate at that moment.
+func PagesAvailable(freeMB float64) int {
+	return int(freeMB * 1024 * 1024 / 8192)
+}
+
+// HourDuration is the sampling interval of Week.
+const HourDuration = time.Hour

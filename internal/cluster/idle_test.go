@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func TestWeekReproducesPaperProperties(t *testing.T) {
+	samples := Week(Paper)
+	if len(samples) != 7*24 {
+		t.Fatalf("week has %d samples, want %d", len(samples), 7*24)
+	}
+	s := Summarize(samples)
+
+	// "In all times though, more than 300 Mbytes of main memory were
+	// unused" — and free memory is "rarely lower than 400 Mbytes".
+	if s.MinFreeMB < 300 {
+		t.Fatalf("min free %.0f MB, paper floor is 300", s.MinFreeMB)
+	}
+	// "for significant periods of time more than 700 Mbytes are
+	// unused, especially during the nights, and the weekend".
+	if s.NightMeanMB < 700 {
+		t.Fatalf("night mean %.0f MB, want > 700", s.NightMeanMB)
+	}
+	if s.WeekendMeanMB < 700 {
+		t.Fatalf("weekend mean %.0f MB, want > 700", s.WeekendMeanMB)
+	}
+	// "memory usage was at each peak (and thus free memory was
+	// scarce) at noon and afternoon of working days".
+	if s.NoonMeanMB >= s.NightMeanMB-100 {
+		t.Fatalf("no noon dip: noon %.0f vs night %.0f", s.NoonMeanMB, s.NightMeanMB)
+	}
+	if s.MaxFreeMB > Paper.TotalMB {
+		t.Fatalf("free memory %.0f exceeds total %.0f", s.MaxFreeMB, Paper.TotalMB)
+	}
+}
+
+func TestWeekDeterministic(t *testing.T) {
+	a := Week(Paper)
+	b := Week(Paper)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different weeks")
+		}
+	}
+	cfg := Paper
+	cfg.Seed = 42
+	c := Week(cfg)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical weeks")
+	}
+}
+
+func TestDayNames(t *testing.T) {
+	if DayName(0) != "Thursday" {
+		t.Fatalf("hour 0 = %s, figure starts on Thursday", DayName(0))
+	}
+	if DayName(2*24) != "Saturday" {
+		t.Fatalf("hour 48 = %s, want Saturday", DayName(48))
+	}
+	if DayName(6*24+23) != "Wednesday" {
+		t.Fatalf("last hour = %s, want Wednesday", DayName(6*24+23))
+	}
+}
+
+func TestZeroConfigDefaultsToPaper(t *testing.T) {
+	samples := Week(Config{})
+	if len(samples) != 7*24 {
+		t.Fatal("zero config did not default")
+	}
+}
+
+func TestPagesAvailable(t *testing.T) {
+	// 400 MB donates 51200 pages of 8 KB.
+	if got := PagesAvailable(400); got != 51200 {
+		t.Fatalf("PagesAvailable(400) = %d, want 51200", got)
+	}
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"time"
+
+	"rmp/internal/sim"
+)
+
+// The testbed: the paper's DEC Alpha 3000/300 with 32 MB behaves like
+// an 18 MB resident limit ("as soon as the working set size exceeds
+// 18 MBytes, the paging starts", Fig 3).
+const ResidentBytes = 18 << 20
+
+// InitTime is the measured application start overhead (§4.3: 0.21 s).
+const InitTime = 210 * time.Millisecond
+
+// PaperFig2 holds Figure 2's published completion times in seconds,
+// per application, in policy order NONE / PARITY_LOGGING / MIRRORING
+// / DISK. (Values recovered from the figure's data table; the
+// percentage claims in the text — e.g. GAUSS NONE 96% faster than
+// DISK, QSORT PARITY_LOGGING 40.4% faster — pin the assignments.)
+var PaperFig2 = map[string]map[sim.PolicyKind]float64{
+	"MVEC":   {sim.None: 19.02, sim.ParityLogging: 23.37, sim.Mirroring: 34.05, sim.Disk: 25.15},
+	"GAUSS":  {sim.None: 40.62, sim.ParityLogging: 49.80, sim.Mirroring: 67.25, sim.Disk: 79.61},
+	"QSORT":  {sim.None: 74.26, sim.ParityLogging: 81.05, sim.Mirroring: 100.67, sim.Disk: 113.80},
+	"FFT":    {sim.None: 108.02, sim.ParityLogging: 121.67, sim.Mirroring: 138.86, sim.Disk: 150.00},
+	"FILTER": {sim.None: 80.18, sim.ParityLogging: 94.07, sim.Mirroring: 104.98, sim.Disk: 126.61},
+	"CC":     {sim.None: 101.69, sim.ParityLogging: 103.25, sim.Mirroring: 117.31, sim.Disk: 128.70},
+}
+
+// PaperFig5 holds Figure 5's published times: NONE / WRITE_THROUGH /
+// PARITY_LOGGING.
+var PaperFig5 = map[string]map[sim.PolicyKind]float64{
+	"MVEC":  {sim.None: 19.02, sim.WriteThrough: 25.49, sim.ParityLogging: 23.37},
+	"GAUSS": {sim.None: 40.62, sim.WriteThrough: 41.15, sim.ParityLogging: 49.80},
+	"QSORT": {sim.None: 74.26, sim.WriteThrough: 79.85, sim.ParityLogging: 81.05},
+	"FFT":   {sim.None: 108.02, sim.WriteThrough: 110.78, sim.ParityLogging: 121.67},
+}
+
+// UserTime returns the calibrated computation time of each paper-
+// scale application on the DEC Alpha 3000/300.
+//
+// Derivation: the paper reports each application's completion time
+// under NONE and DISK (Figure 2). Both configurations move the same
+// pages; the per-page costs are ~11.24 ms (network, §4.4) and ~26.75
+// ms (disk with seek+rotation). Solving
+//
+//	T = (DISK - NONE) / (cost_disk - cost_net)
+//	utime ≈ NONE - T*cost_net - inittime
+//
+// yields the calibration constants below (FFT's is cross-checked by
+// the §4.3 decomposition: utime 66.138 s + systime 3.133 s at the
+// 24 MB input; Figure 2's FFT input is larger, hence 77 s here).
+// These constants are documentation of the paper's implied operating
+// point, not quantities our model can derive.
+func UserTime(app string) time.Duration {
+	switch app {
+	case "GAUSS":
+		return 12400 * time.Millisecond
+	case "QSORT":
+		return 45600 * time.Millisecond
+	case "FFT":
+		return 77600 * time.Millisecond
+	case "MVEC":
+		// MVEC is a single fused generate-and-multiply pass: ~9M
+		// flops plus generation, under 2 s on the Alpha. The tiny
+		// compute gap between pageouts is what saturates the write-
+		// through disk queue (Figure 5's MVEC anomaly).
+		return 1800 * time.Millisecond
+	case "FILTER":
+		return 46500 * time.Millisecond
+	case "CC":
+		return 82100 * time.Millisecond
+	}
+	return 10 * time.Second
+}
+
+// FFTUserTime scales FFT's computation with the transform size
+// (n log2 n), anchored at the §4.3 decomposition: 66.138 s of utime
+// at the 24 MB input (n = 786432 points including scratch accounting).
+func FFTUserTime(points int) time.Duration {
+	const anchorPoints = 786432.0
+	const anchorUser = 66.138 // seconds
+	nlogn := func(n float64) float64 {
+		if n <= 1 {
+			return 1
+		}
+		l := 0.0
+		for v := n; v > 1; v /= 2 {
+			l++
+		}
+		return n * l
+	}
+	sec := anchorUser * nlogn(float64(points)) / nlogn(anchorPoints)
+	return time.Duration(sec * float64(time.Second))
+}
+
+// FFTSysTime scales the §4.3 systime anchor (3.133 s) the same way.
+func FFTSysTime(points int) time.Duration {
+	u := FFTUserTime(points)
+	return time.Duration(float64(u) * 3.133 / 66.138)
+}
+
+// baseConfig assembles the testbed configuration for a policy.
+func baseConfig(pol sim.PolicyKind, servers int, user time.Duration) sim.Config {
+	return sim.Config{
+		Policy:        pol,
+		Servers:       servers,
+		Net:           sim.Ethernet,
+		Disk:          sim.RZ55,
+		ResidentBytes: ResidentBytes,
+		User:          user,
+		Init:          InitTime,
+	}
+}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"rmp/internal/model"
+	"rmp/internal/sim"
+	"rmp/internal/simnet"
+)
+
+// LoadedNet reproduces §4.6: remote memory paging over a loaded
+// Ethernet. The CSMA/CD simulator measures the effective per-page
+// wire time under increasing background load; the FFT column applies
+// the degraded wire time to the 24 MB parity-logging run via the
+// §4.3 model.
+func LoadedNet() *Table {
+	t := &Table{
+		ID:    "LOADEDNET",
+		Title: "Remote memory paging over a loaded Ethernet (§4.6, CSMA/CD simulation)",
+		Header: []string{"bg stations", "offered load", "page wire time", "collisions",
+			"bg delivery", "FFT 24MB est (s)", "token ring page", "ring delivery"},
+	}
+	base := simnet.UnloadedPageTime()
+	d := model.PaperFFT24MB
+	rows := []struct {
+		stations int
+		load     float64
+	}{
+		{0, 0}, {2, 0.1}, {4, 0.3}, {6, 0.5}, {8, 0.8}, {12, 1.2},
+	}
+	for _, r := range rows {
+		cfg := simnet.Config{
+			BackgroundStations: r.stations,
+			BackgroundLoad:     r.load,
+			Pages:              400,
+			Seed:               1996,
+		}
+		res := simnet.RunLoad(cfg)
+		ring := simnet.RunTokenRing(cfg)
+		// Effective bandwidth factor < 1 inflates btime.
+		factor := float64(base) / float64(res.PageTime)
+		est := d.Predict(factor)
+		ringDelivery := "-"
+		if r.stations > 0 {
+			ringDelivery = fmt.Sprintf("%.0f%%", ring.BackgroundThroughput*100)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", r.stations),
+			fmt.Sprintf("%.0f%%", r.load*100),
+			res.PageTime.Round(10 * time.Microsecond).String(),
+			fmt.Sprintf("%d", res.Collisions),
+			fmt.Sprintf("%.0f%%", res.BackgroundThroughput*100),
+			secs(est.Seconds()),
+			ring.PageTime.Round(10 * time.Microsecond).String(),
+			ringDelivery,
+		})
+	}
+	t.Notes = append(t.Notes,
+		"paper: degradation appears even under light load; heavy competing traffic causes repeated collisions and throughput collapse",
+		"the inefficiency is CSMA/CD's, not remote paging's — the token-ring columns show the same loads carried without collapse (§4.6)",
+	)
+	return t
+}
+
+// MultiClient extends §4.6: several workstations paging to remote
+// memory over one shared Ethernet at once. Per-client paging slows
+// with the client count — the cluster-deployment argument for
+// switched or token fabrics the paper's conclusions gesture at.
+func MultiClient() *Table {
+	t := &Table{
+		ID:    "MULTICLIENT",
+		Title: "Several paging clients sharing one Ethernet (CSMA/CD simulation)",
+		Header: []string{"clients", "mean page time", "worst client", "collisions",
+			"utilization", "FFT 24MB est (s)"},
+	}
+	base := simnet.UnloadedPageTime()
+	d := model.PaperFFT24MB
+	for _, n := range []int{1, 2, 4, 8} {
+		r := simnet.RunMultiClient(n, 300, 1996)
+		var sum, worst time.Duration
+		for _, pt := range r.PageTimes {
+			sum += pt
+			if pt > worst {
+				worst = pt
+			}
+		}
+		mean := sum / time.Duration(n)
+		factor := float64(base) / float64(mean)
+		est := d.Predict(factor)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n),
+			mean.Round(10 * time.Microsecond).String(),
+			worst.Round(10 * time.Microsecond).String(),
+			fmt.Sprintf("%d", r.Collisions),
+			fmt.Sprintf("%.0f%%", r.Utilization*100),
+			secs(est.Seconds()),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"each client is a closed-loop pager moving 300 pages; the FFT column scales the paper's 24 MB run by the degraded per-page wire time",
+	)
+	return t
+}
+
+// Decomp reproduces §4.3's worked example: the FFT 24 MB parity-
+// logging decomposition and the ETHERNET*10 prediction — the paper's
+// measured numbers, the analytic model's recomputation of every
+// derived quantity, and our own simulated run's decomposition side
+// by side.
+func Decomp() *Table {
+	d := model.PaperFFT24MB
+	t := &Table{
+		ID:     "DECOMP",
+		Title:  "FFT 24 MB under parity logging: completion-time decomposition (§4.3)",
+		Header: []string{"quantity", "paper", "model check", "our sim"},
+	}
+
+	// Our simulated FFT at the 24 MB input.
+	w := fftAt(24)
+	stream := sim.FaultStream(w, ResidentBytes)
+	cfg := baseConfig(sim.ParityLogging, 4, FFTUserTime(w.Points()))
+	cfg.Sys = FFTSysTime(w.Points())
+	r := sim.ChargeFaults(w.Name(), stream, cfg)
+	ourD := model.Decomposition{
+		UTime:     r.Times.User,
+		SysTime:   r.Times.Sys,
+		InitTime:  r.Times.Init,
+		Transfers: r.Transfers,
+		BTime:     r.Times.Blocking,
+	}
+
+	rd := func(v time.Duration) string { return v.Round(time.Millisecond).String() }
+	t.Rows = [][]string{
+		{"utime", "66.138 s", d.UTime.String(), rd(ourD.UTime)},
+		{"systime", "3.133 s", d.SysTime.String(), rd(ourD.SysTime)},
+		{"inittime", "0.21 s", d.InitTime.String(), rd(ourD.InitTime)},
+		{"pageouts / pageins", "2718 / 2055",
+			"-", fmt.Sprintf("%d / %d", r.PageOuts, r.PageIns)},
+		{"page transfers", "5452 (2718 outs * 1.25 + 2055 ins)",
+			fmt.Sprintf("%d", d.Transfers), fmt.Sprintf("%d", ourD.Transfers)},
+		{"protocol time (1.6 ms each)", "8.723 s",
+			rd(d.ProtocolTime()), rd(ourD.ProtocolTime())},
+		{"btime", "52.556 s", d.BTime.String(), rd(ourD.BTime)},
+		{"measured elapsed", "130.76 s",
+			d.Elapsed().Round(10 * time.Millisecond).String(), rd(ourD.Elapsed())},
+		{"predicted at ETHERNET*10", "83.459 s",
+			rd(d.Predict(10)), rd(ourD.Predict(10))},
+		{"paging fraction at ETHERNET*10", "< 17%",
+			fmt.Sprintf("%.2f%%", d.PagingFraction(10)*100),
+			fmt.Sprintf("%.2f%%", ourD.PagingFraction(10)*100)},
+		{"predicted ALL MEMORY", "69.481 s", rd(d.AllMemory()), rd(ourD.AllMemory())},
+	}
+	t.Notes = append(t.Notes,
+		"the model column recomputes every derived quantity from the paper's primitives via internal/model",
+		"our sim's fault counts run ~2.3x the paper's (strict LRU vs OSF/1's global clock); its decomposition is otherwise the same machinery",
+	)
+	return t
+}

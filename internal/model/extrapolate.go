@@ -1,0 +1,111 @@
+// Package model implements the paper's analytic completion-time
+// model (§4.3), used to predict performance on faster interconnects
+// than the measured 10 Mbps Ethernet.
+//
+// From a measured run the paper derives:
+//
+//	inittime = etime_nopaging - utime - systime
+//	ptime    = etime - utime - systime - inittime
+//	pptime   = 1.6 ms per page transfer (measured for TCP/IP)
+//	btime    = ptime - transfers*pptime
+//
+// and predicts, for a network with X times the bandwidth:
+//
+//	etime(X) = utime + systime + inittime + transfers*pptime + btime/X
+//
+// The worked example (FFT, 24 MB input, parity logging over 4+1
+// servers): etime 130.76 s = 66.138 utime + 3.133 sys + 0.21 init +
+// 61.279 ptime; 2718 pageouts and 2055 pageins make 3397+2055 = 5452
+// transfers; protocol 8.723 s; btime 52.556 s; at X=10 the prediction
+// is 83.459 s with paging under 17 % of execution time.
+package model
+
+import (
+	"fmt"
+	"time"
+)
+
+// PPTime is the measured per-page protocol processing time.
+const PPTime = 1600 * time.Microsecond
+
+// Decomposition is a measured run broken into the model's factors.
+type Decomposition struct {
+	UTime     time.Duration
+	SysTime   time.Duration
+	InitTime  time.Duration
+	Transfers uint64
+	BTime     time.Duration
+}
+
+// FromMeasured derives a decomposition from the quantities the paper
+// measures with time(1): elapsed, user, system and init times plus
+// the transfer count.
+func FromMeasured(etime, utime, systime, inittime time.Duration, transfers uint64) (Decomposition, error) {
+	ptime := etime - utime - systime - inittime
+	if ptime < 0 {
+		return Decomposition{}, fmt.Errorf("model: negative ptime (etime %v < components)", etime)
+	}
+	pp := time.Duration(transfers) * PPTime
+	if pp > ptime {
+		return Decomposition{}, fmt.Errorf("model: protocol time %v exceeds ptime %v", pp, ptime)
+	}
+	return Decomposition{
+		UTime:     utime,
+		SysTime:   systime,
+		InitTime:  inittime,
+		Transfers: transfers,
+		BTime:     ptime - pp,
+	}, nil
+}
+
+// ProtocolTime is transfers * pptime.
+func (d Decomposition) ProtocolTime() time.Duration {
+	return time.Duration(d.Transfers) * PPTime
+}
+
+// PTime is the total paging overhead.
+func (d Decomposition) PTime() time.Duration { return d.ProtocolTime() + d.BTime }
+
+// Elapsed reconstructs the measured completion time.
+func (d Decomposition) Elapsed() time.Duration {
+	return d.UTime + d.SysTime + d.InitTime + d.PTime()
+}
+
+// Predict returns the expected completion time on a network with X
+// times the bandwidth (protocol processing does not scale; only the
+// bandwidth-dependent blocking time does).
+func (d Decomposition) Predict(x float64) time.Duration {
+	if x <= 0 {
+		x = 1
+	}
+	return d.UTime + d.SysTime + d.InitTime + d.ProtocolTime() +
+		time.Duration(float64(d.BTime)/x)
+}
+
+// AllMemory predicts the completion time with the whole working set
+// in RAM: no paging at all.
+func (d Decomposition) AllMemory() time.Duration {
+	return d.UTime + d.SysTime + d.InitTime
+}
+
+// PagingFraction returns ptime/etime at bandwidth factor X — the
+// paper's "less than 17% of the total application execution time"
+// claim for X = 10.
+func (d Decomposition) PagingFraction(x float64) float64 {
+	e := d.Predict(x)
+	if e == 0 {
+		return 0
+	}
+	paging := d.ProtocolTime() + time.Duration(float64(d.BTime)/x)
+	return float64(paging) / float64(e)
+}
+
+// PaperFFT24MB is the worked example's decomposition, straight from
+// the paper's numbers.
+var PaperFFT24MB = Decomposition{
+	UTime:     66138 * time.Millisecond,
+	SysTime:   3133 * time.Millisecond,
+	InitTime:  210 * time.Millisecond,
+	Transfers: 5452,
+	BTime:     52556 * time.Millisecond,
+}

@@ -1,0 +1,105 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestPaperWorkedExample reproduces §4.3's arithmetic exactly.
+func TestPaperWorkedExample(t *testing.T) {
+	d := PaperFFT24MB
+
+	// Protocol time: 5452 * 1.6 ms = 8.7232 s (paper: "about 8.723 sec").
+	if got := d.ProtocolTime(); abs(got-8723200*time.Microsecond) > time.Millisecond {
+		t.Errorf("protocol time = %v, want 8.7232s", got)
+	}
+	// Measured elapsed: 130.76 s.
+	if got := d.Elapsed(); abs(got-130760*time.Millisecond) > 10*time.Millisecond {
+		t.Errorf("elapsed = %v, want 130.76s", got)
+	}
+	// ETHERNET*10 prediction: 83.459 s (paper: 66.138+3.133+0.21+8.723+5.255).
+	if got := d.Predict(10); abs(got-83459*time.Millisecond) > 50*time.Millisecond {
+		t.Errorf("Predict(10) = %v, want ~83.459s", got)
+	}
+	// Paging overhead under 17% on the 100 Mbps network.
+	if frac := d.PagingFraction(10); frac >= 0.17 || frac < 0.15 {
+		t.Errorf("paging fraction at X=10 = %.4f, want ~0.167 (<17%%)", frac)
+	}
+	// ALL MEMORY: 69.481 s.
+	if got := d.AllMemory(); abs(got-69481*time.Millisecond) > time.Millisecond {
+		t.Errorf("AllMemory = %v, want 69.481s", got)
+	}
+}
+
+func TestFromMeasuredRoundTrip(t *testing.T) {
+	d := PaperFFT24MB
+	got, err := FromMeasured(d.Elapsed(), d.UTime, d.SysTime, d.InitTime, d.Transfers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if abs(got.BTime-d.BTime) > time.Millisecond {
+		t.Fatalf("BTime = %v, want %v", got.BTime, d.BTime)
+	}
+}
+
+func TestFromMeasuredRejectsNegativePTime(t *testing.T) {
+	if _, err := FromMeasured(time.Second, 2*time.Second, 0, 0, 0); err == nil {
+		t.Fatal("negative ptime accepted")
+	}
+}
+
+func TestFromMeasuredRejectsProtocolOverflow(t *testing.T) {
+	// 1000 transfers need 1.6s of protocol time, more than the 1s ptime.
+	if _, err := FromMeasured(3*time.Second, 2*time.Second, 0, 0, 1000); err == nil {
+		t.Fatal("protocol > ptime accepted")
+	}
+}
+
+func TestPredictMonotonicInBandwidth(t *testing.T) {
+	d := PaperFFT24MB
+	prev := d.Predict(1)
+	for _, x := range []float64{2, 5, 10, 100} {
+		cur := d.Predict(x)
+		if cur >= prev {
+			t.Fatalf("Predict not decreasing: %v at lower X vs %v at %v", prev, cur, x)
+		}
+		prev = cur
+	}
+	// Infinite bandwidth approaches AllMemory + protocol time.
+	limit := d.AllMemory() + d.ProtocolTime()
+	if got := d.Predict(1e9); abs(got-limit) > time.Millisecond {
+		t.Fatalf("Predict(inf) = %v, want %v", got, limit)
+	}
+}
+
+func TestPredictX1IsMeasured(t *testing.T) {
+	d := PaperFFT24MB
+	if got := d.Predict(1); abs(got-d.Elapsed()) > time.Millisecond {
+		t.Fatalf("Predict(1) = %v, want measured %v", got, d.Elapsed())
+	}
+	// Non-positive X treated as 1.
+	if got := d.Predict(0); abs(got-d.Elapsed()) > time.Millisecond {
+		t.Fatalf("Predict(0) = %v, want measured", got)
+	}
+}
+
+func abs(d time.Duration) time.Duration {
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+func TestPagingFractionBounds(t *testing.T) {
+	d := PaperFFT24MB
+	for _, x := range []float64{1, 2, 10, 1000} {
+		f := d.PagingFraction(x)
+		if f < 0 || f > 1 || math.IsNaN(f) {
+			t.Fatalf("PagingFraction(%v) = %v out of range", x, f)
+		}
+	}
+	if d.PagingFraction(1) <= d.PagingFraction(10) {
+		t.Fatal("paging fraction should shrink with bandwidth")
+	}
+}

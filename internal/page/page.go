@@ -1,0 +1,136 @@
+// Package page defines the fundamental paging types shared by every
+// component of the remote memory pager: page size, page identifiers,
+// and small helpers for checksumming and XOR used by the parity code.
+//
+// The paper's testbed (DEC OSF/1 on a DEC-Alpha 3000/300) pages in
+// 8 KB units; that constant is baked in here and everything else is
+// expressed in pages.
+package page
+
+import (
+	"fmt"
+	"hash/crc32"
+)
+
+// Size is the size of a page in bytes. The DEC Alpha used 8 KB pages
+// and all of the paper's per-page cost numbers (11.24 ms per network
+// transfer, ~17 ms per disk transfer) are quoted for 8 KB.
+const Size = 8192
+
+// ID identifies a page within a client's swap space. IDs are dense
+// block numbers: the OSF/1 kernel addresses its paging block device by
+// block offset, and the pager maps block number -> page ID one to one.
+type ID uint64
+
+// NoID is the zero sentinel for "no page".
+const NoID = ID(1<<64 - 1)
+
+func (id ID) String() string {
+	if id == NoID {
+		return "page(none)"
+	}
+	return fmt.Sprintf("page(%d)", uint64(id))
+}
+
+// Buf is a single page worth of data. Using a named slice type (rather
+// than [Size]byte) keeps pages heap-allocated and cheap to hand between
+// goroutines while letting the compiler check sizes at API boundaries
+// via CheckLen.
+type Buf []byte
+
+// NewBuf allocates a zeroed page buffer.
+func NewBuf() Buf { return make(Buf, Size) }
+
+// CheckLen reports whether b holds exactly one page.
+func (b Buf) CheckLen() error {
+	if len(b) != Size {
+		return fmt.Errorf("page: buffer is %d bytes, want %d", len(b), Size)
+	}
+	return nil
+}
+
+// Clone returns an independent copy of the page.
+func (b Buf) Clone() Buf {
+	c := make(Buf, len(b))
+	copy(c, b)
+	return c
+}
+
+// Checksum returns a CRC-32 (Castagnoli) of the page contents. The wire
+// protocol carries it so that corrupted transfers are detected rather
+// than silently handed back to the kernel as "paged-in data".
+func (b Buf) Checksum() uint32 {
+	return crc32.Checksum(b, castagnoli)
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// XORInto computes dst ^= src over one page. It is the core primitive
+// of both the basic parity policy and parity logging. dst and src must
+// both be exactly one page long.
+func XORInto(dst, src Buf) {
+	if len(dst) != Size || len(src) != Size {
+		panic(fmt.Sprintf("page: XORInto on %d/%d byte buffers", len(dst), len(src)))
+	}
+	// Word-at-a-time XOR; the backing arrays come from make([]byte,8192)
+	// so they are machine-word aligned in practice, but the loop below
+	// is correct regardless because it indexes bytes in groups of 8.
+	for i := 0; i < Size; i += 8 {
+		dst[i+0] ^= src[i+0]
+		dst[i+1] ^= src[i+1]
+		dst[i+2] ^= src[i+2]
+		dst[i+3] ^= src[i+3]
+		dst[i+4] ^= src[i+4]
+		dst[i+5] ^= src[i+5]
+		dst[i+6] ^= src[i+6]
+		dst[i+7] ^= src[i+7]
+	}
+}
+
+// XOR returns a fresh page equal to a ^ b.
+func XOR(a, b Buf) Buf {
+	out := a.Clone()
+	XORInto(out, b)
+	return out
+}
+
+// IsZero reports whether the page is all zero bytes (e.g. a fully
+// reclaimed parity buffer).
+func (b Buf) IsZero() bool {
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Fill writes a deterministic pattern derived from seed into the page;
+// used heavily by tests and by the example workload generators.
+func (b Buf) Fill(seed uint64) {
+	if len(b) != Size {
+		panic("page: Fill on short buffer")
+	}
+	x := seed*2862933555777941757 + 3037000493
+	for i := 0; i < Size; i += 8 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		b[i+0] = byte(x)
+		b[i+1] = byte(x >> 8)
+		b[i+2] = byte(x >> 16)
+		b[i+3] = byte(x >> 24)
+		b[i+4] = byte(x >> 32)
+		b[i+5] = byte(x >> 40)
+		b[i+6] = byte(x >> 48)
+		b[i+7] = byte(x >> 56)
+	}
+}
+
+// BytesToPages returns the number of pages needed to hold n bytes.
+func BytesToPages(n int64) int {
+	if n <= 0 {
+		return 0
+	}
+	return int((n + Size - 1) / Size)
+}

@@ -1,0 +1,157 @@
+package page
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBufCheckLen(t *testing.T) {
+	if err := NewBuf().CheckLen(); err != nil {
+		t.Fatalf("NewBuf failed CheckLen: %v", err)
+	}
+	if err := Buf(make([]byte, 100)).CheckLen(); err == nil {
+		t.Fatal("short buffer passed CheckLen")
+	}
+	if err := Buf(make([]byte, Size+1)).CheckLen(); err == nil {
+		t.Fatal("long buffer passed CheckLen")
+	}
+}
+
+func TestIDString(t *testing.T) {
+	if got := ID(42).String(); got != "page(42)" {
+		t.Errorf("ID(42).String() = %q", got)
+	}
+	if got := NoID.String(); got != "page(none)" {
+		t.Errorf("NoID.String() = %q", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := NewBuf()
+	a.Fill(1)
+	b := a.Clone()
+	b[0] ^= 0xFF
+	if a[0] == b[0] {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestXORSelfIsZero(t *testing.T) {
+	a := NewBuf()
+	a.Fill(7)
+	got := XOR(a, a)
+	if !got.IsZero() {
+		t.Fatal("a XOR a is not zero")
+	}
+}
+
+func TestXORRecoversPage(t *testing.T) {
+	// The fundamental parity property: given pages p0..p2 and their
+	// parity, any single page is recoverable by XORing the rest.
+	pages := make([]Buf, 3)
+	parity := NewBuf()
+	for i := range pages {
+		pages[i] = NewBuf()
+		pages[i].Fill(uint64(i + 100))
+		XORInto(parity, pages[i])
+	}
+	for lost := range pages {
+		rec := parity.Clone()
+		for i, p := range pages {
+			if i != lost {
+				XORInto(rec, p)
+			}
+		}
+		if rec.Checksum() != pages[lost].Checksum() {
+			t.Fatalf("failed to recover page %d via parity", lost)
+		}
+	}
+}
+
+func TestXORIntoPanicsOnShort(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("XORInto accepted short buffers")
+		}
+	}()
+	XORInto(make(Buf, 8), make(Buf, 8))
+}
+
+func TestFillDeterministic(t *testing.T) {
+	a, b := NewBuf(), NewBuf()
+	a.Fill(99)
+	b.Fill(99)
+	if a.Checksum() != b.Checksum() {
+		t.Fatal("Fill with same seed produced different pages")
+	}
+	b.Fill(100)
+	if a.Checksum() == b.Checksum() {
+		t.Fatal("Fill with different seeds produced identical pages")
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	b := NewBuf()
+	if !b.IsZero() {
+		t.Fatal("fresh buffer not zero")
+	}
+	b[Size-1] = 1
+	if b.IsZero() {
+		t.Fatal("nonzero buffer reported zero")
+	}
+}
+
+func TestBytesToPages(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want int
+	}{
+		{0, 0}, {-5, 0}, {1, 1}, {Size, 1}, {Size + 1, 2},
+		{24 << 20, 24 << 20 / Size},
+	}
+	for _, c := range cases {
+		if got := BytesToPages(c.n); got != c.want {
+			t.Errorf("BytesToPages(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestXORProperties(t *testing.T) {
+	// Property: XOR is commutative and associative, and Fill-derived
+	// pages round-trip through double XOR.
+	f := func(s1, s2 uint64) bool {
+		a, b := NewBuf(), NewBuf()
+		a.Fill(s1)
+		b.Fill(s2)
+		ab := XOR(a, b)
+		ba := XOR(b, a)
+		if ab.Checksum() != ba.Checksum() {
+			return false
+		}
+		back := XOR(ab, b)
+		return back.Checksum() == a.Checksum()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkXORInto(b *testing.B) {
+	dst, src := NewBuf(), NewBuf()
+	src.Fill(1)
+	b.SetBytes(Size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		XORInto(dst, src)
+	}
+}
+
+func BenchmarkChecksum(b *testing.B) {
+	p := NewBuf()
+	p.Fill(3)
+	b.SetBytes(Size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Checksum()
+	}
+}

@@ -1,0 +1,261 @@
+// Package pagestore implements the in-memory page store used by a
+// remote memory server to hold a client's swapped-out pages.
+//
+// The store enforces two limits that map directly onto the paper's
+// design (§2.1, §2.2):
+//
+//   - Capacity: the number of pages the workstation is willing to
+//     donate. Allocation requests beyond it are denied, which is the
+//     signal the client uses to look for another server.
+//
+//   - Overflow: extra headroom beyond the allocated quota. Parity
+//     logging keeps many versions of a page alive at once ("each
+//     memory server must have some extra overflow memory to support
+//     parity logging"); the paper's experiments devote 10 % more
+//     memory for this. Stores report when a client is eating into the
+//     overflow so the client can trigger parity-group garbage
+//     collection.
+package pagestore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"rmp/internal/page"
+)
+
+// Errors returned by Store operations.
+var (
+	ErrNoSpace  = errors.New("pagestore: out of donated memory")
+	ErrNotFound = errors.New("pagestore: page not found")
+)
+
+// Store is a thread-safe (key -> page) map with quota accounting.
+// The zero value is not usable; call New.
+type Store struct {
+	mu sync.RWMutex
+
+	capacity     int     // hard page limit including overflow
+	reserved     int     // pages promised via Reserve (the ALLOC path)
+	overflowFrac float64 // headroom fraction kept out of Reserve's reach
+
+	pages map[uint64]page.Buf
+
+	// Statistics, monotonically increasing.
+	stats Stats
+}
+
+// Stats counts store activity. All fields are totals since creation.
+type Stats struct {
+	Puts      uint64
+	Gets      uint64
+	Deletes   uint64
+	XorWrites uint64
+	Misses    uint64
+	Denied    uint64
+}
+
+// New creates a store donating capacity pages, of which overflowFrac
+// (e.g. 0.10) is overflow headroom beyond what Reserve will promise.
+// capacity counts total storable pages; Reserve can promise at most
+// capacity/(1+overflowFrac) pages.
+func New(capacity int, overflowFrac float64) *Store {
+	if capacity < 0 {
+		capacity = 0
+	}
+	if overflowFrac < 0 {
+		overflowFrac = 0
+	}
+	return &Store{
+		capacity: capacity,
+		pages:    make(map[uint64]page.Buf),
+		// reservable derived on demand from overflowFrac below.
+		overflowFrac: overflowFrac,
+	}
+}
+
+// Reserve asks the store to promise n more pages of swap space.
+// It returns the number actually granted (possibly 0). Grants never
+// dip into the overflow headroom; stored pages may (that is the point
+// of overflow).
+func (s *Store) Reserve(n int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	reservable := s.reservable()
+	free := reservable - s.reserved
+	if free <= 0 {
+		s.stats.Denied++
+		return 0
+	}
+	if n > free {
+		n = free
+	}
+	s.reserved += n
+	return n
+}
+
+// Release returns n previously reserved pages to the pool.
+func (s *Store) Release(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reserved -= n
+	if s.reserved < 0 {
+		s.reserved = 0
+	}
+}
+
+// reservable is the quota Reserve may promise: capacity shrunk by the
+// overflow fraction. Caller holds mu.
+func (s *Store) reservable() int {
+	return int(float64(s.capacity)/(1+s.overflowFrac) + 0.5)
+}
+
+// Put stores a copy of data under key, replacing any previous version.
+// It fails with ErrNoSpace only when the store is at hard capacity —
+// i.e. even the overflow is exhausted.
+func (s *Store) Put(key uint64, data page.Buf) error {
+	if err := data.CheckLen(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.pages[key]; !exists && len(s.pages) >= s.capacity {
+		s.stats.Denied++
+		return ErrNoSpace
+	}
+	s.pages[key] = data.Clone()
+	s.stats.Puts++
+	return nil
+}
+
+// Get returns a copy of the page stored under key.
+func (s *Store) Get(key uint64) (page.Buf, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.pages[key]
+	if !ok {
+		s.stats.Misses++
+		return nil, ErrNotFound
+	}
+	s.stats.Gets++
+	return p.Clone(), nil
+}
+
+// Delete removes keys; missing keys are ignored (frees are idempotent
+// so a retried FREE after a lost ack cannot fail).
+func (s *Store) Delete(keys ...uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, k := range keys {
+		if _, ok := s.pages[k]; ok {
+			delete(s.pages, k)
+			s.stats.Deletes++
+		}
+	}
+}
+
+// XorWrite stores data under key and returns old XOR new, where a
+// missing old page counts as zeros. This is the server half of the
+// basic parity policy (§2.2 step 1: "the server ... computes the XOR
+// of the old and the new page").
+func (s *Store) XorWrite(key uint64, data page.Buf) (page.Buf, error) {
+	if err := data.CheckLen(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old, exists := s.pages[key]
+	if !exists && len(s.pages) >= s.capacity {
+		s.stats.Denied++
+		return nil, ErrNoSpace
+	}
+	delta := data.Clone()
+	if exists {
+		page.XORInto(delta, old)
+	}
+	s.pages[key] = data.Clone()
+	s.stats.XorWrites++
+	return delta, nil
+}
+
+// XorMerge XORs data into the page at key (missing page = zeros).
+// This is the parity-server half of the basic parity policy (§2.2
+// step 2: "XORs it with the old parity, forming the new parity").
+func (s *Store) XorMerge(key uint64, data page.Buf) error {
+	if err := data.CheckLen(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old, exists := s.pages[key]
+	if !exists {
+		if len(s.pages) >= s.capacity {
+			s.stats.Denied++
+			return ErrNoSpace
+		}
+		s.pages[key] = data.Clone()
+		s.stats.Puts++
+		return nil
+	}
+	merged := old.Clone()
+	page.XORInto(merged, data)
+	s.pages[key] = merged
+	s.stats.XorWrites++
+	return nil
+}
+
+// Len returns the number of stored pages.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.pages)
+}
+
+// Free returns the number of pages Reserve could still promise.
+func (s *Store) Free() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	f := s.reservable() - s.reserved
+	if f < 0 {
+		f = 0
+	}
+	return f
+}
+
+// InOverflow reports whether stored pages exceed the reservable quota,
+// i.e. the client is living off the overflow headroom and should run
+// parity-group garbage collection soon.
+func (s *Store) InOverflow() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.pages) > s.reservable()
+}
+
+// Keys returns all stored keys in ascending order; used by recovery
+// tooling and tests.
+func (s *Store) Keys() []uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]uint64, 0, len(s.pages))
+	for k := range s.pages {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Stats returns a snapshot of the activity counters.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.stats
+}
+
+// String describes the store's occupancy.
+func (s *Store) String() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return fmt.Sprintf("pagestore{%d/%d pages, %d reserved}", len(s.pages), s.capacity, s.reserved)
+}

@@ -1,0 +1,301 @@
+package pagestore
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"rmp/internal/page"
+)
+
+func fillPage(seed uint64) page.Buf {
+	p := page.NewBuf()
+	p.Fill(seed)
+	return p
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := New(10, 0)
+	want := fillPage(1)
+	if err := s.Put(5, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Checksum() != want.Checksum() {
+		t.Fatal("Get returned different data")
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s := New(10, 0)
+	if err := s.Put(1, fillPage(1)); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := s.Get(1)
+	a[0] ^= 0xFF
+	b, _ := s.Get(1)
+	if a[0] == b[0] {
+		t.Fatal("Get exposes internal storage")
+	}
+}
+
+func TestPutRejectsShortPage(t *testing.T) {
+	s := New(10, 0)
+	if err := s.Put(1, make(page.Buf, 10)); err == nil {
+		t.Fatal("Put accepted short page")
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := New(10, 0)
+	if _, err := s.Get(42); err != ErrNotFound {
+		t.Fatalf("got %v, want ErrNotFound", err)
+	}
+	if s.Stats().Misses != 1 {
+		t.Fatal("miss not counted")
+	}
+}
+
+func TestCapacityEnforced(t *testing.T) {
+	s := New(3, 0)
+	for i := uint64(0); i < 3; i++ {
+		if err := s.Put(i, fillPage(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Put(99, fillPage(99)); err != ErrNoSpace {
+		t.Fatalf("got %v, want ErrNoSpace", err)
+	}
+	// Overwriting an existing key must still work at capacity.
+	if err := s.Put(1, fillPage(100)); err != nil {
+		t.Fatalf("overwrite at capacity failed: %v", err)
+	}
+}
+
+func TestReserveGrantsAndDenies(t *testing.T) {
+	s := New(100, 0)
+	if got := s.Reserve(60); got != 60 {
+		t.Fatalf("Reserve(60) = %d", got)
+	}
+	if got := s.Reserve(60); got != 40 {
+		t.Fatalf("second Reserve(60) = %d, want 40 (partial grant)", got)
+	}
+	if got := s.Reserve(1); got != 0 {
+		t.Fatalf("Reserve over capacity granted %d", got)
+	}
+	if s.Stats().Denied == 0 {
+		t.Fatal("denial not counted")
+	}
+	s.Release(50)
+	if got := s.Reserve(100); got != 50 {
+		t.Fatalf("Reserve after Release = %d, want 50", got)
+	}
+}
+
+func TestReleaseClampsAtZero(t *testing.T) {
+	s := New(10, 0)
+	s.Release(5) // never reserved
+	if got := s.Reserve(10); got != 10 {
+		t.Fatalf("Reserve after spurious Release = %d, want 10", got)
+	}
+}
+
+func TestOverflowHeadroom(t *testing.T) {
+	// 110 pages capacity with 10% overflow: only 100 reservable, but
+	// 110 storable — the parity-logging overflow (§2.2).
+	s := New(110, 0.10)
+	if got := s.Reserve(1000); got != 100 {
+		t.Fatalf("reservable = %d, want 100", got)
+	}
+	for i := uint64(0); i < 110; i++ {
+		if err := s.Put(i, fillPage(i)); err != nil {
+			t.Fatalf("Put %d into overflow failed: %v", i, err)
+		}
+	}
+	if err := s.Put(999, fillPage(0)); err != ErrNoSpace {
+		t.Fatal("Put beyond hard capacity succeeded")
+	}
+	if !s.InOverflow() {
+		t.Fatal("InOverflow false with 110 > 100 pages stored")
+	}
+	s.Delete(s.Keys()[:20]...)
+	if s.InOverflow() {
+		t.Fatal("InOverflow true after draining below quota")
+	}
+}
+
+func TestDeleteIdempotent(t *testing.T) {
+	s := New(10, 0)
+	if err := s.Put(1, fillPage(1)); err != nil {
+		t.Fatal(err)
+	}
+	s.Delete(1, 1, 2)
+	if s.Len() != 0 {
+		t.Fatal("Delete left pages behind")
+	}
+	if s.Stats().Deletes != 1 {
+		t.Fatalf("Deletes = %d, want 1 (missing keys don't count)", s.Stats().Deletes)
+	}
+}
+
+func TestXorWriteFirstWrite(t *testing.T) {
+	s := New(10, 0)
+	data := fillPage(3)
+	delta, err := s.XorWrite(7, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With no previous page, delta == data (old = zeros).
+	if delta.Checksum() != data.Checksum() {
+		t.Fatal("first XorWrite delta != data")
+	}
+}
+
+func TestXorWriteDelta(t *testing.T) {
+	s := New(10, 0)
+	old := fillPage(1)
+	newer := fillPage(2)
+	if _, err := s.XorWrite(7, old); err != nil {
+		t.Fatal(err)
+	}
+	delta, err := s.XorWrite(7, newer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := page.XOR(old, newer)
+	if delta.Checksum() != want.Checksum() {
+		t.Fatal("XorWrite delta != old^new")
+	}
+	got, _ := s.Get(7)
+	if got.Checksum() != newer.Checksum() {
+		t.Fatal("XorWrite did not store the new page")
+	}
+}
+
+func TestXorMergeAccumulatesParity(t *testing.T) {
+	s := New(10, 0)
+	a, b, c := fillPage(1), fillPage(2), fillPage(3)
+	for _, p := range []page.Buf{a, b, c} {
+		if err := s.XorMerge(0, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := page.XOR(page.XOR(a, b), c)
+	got, _ := s.Get(0)
+	if got.Checksum() != want.Checksum() {
+		t.Fatal("XorMerge parity != a^b^c")
+	}
+}
+
+func TestXorMergeRespectsCapacity(t *testing.T) {
+	s := New(1, 0)
+	if err := s.XorMerge(0, fillPage(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.XorMerge(1, fillPage(2)); err != ErrNoSpace {
+		t.Fatalf("got %v, want ErrNoSpace", err)
+	}
+	// Merging into the existing key is fine at capacity.
+	if err := s.XorMerge(0, fillPage(3)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	s := New(10, 0)
+	for _, k := range []uint64{5, 1, 9, 3} {
+		if err := s.Put(k, fillPage(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys := s.Keys()
+	want := []uint64{1, 3, 5, 9}
+	for i, k := range keys {
+		if k != want[i] {
+			t.Fatalf("Keys() = %v, want %v", keys, want)
+		}
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New(1000, 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				k := uint64(g*100 + i)
+				if err := s.Put(k, fillPage(k)); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				if _, err := s.Get(k); err != nil {
+					t.Errorf("Get: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 800 {
+		t.Fatalf("Len = %d, want 800", s.Len())
+	}
+}
+
+func TestNegativeInputsClamped(t *testing.T) {
+	s := New(-5, -0.5)
+	if got := s.Reserve(1); got != 0 {
+		t.Fatalf("Reserve on zero-capacity store = %d", got)
+	}
+	if err := s.Put(1, fillPage(1)); err != ErrNoSpace {
+		t.Fatalf("Put on zero-capacity store: %v", err)
+	}
+}
+
+func TestPutGetQuick(t *testing.T) {
+	s := New(4096, 0)
+	f := func(key uint64, seed uint64) bool {
+		p := fillPage(seed)
+		if err := s.Put(key, p); err != nil {
+			return true // capacity, acceptable
+		}
+		got, err := s.Get(key)
+		return err == nil && got.Checksum() == p.Checksum()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	s := New(1<<20, 0)
+	p := fillPage(1)
+	b.SetBytes(page.Size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Put(uint64(i), p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	s := New(1024, 0)
+	p := fillPage(1)
+	for i := uint64(0); i < 1024; i++ {
+		if err := s.Put(i, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(page.Size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Get(uint64(i) % 1024); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

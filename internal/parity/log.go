@@ -1,0 +1,490 @@
+// Package parity implements the client-side bookkeeping for the
+// paper's novel parity-logging reliability policy (§2.2), plus the
+// XOR reconstruction helpers shared with the basic parity policy.
+//
+// The key idea of parity logging: a page is not bound to a fixed
+// server or parity group. Every pageout goes to a fresh slot, chosen
+// round-robin across S data-server columns, and is XORed into a
+// client-resident parity buffer. After S pageouts the buffer is
+// shipped to the parity server and the group is sealed: cost
+// 1 + 1/S transfers per pageout instead of basic parity's 2.
+//
+// When a page is paged out again, its previous version is only
+// *marked inactive* in its old group — deleting it would force a
+// parity update (footnote 3 of the paper). Inactive versions occupy
+// server memory ("overflow"); when every member of a group is
+// inactive the group's server slots and parity slot are reclaimed.
+// If fragmentation eats the overflow, garbage collection rewrites the
+// active members of the emptiest groups into fresh groups.
+//
+// Log is pure bookkeeping: it decides placements, parity seals,
+// reclamations, recovery and GC plans, while the pager performs the
+// actual transfers. That separation makes the algorithm exhaustively
+// testable without a network.
+package parity
+
+import (
+	"errors"
+	"fmt"
+
+	"rmp/internal/page"
+)
+
+// NoKey marks "no storage key" (e.g. parity of a never-sealed group).
+const NoKey = ^uint64(0)
+
+// Placement tells the pager where the just-appended page version goes.
+type Placement struct {
+	Column int    // data-server column 0..S-1
+	Key    uint64 // storage key on that server
+	Group  uint64 // parity group id
+	Index  int    // member index within the group (== Column)
+}
+
+// SealedParity tells the pager to ship a completed parity page.
+type SealedParity struct {
+	Group uint64
+	Key   uint64   // storage key on the parity server
+	Data  page.Buf // the parity page contents
+}
+
+// ColumnKey names a stored page version: column -1 is the parity
+// server, 0..S-1 the data servers.
+type ColumnKey struct {
+	Column int
+	Key    uint64
+}
+
+// ParityColumn is the pseudo-column of the parity server.
+const ParityColumn = -1
+
+// Reclaim lists server slots whose contents may be discarded because
+// their parity group died (all members inactive).
+type Reclaim struct {
+	Group uint64
+	Slots []ColumnKey // data slots and, if the group was sealed, the parity slot
+}
+
+// member is one page version inside a group.
+type member struct {
+	page   page.ID
+	key    uint64
+	active bool
+}
+
+// group is a parity group.
+type group struct {
+	id      uint64
+	members []member // index == column
+	parity  uint64   // parity key, NoKey until sealed
+	sealed  bool
+	// abandoned marks an open group closed by crash recovery; like a
+	// sealed group it is reclaimed when its last member goes inactive,
+	// but it has no parity slot to free.
+	abandoned bool
+	active    int // count of active members
+}
+
+// Log is the parity-logging state machine. Not safe for concurrent
+// use; the pager serializes pageouts through it.
+type Log struct {
+	s       int // group width == number of data-server columns
+	nextKey uint64
+	// keyFunc, when set, supplies storage keys instead of the internal
+	// counter. The pager injects its global allocator so that keys
+	// stay unique across log rebuilds (a rebuilt log must never reuse
+	// keys that are still being freed from the previous layout).
+	keyFunc func() uint64
+
+	cur    *group
+	buffer page.Buf // running XOR of the open group's members
+
+	groups map[uint64]*group
+	nextID uint64
+
+	// live maps a logical page to its current version's location.
+	live map[page.ID]liveRef
+
+	stats Stats
+}
+
+type liveRef struct {
+	group uint64
+	index int
+}
+
+// Stats counts Log activity.
+type Stats struct {
+	Appends     uint64
+	Seals       uint64
+	Reclaims    uint64
+	Invalidates uint64
+}
+
+// NewLog creates a parity log spanning s data-server columns.
+func NewLog(s int) (*Log, error) {
+	if s < 1 {
+		return nil, errors.New("parity: need at least one data column")
+	}
+	return &Log{
+		s:      s,
+		buffer: page.NewBuf(),
+		groups: make(map[uint64]*group),
+		live:   make(map[page.ID]liveRef),
+	}, nil
+}
+
+// Width returns the group width S.
+func (l *Log) Width() int { return l.s }
+
+// Stats returns a snapshot of activity counters.
+func (l *Log) Stats() Stats { return l.stats }
+
+// SetKeySource installs an external storage-key allocator. Must be
+// called before the first Append.
+func (l *Log) SetKeySource(f func() uint64) { l.keyFunc = f }
+
+// allocKey issues a fresh storage key.
+func (l *Log) allocKey() uint64 {
+	if l.keyFunc != nil {
+		return l.keyFunc()
+	}
+	k := l.nextKey
+	l.nextKey++
+	return k
+}
+
+// openGroup starts a new group if none is open.
+func (l *Log) openGroup() {
+	if l.cur != nil {
+		return
+	}
+	l.nextID++
+	l.cur = &group{id: l.nextID, parity: NoKey}
+	l.groups[l.cur.id] = l.cur
+	// buffer must already be zero: it is reset at seal time.
+}
+
+// Append records the pageout of p with contents data.
+//
+// It returns the placement for the new version, a parity seal if this
+// append completed a group, and any reclamations triggered by the
+// previous version of p going inactive. The caller must (1) transfer
+// data to the placement's column, (2) if sealed, transfer the parity
+// page to the parity server, and (3) free the reclaimed slots —
+// in that order.
+func (l *Log) Append(p page.ID, data page.Buf) (Placement, *SealedParity, []Reclaim, error) {
+	if err := data.CheckLen(); err != nil {
+		return Placement{}, nil, nil, err
+	}
+	var reclaims []Reclaim
+
+	// Mark the previous version inactive (footnote 3: don't delete —
+	// that would require a parity update).
+	if ref, ok := l.live[p]; ok {
+		if r := l.deactivate(ref); r != nil {
+			reclaims = append(reclaims, *r)
+		}
+	}
+
+	l.openGroup()
+	g := l.cur
+	col := len(g.members)
+	key := l.allocKey()
+	g.members = append(g.members, member{page: p, key: key, active: true})
+	g.active++
+	l.live[p] = liveRef{group: g.id, index: col}
+	page.XORInto(l.buffer, data)
+	l.stats.Appends++
+
+	pl := Placement{Column: col, Key: key, Group: g.id, Index: col}
+
+	var seal *SealedParity
+	if len(g.members) == l.s {
+		seal = l.seal()
+		// Sealing a group whose members all died mid-fill reclaims it
+		// immediately; that cannot happen here because the member just
+		// appended is active, but deactivate() handles the open group
+		// for completeness.
+	}
+	return pl, seal, reclaims, nil
+}
+
+// seal closes the open group and returns the parity transfer order.
+func (l *Log) seal() *SealedParity {
+	g := l.cur
+	g.parity = l.allocKey()
+	g.sealed = true
+	l.stats.Seals++
+	out := &SealedParity{Group: g.id, Key: g.parity, Data: l.buffer}
+	l.buffer = page.NewBuf()
+	l.cur = nil
+	return out
+}
+
+// deactivate marks the member at ref inactive and reclaims its group
+// if that was the last active member of a sealed group.
+func (l *Log) deactivate(ref liveRef) *Reclaim {
+	g := l.groups[ref.group]
+	m := &g.members[ref.index]
+	if !m.active {
+		return nil
+	}
+	m.active = false
+	g.active--
+	l.stats.Invalidates++
+	if g.active == 0 && (g.sealed || g.abandoned) {
+		return l.reclaim(g)
+	}
+	return nil
+}
+
+// reclaim removes a dead group and lists its slots for freeing.
+func (l *Log) reclaim(g *group) *Reclaim {
+	r := &Reclaim{Group: g.id}
+	for col, m := range g.members {
+		r.Slots = append(r.Slots, ColumnKey{Column: col, Key: m.key})
+	}
+	if g.parity != NoKey {
+		r.Slots = append(r.Slots, ColumnKey{Column: ParityColumn, Key: g.parity})
+	}
+	delete(l.groups, g.id)
+	l.stats.Reclaims++
+	return r
+}
+
+// Lookup returns where the live version of p is stored.
+func (l *Log) Lookup(p page.ID) (ColumnKey, bool) {
+	ref, ok := l.live[p]
+	if !ok {
+		return ColumnKey{}, false
+	}
+	g := l.groups[ref.group]
+	return ColumnKey{Column: ref.index, Key: g.members[ref.index].key}, true
+}
+
+// Free drops the logical page p entirely (its swap space was
+// released), deactivating its live version.
+func (l *Log) Free(p page.ID) []Reclaim {
+	ref, ok := l.live[p]
+	if !ok {
+		return nil
+	}
+	delete(l.live, p)
+	if r := l.deactivate(ref); r != nil {
+		return []Reclaim{*r}
+	}
+	return nil
+}
+
+// Pages returns the logical pages with a live version in the log.
+func (l *Log) Pages() []page.ID {
+	out := make([]page.ID, 0, len(l.live))
+	for p := range l.live {
+		out = append(out, p)
+	}
+	return out
+}
+
+// VersionsStored returns the total number of page versions (active +
+// inactive) plus sealed parity pages currently occupying server
+// memory. This is what the 10 % overflow pays for.
+func (l *Log) VersionsStored() (data, parityPages int) {
+	for _, g := range l.groups {
+		data += len(g.members)
+		if g.sealed {
+			parityPages++
+		}
+	}
+	return data, parityPages
+}
+
+// AllSlots enumerates every server slot the log currently occupies
+// (all page versions and sealed parity pages). Recovery uses it to
+// free the old layout after rebuilding into a fresh log.
+func (l *Log) AllSlots() []ColumnKey {
+	var out []ColumnKey
+	for _, g := range l.groups {
+		for col, m := range g.members {
+			out = append(out, ColumnKey{Column: col, Key: m.key})
+		}
+		if g.parity != NoKey {
+			out = append(out, ColumnKey{Column: ParityColumn, Key: g.parity})
+		}
+	}
+	return out
+}
+
+// --- crash recovery ---------------------------------------------------
+
+// LostPage describes one active page version to reconstruct after the
+// crash of a data column.
+type LostPage struct {
+	Page page.ID
+	// Survivors are the group's other member slots plus the parity
+	// slot; XORing all of their contents yields the lost page. For the
+	// open (unsealed) group Survivors excludes parity and UseBuffer is
+	// set: the client's in-memory parity buffer substitutes for it.
+	Survivors []ColumnKey
+	UseBuffer bool
+}
+
+// RecoveryPlan lists what must be rebuilt after column col crashed,
+// and which still-live pages merely need re-homing (their version
+// survives on healthy columns but their group lost a member, so the
+// group no longer tolerates another failure).
+type RecoveryPlan struct {
+	Lost []LostPage
+	// Rehome lists live pages on healthy columns whose groups lost a
+	// (possibly inactive) member to the crash; re-appending them into
+	// fresh groups restores single-failure tolerance and lets the
+	// damaged groups be reclaimed.
+	Rehome []page.ID
+}
+
+// PlanRecovery computes the reconstruction plan for a crash of data
+// column col. The parity column is handled separately: losing the
+// parity server loses only redundancy, so the plan just re-homes
+// every page of every sealed group (PlanParityLoss).
+func (l *Log) PlanRecovery(col int) (RecoveryPlan, error) {
+	if col < 0 || col >= l.s {
+		return RecoveryPlan{}, fmt.Errorf("parity: column %d out of range", col)
+	}
+	var plan RecoveryPlan
+	for _, g := range l.groups {
+		if col >= len(g.members) {
+			continue // group never reached that column
+		}
+		m := g.members[col]
+		damaged := false
+		if m.active {
+			lp := LostPage{Page: m.page, UseBuffer: !g.sealed}
+			for c, other := range g.members {
+				if c == col {
+					continue
+				}
+				lp.Survivors = append(lp.Survivors, ColumnKey{Column: c, Key: other.key})
+			}
+			if g.sealed {
+				lp.Survivors = append(lp.Survivors, ColumnKey{Column: ParityColumn, Key: g.parity})
+			}
+			plan.Lost = append(plan.Lost, lp)
+			damaged = true
+		} else {
+			// Inactive member lost: data is already superseded, but
+			// the group's parity no longer covers a second failure.
+			damaged = true
+		}
+		if damaged {
+			for c, other := range g.members {
+				if c != col && other.active {
+					plan.Rehome = append(plan.Rehome, other.page)
+				}
+			}
+		}
+	}
+	return plan, nil
+}
+
+// Reconstruct XORs the survivor pages (and, for an open group, the
+// client buffer) into the lost page contents. pages must be in the
+// same order as lp.Survivors.
+func (l *Log) Reconstruct(lp LostPage, pages []page.Buf) (page.Buf, error) {
+	if len(pages) != len(lp.Survivors) {
+		return nil, fmt.Errorf("parity: got %d survivor pages, want %d", len(pages), len(lp.Survivors))
+	}
+	out := page.NewBuf()
+	if lp.UseBuffer {
+		copy(out, l.buffer)
+	}
+	for _, p := range pages {
+		if err := p.CheckLen(); err != nil {
+			return nil, err
+		}
+		page.XORInto(out, p)
+	}
+	return out, nil
+}
+
+// AbandonOpenGroup closes the open group without sealing it, resetting
+// the parity buffer. Crash recovery calls this after reconstructing
+// (the reconstruction of open-group members needs the buffer intact,
+// so the required order is: PlanRecovery, fetch survivors,
+// Reconstruct, AbandonOpenGroup, then re-append). If the open group
+// already has no active members its slots are reclaimed immediately;
+// otherwise it is reclaimed when its last member is re-appended.
+func (l *Log) AbandonOpenGroup() *Reclaim {
+	g := l.cur
+	if g == nil {
+		return nil
+	}
+	g.abandoned = true
+	l.cur = nil
+	l.buffer = page.NewBuf()
+	if g.active == 0 {
+		return l.reclaim(g)
+	}
+	return nil
+}
+
+// PlanParityLoss returns the live pages of every sealed group. Losing
+// the parity server loses no data, only redundancy: re-appending these
+// pages rebuilds fresh groups whose parity lands on a healthy server.
+// The open group is unaffected (its parity still lives in the client
+// buffer).
+func (l *Log) PlanParityLoss() []page.ID {
+	var out []page.ID
+	for _, g := range l.groups {
+		if !g.sealed {
+			continue
+		}
+		for _, m := range g.members {
+			if m.active {
+				out = append(out, m.page)
+			}
+		}
+	}
+	return out
+}
+
+// --- garbage collection ------------------------------------------------
+
+// GCCandidates returns the live pages of the sealed groups with the
+// lowest active fraction, covering at least wantSlots reclaimable
+// slots. Re-appending those pages (normal pageouts of their current
+// contents) drains the chosen groups to zero active members, at which
+// point Append returns their Reclaims naturally. This implements the
+// paper's "combining their active pages to new ones".
+func (l *Log) GCCandidates(wantSlots int) []page.ID {
+	type cand struct {
+		g        *group
+		occupied int
+	}
+	var cands []cand
+	for _, g := range l.groups {
+		if !g.sealed || g.active == len(g.members) {
+			continue // full groups yield nothing
+		}
+		cands = append(cands, cand{g, len(g.members) + 1}) // +1 parity slot
+	}
+	// Emptiest groups first: most reclaimable slots per page rewritten.
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j].g.active < cands[j-1].g.active; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	var out []page.ID
+	covered := 0
+	for _, c := range cands {
+		if covered >= wantSlots {
+			break
+		}
+		for _, m := range c.g.members {
+			if m.active {
+				out = append(out, m.page)
+			}
+		}
+		covered += c.occupied
+	}
+	return out
+}

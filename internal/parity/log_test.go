@@ -1,0 +1,521 @@
+package parity
+
+import (
+	"math/rand"
+	"testing"
+
+	"rmp/internal/page"
+)
+
+func mkPage(seed uint64) page.Buf {
+	p := page.NewBuf()
+	p.Fill(seed)
+	return p
+}
+
+func mustLog(t *testing.T, s int) *Log {
+	t.Helper()
+	l, err := NewLog(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestNewLogRejectsZeroWidth(t *testing.T) {
+	if _, err := NewLog(0); err == nil {
+		t.Fatal("NewLog(0) succeeded")
+	}
+}
+
+func TestAppendRoundRobinColumns(t *testing.T) {
+	l := mustLog(t, 4)
+	for i := 0; i < 8; i++ {
+		pl, _, _, err := l.Append(page.ID(i), mkPage(uint64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pl.Column != i%4 {
+			t.Fatalf("append %d placed on column %d, want %d", i, pl.Column, i%4)
+		}
+	}
+}
+
+func TestSealAfterSAppends(t *testing.T) {
+	l := mustLog(t, 3)
+	var sealed *SealedParity
+	for i := 0; i < 3; i++ {
+		_, s, _, err := l.Append(page.ID(i), mkPage(uint64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i < 2 && s != nil {
+			t.Fatalf("sealed after %d appends", i+1)
+		}
+		sealed = s
+	}
+	if sealed == nil {
+		t.Fatal("no seal after S appends")
+	}
+	// Parity must equal XOR of the three pages.
+	want := page.XOR(page.XOR(mkPage(0), mkPage(1)), mkPage(2))
+	if sealed.Data.Checksum() != want.Checksum() {
+		t.Fatal("sealed parity != XOR of members")
+	}
+	if l.Stats().Seals != 1 {
+		t.Fatal("seal not counted")
+	}
+}
+
+func TestTransferOverheadIsOnePlusOneOverS(t *testing.T) {
+	// The headline property (§2.2): parity logging costs 1 + 1/S
+	// transfers per pageout.
+	const S, outs = 4, 100
+	l := mustLog(t, S)
+	transfers := 0
+	for i := 0; i < outs; i++ {
+		_, sealed, _, err := l.Append(page.ID(i%10), mkPage(uint64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		transfers++
+		if sealed != nil {
+			transfers++
+		}
+	}
+	want := outs + outs/S
+	if transfers != want {
+		t.Fatalf("%d transfers for %d pageouts, want %d (1+1/S)", transfers, outs, want)
+	}
+}
+
+func TestRepageoutMarksInactiveAndReclaims(t *testing.T) {
+	l := mustLog(t, 2)
+	// Fill group 1 with pages 0,1 (seals).
+	for i := 0; i < 2; i++ {
+		if _, _, _, err := l.Append(page.ID(i), mkPage(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Re-pageout page 0: old version inactive, but group 1 still has
+	// page 1 active -> no reclaim yet.
+	_, _, recs, err := l.Append(0, mkPage(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("premature reclaim: %+v", recs)
+	}
+	// Re-pageout page 1: group 1 now fully inactive -> reclaimed. This
+	// append also seals group 2.
+	_, sealed, recs, err := l.Append(1, mkPage(101))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sealed == nil {
+		t.Fatal("group 2 should have sealed")
+	}
+	if len(recs) != 1 {
+		t.Fatalf("got %d reclaims, want 1", len(recs))
+	}
+	// Reclaim must list 2 data slots + 1 parity slot.
+	if len(recs[0].Slots) != 3 {
+		t.Fatalf("reclaim lists %d slots, want 3", len(recs[0].Slots))
+	}
+	paritySlots := 0
+	for _, s := range recs[0].Slots {
+		if s.Column == ParityColumn {
+			paritySlots++
+		}
+	}
+	if paritySlots != 1 {
+		t.Fatalf("reclaim has %d parity slots, want 1", paritySlots)
+	}
+}
+
+func TestLookupTracksLiveVersion(t *testing.T) {
+	l := mustLog(t, 3)
+	pl1, _, _, _ := l.Append(7, mkPage(1))
+	ck, ok := l.Lookup(7)
+	if !ok || ck.Key != pl1.Key || ck.Column != pl1.Column {
+		t.Fatalf("Lookup = %+v, want %+v", ck, pl1)
+	}
+	pl2, _, _, _ := l.Append(7, mkPage(2))
+	ck, ok = l.Lookup(7)
+	if !ok || ck.Key != pl2.Key {
+		t.Fatal("Lookup did not follow re-pageout")
+	}
+	if _, ok := l.Lookup(99); ok {
+		t.Fatal("Lookup found never-appended page")
+	}
+}
+
+func TestFreeDropsPage(t *testing.T) {
+	l := mustLog(t, 2)
+	l.Append(0, mkPage(0))
+	l.Append(1, mkPage(1)) // seals group
+	recs := l.Free(0)
+	if len(recs) != 0 {
+		t.Fatal("reclaim before group empty")
+	}
+	recs = l.Free(1)
+	if len(recs) != 1 {
+		t.Fatal("no reclaim after freeing whole group")
+	}
+	if _, ok := l.Lookup(0); ok {
+		t.Fatal("freed page still live")
+	}
+	if l.Free(0) != nil {
+		t.Fatal("double free returned reclaims")
+	}
+}
+
+func TestVersionsStoredCountsOverflow(t *testing.T) {
+	l := mustLog(t, 2)
+	l.Append(0, mkPage(0))
+	l.Append(1, mkPage(1)) // group 1 sealed
+	l.Append(0, mkPage(2)) // old v of page 0 inactive, still stored
+	data, par := l.VersionsStored()
+	if data != 3 || par != 1 {
+		t.Fatalf("VersionsStored = %d,%d; want 3 data, 1 parity", data, par)
+	}
+}
+
+// memCluster simulates S data servers plus a parity server as maps,
+// exercising the full placement/seal/reclaim/recovery protocol the
+// pager would run.
+type memCluster struct {
+	l       *Log
+	cols    []map[uint64]page.Buf // data columns
+	parity  map[uint64]page.Buf
+	t       *testing.T
+	content map[page.ID]page.Buf // ground truth of live pages
+}
+
+func newMemCluster(t *testing.T, s int) *memCluster {
+	mc := &memCluster{
+		l:       mustLog(t, s),
+		parity:  make(map[uint64]page.Buf),
+		t:       t,
+		content: make(map[page.ID]page.Buf),
+	}
+	for i := 0; i < s; i++ {
+		mc.cols = append(mc.cols, make(map[uint64]page.Buf))
+	}
+	return mc
+}
+
+func (mc *memCluster) store(ck ColumnKey, data page.Buf) {
+	if ck.Column == ParityColumn {
+		mc.parity[ck.Key] = data.Clone()
+	} else {
+		mc.cols[ck.Column][ck.Key] = data.Clone()
+	}
+}
+
+func (mc *memCluster) fetch(ck ColumnKey) page.Buf {
+	var m map[uint64]page.Buf
+	if ck.Column == ParityColumn {
+		m = mc.parity
+	} else {
+		m = mc.cols[ck.Column]
+	}
+	p, ok := m[ck.Key]
+	if !ok {
+		mc.t.Fatalf("fetch: missing slot %+v", ck)
+	}
+	return p
+}
+
+func (mc *memCluster) pageout(id page.ID, data page.Buf) {
+	pl, sealed, recs, err := mc.l.Append(id, data)
+	if err != nil {
+		mc.t.Fatal(err)
+	}
+	mc.store(ColumnKey{pl.Column, pl.Key}, data)
+	if sealed != nil {
+		mc.store(ColumnKey{ParityColumn, sealed.Key}, sealed.Data)
+	}
+	for _, r := range recs {
+		for _, s := range r.Slots {
+			if s.Column == ParityColumn {
+				delete(mc.parity, s.Key)
+			} else {
+				delete(mc.cols[s.Column], s.Key)
+			}
+		}
+	}
+	mc.content[id] = data.Clone()
+}
+
+// crashAndRecover wipes column col, runs the recovery protocol, and
+// verifies every live page is still reachable with correct contents.
+func (mc *memCluster) crashAndRecover(col int) {
+	plan, err := mc.l.PlanRecovery(col)
+	if err != nil {
+		mc.t.Fatal(err)
+	}
+	// Reconstruct lost pages from survivors (the dead column's map is
+	// conceptually gone; survivors never reference it).
+	rebuilt := make(map[page.ID]page.Buf)
+	for _, lp := range plan.Lost {
+		var pages []page.Buf
+		for _, ck := range lp.Survivors {
+			if ck.Column == col {
+				mc.t.Fatalf("recovery plan references crashed column: %+v", ck)
+			}
+			pages = append(pages, mc.fetch(ck))
+		}
+		data, err := mc.l.Reconstruct(lp, pages)
+		if err != nil {
+			mc.t.Fatal(err)
+		}
+		rebuilt[lp.Page] = data
+	}
+	// Read re-home pages from healthy columns before mutating the log.
+	rehome := make(map[page.ID]page.Buf)
+	for _, id := range plan.Rehome {
+		ck, ok := mc.l.Lookup(id)
+		if !ok {
+			mc.t.Fatalf("rehome page %v not live", id)
+		}
+		if ck.Column == col {
+			mc.t.Fatalf("rehome page %v lives on crashed column", id)
+		}
+		rehome[id] = mc.fetch(ck)
+	}
+	mc.cols[col] = make(map[uint64]page.Buf) // the crash
+	mc.l.AbandonOpenGroup()
+	// Re-append: reconstructed pages and re-homed pages. Note the log
+	// still has width S; in the real pager a replacement server (or a
+	// shrunken column set via a fresh log) takes over the column.
+	for id, data := range rebuilt {
+		mc.pageout(id, data)
+	}
+	for id, data := range rehome {
+		mc.pageout(id, data)
+	}
+	mc.verify(col)
+}
+
+// verify checks every live page against ground truth, fetching via
+// the log's lookup; pages on skipCol would have been lost.
+func (mc *memCluster) verify(skipCol int) {
+	for id, want := range mc.content {
+		ck, ok := mc.l.Lookup(id)
+		if !ok {
+			mc.t.Fatalf("page %v lost from log", id)
+		}
+		got := mc.fetch(ck)
+		if got.Checksum() != want.Checksum() {
+			mc.t.Fatalf("page %v content mismatch after recovery", id)
+		}
+	}
+	_ = skipCol
+}
+
+func TestClusterRecoveryAfterSealedGroups(t *testing.T) {
+	mc := newMemCluster(t, 4)
+	for i := 0; i < 16; i++ { // 4 sealed groups
+		mc.pageout(page.ID(i), mkPage(uint64(i)))
+	}
+	mc.crashAndRecover(2)
+}
+
+func TestClusterRecoveryWithOpenGroup(t *testing.T) {
+	mc := newMemCluster(t, 4)
+	for i := 0; i < 10; i++ { // 2 sealed groups + open group of 2
+		mc.pageout(page.ID(i), mkPage(uint64(i)))
+	}
+	mc.crashAndRecover(0) // column 0 holds an open-group member
+}
+
+func TestClusterRecoveryWithInactiveVersions(t *testing.T) {
+	mc := newMemCluster(t, 3)
+	for i := 0; i < 9; i++ {
+		mc.pageout(page.ID(i%4), mkPage(uint64(i*7)))
+	}
+	for col := 0; col < 3; col++ {
+		mc := newMemCluster(t, 3)
+		for i := 0; i < 9; i++ {
+			mc.pageout(page.ID(i%4), mkPage(uint64(i*7+col)))
+		}
+		mc.crashAndRecover(col)
+	}
+}
+
+func TestClusterRandomizedRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		s := 2 + rng.Intn(4)
+		mc := newMemCluster(t, s)
+		nPages := 1 + rng.Intn(12)
+		ops := 5 + rng.Intn(60)
+		for i := 0; i < ops; i++ {
+			mc.pageout(page.ID(rng.Intn(nPages)), mkPage(rng.Uint64()))
+		}
+		mc.crashAndRecover(rng.Intn(s))
+		// Keep running after recovery.
+		for i := 0; i < 10; i++ {
+			mc.pageout(page.ID(rng.Intn(nPages)), mkPage(rng.Uint64()))
+		}
+		mc.verify(-1)
+	}
+}
+
+func TestParityServerLoss(t *testing.T) {
+	mc := newMemCluster(t, 3)
+	for i := 0; i < 7; i++ {
+		mc.pageout(page.ID(i), mkPage(uint64(i)))
+	}
+	ids := mc.l.PlanParityLoss()
+	// Sealed groups hold pages 0..5; page 6 is in the open group.
+	if len(ids) != 6 {
+		t.Fatalf("PlanParityLoss lists %d pages, want 6", len(ids))
+	}
+	mc.parity = make(map[uint64]page.Buf) // the crash
+	for _, id := range ids {
+		ck, _ := mc.l.Lookup(id)
+		data := mc.fetch(ck)
+		mc.pageout(id, data)
+	}
+	mc.verify(-1)
+}
+
+func TestAbandonOpenGroupResetsBuffer(t *testing.T) {
+	l := mustLog(t, 4)
+	l.Append(0, mkPage(1))
+	l.Append(1, mkPage(2))
+	if rec := l.AbandonOpenGroup(); rec != nil {
+		t.Fatal("abandon reclaimed group with active members")
+	}
+	// Next append starts a fresh group at column 0 with zeroed buffer.
+	pl, _, _, _ := l.Append(2, mkPage(3))
+	if pl.Column != 0 {
+		t.Fatalf("post-abandon append on column %d, want 0", pl.Column)
+	}
+	// Fill the fresh group; parity must be XOR of only its own members.
+	pages := []page.Buf{mkPage(3)}
+	var sealed *SealedParity
+	for i := 3; i < 6; i++ {
+		p := mkPage(uint64(i + 10))
+		pages = append(pages, p)
+		_, s, _, _ := l.Append(page.ID(i), p)
+		sealed = s
+	}
+	want := page.NewBuf()
+	for _, p := range pages {
+		page.XORInto(want, p)
+	}
+	if sealed == nil || sealed.Data.Checksum() != want.Checksum() {
+		t.Fatal("buffer leaked across AbandonOpenGroup")
+	}
+	// Re-appending the abandoned group's members reclaims it (2 data
+	// slots, no parity slot).
+	var recs []Reclaim
+	_, _, r1, _ := l.Append(0, mkPage(20))
+	recs = append(recs, r1...)
+	_, _, r2, _ := l.Append(1, mkPage(21))
+	recs = append(recs, r2...)
+	if len(recs) != 1 || len(recs[0].Slots) != 2 {
+		t.Fatalf("abandoned group reclaim = %+v, want 1 reclaim with 2 slots", recs)
+	}
+}
+
+func TestAbandonNoOpenGroup(t *testing.T) {
+	l := mustLog(t, 2)
+	if l.AbandonOpenGroup() != nil {
+		t.Fatal("abandon with no open group returned reclaim")
+	}
+	l.Append(0, mkPage(1))
+	l.Append(1, mkPage(2)) // seals; no open group remains
+	if l.AbandonOpenGroup() != nil {
+		t.Fatal("abandon after seal returned reclaim")
+	}
+}
+
+func TestGCCandidatesPrefersEmptiestGroups(t *testing.T) {
+	l := mustLog(t, 2)
+	// Group 1: pages 0,1. Group 2: pages 2,3. Group 3: pages 0,4
+	// (re-out of 0 leaves group 1 half-empty).
+	l.Append(0, mkPage(0))
+	l.Append(1, mkPage(1))
+	l.Append(2, mkPage(2))
+	l.Append(3, mkPage(3))
+	l.Append(0, mkPage(4))
+	l.Append(4, mkPage(5))
+	// Group 1 has 1 active member (page 1); groups 2,3 are full.
+	ids := l.GCCandidates(1)
+	if len(ids) != 1 || ids[0] != 1 {
+		t.Fatalf("GCCandidates = %v, want [1]", ids)
+	}
+	// Full groups must never be GC candidates (rewriting them frees
+	// nothing).
+	ids = l.GCCandidates(1000)
+	for _, id := range ids {
+		if id != 1 {
+			t.Fatalf("GC wants to rewrite page %v from a full group", id)
+		}
+	}
+}
+
+func TestGCDrainsFragmentation(t *testing.T) {
+	l := mustLog(t, 2)
+	// Create heavy fragmentation: 8 pages, then re-pageout pages
+	// 0,2,4,6, leaving half-empty groups.
+	for i := 0; i < 8; i++ {
+		l.Append(page.ID(i), mkPage(uint64(i)))
+	}
+	for _, i := range []page.ID{0, 2, 4, 6} {
+		l.Append(i, mkPage(uint64(i)+100))
+	}
+	before, _ := l.VersionsStored()
+	ids := l.GCCandidates(100)
+	for _, id := range ids {
+		l.Append(id, mkPage(uint64(id)+200)) // rewrite with current data
+	}
+	// Pad the open group so the final group seals and dead groups drain.
+	l.Append(100, mkPage(1000))
+	l.Append(101, mkPage(1001))
+	after, _ := l.VersionsStored()
+	if after >= before {
+		t.Fatalf("GC did not shrink stored versions: %d -> %d", before, after)
+	}
+	live := len(l.Pages())
+	if live != 10 {
+		t.Fatalf("live pages = %d, want 10", live)
+	}
+}
+
+func TestPlanRecoveryBadColumn(t *testing.T) {
+	l := mustLog(t, 2)
+	if _, err := l.PlanRecovery(2); err == nil {
+		t.Fatal("PlanRecovery accepted out-of-range column")
+	}
+	if _, err := l.PlanRecovery(-1); err == nil {
+		t.Fatal("PlanRecovery accepted negative column")
+	}
+}
+
+func TestReconstructArityCheck(t *testing.T) {
+	l := mustLog(t, 2)
+	lp := LostPage{Survivors: []ColumnKey{{0, 1}, {ParityColumn, 2}}}
+	if _, err := l.Reconstruct(lp, []page.Buf{mkPage(1)}); err == nil {
+		t.Fatal("Reconstruct accepted wrong survivor count")
+	}
+	if _, err := l.Reconstruct(lp, []page.Buf{mkPage(1), make(page.Buf, 3)}); err == nil {
+		t.Fatal("Reconstruct accepted short page")
+	}
+}
+
+func BenchmarkAppend(b *testing.B) {
+	l, _ := NewLog(4)
+	data := mkPage(1)
+	b.SetBytes(page.Size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := l.Append(page.ID(i%256), data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package parity
+
+import (
+	"math/rand"
+	"testing"
+
+	"rmp/internal/page"
+)
+
+// modelChecker runs random Append/Free sequences against a simple
+// reference model and checks the log's structural invariants after
+// every operation:
+//
+//	I1: Lookup(p) succeeds exactly for live pages.
+//	I2: no storage slot is allocated twice or reclaimed twice.
+//	I3: reclaims only name slots that were previously handed out.
+//	I4: stored versions == handed-out data slots - reclaimed ones.
+//	I5: placements round-robin the columns of the open group.
+type modelChecker struct {
+	t   *testing.T
+	l   *Log
+	rng *rand.Rand
+
+	live      map[page.ID]uint64 // page -> current slot key
+	allocated map[uint64]int     // key -> column (incl. ParityColumn)
+	freed     map[uint64]bool
+	dataSlots int // live data-slot count (active + inactive versions)
+}
+
+func newModelChecker(t *testing.T, s int, seed int64) *modelChecker {
+	l, err := NewLog(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &modelChecker{
+		t:         t,
+		l:         l,
+		rng:       rand.New(rand.NewSource(seed)),
+		live:      make(map[page.ID]uint64),
+		allocated: make(map[uint64]int),
+		freed:     make(map[uint64]bool),
+	}
+}
+
+func (m *modelChecker) noteAlloc(key uint64, col int) {
+	if _, dup := m.allocated[key]; dup {
+		m.t.Fatalf("key %d allocated twice", key)
+	}
+	if m.freed[key] {
+		m.t.Fatalf("key %d reused after free", key)
+	}
+	m.allocated[key] = col
+}
+
+func (m *modelChecker) noteReclaims(recs []Reclaim) {
+	for _, r := range recs {
+		for _, s := range r.Slots {
+			col, ok := m.allocated[s.Key]
+			if !ok {
+				m.t.Fatalf("reclaimed key %d never allocated", s.Key)
+			}
+			if col != s.Column {
+				m.t.Fatalf("key %d reclaimed on column %d, allocated on %d", s.Key, s.Column, col)
+			}
+			if m.freed[s.Key] {
+				m.t.Fatalf("key %d reclaimed twice", s.Key)
+			}
+			m.freed[s.Key] = true
+			if s.Column != ParityColumn {
+				m.dataSlots--
+			}
+		}
+	}
+}
+
+func (m *modelChecker) appendPage(id page.ID) {
+	data := page.NewBuf()
+	data.Fill(m.rng.Uint64())
+	pl, sealed, recs, err := m.l.Append(id, data)
+	if err != nil {
+		m.t.Fatal(err)
+	}
+	m.noteAlloc(pl.Key, pl.Column)
+	m.dataSlots++
+	if sealed != nil {
+		m.noteAlloc(sealed.Key, ParityColumn)
+	}
+	m.noteReclaims(recs)
+	m.live[id] = pl.Key
+	m.check()
+}
+
+func (m *modelChecker) freePage(id page.ID) {
+	_, wasLive := m.live[id]
+	m.noteReclaims(m.l.Free(id))
+	delete(m.live, id)
+	if _, still := m.l.Lookup(id); still {
+		m.t.Fatalf("page %v still live after Free", id)
+	}
+	_ = wasLive
+	m.check()
+}
+
+func (m *modelChecker) check() {
+	// I1: live set agrees.
+	for id, key := range m.live {
+		ck, ok := m.l.Lookup(id)
+		if !ok {
+			m.t.Fatalf("live page %v not found", id)
+		}
+		if ck.Key != key {
+			m.t.Fatalf("page %v at key %d, model says %d", id, ck.Key, key)
+		}
+	}
+	if got := len(m.l.Pages()); got != len(m.live) {
+		m.t.Fatalf("log reports %d live pages, model %d", got, len(m.live))
+	}
+	// I4: stored data versions match the slot ledger.
+	data, _ := m.l.VersionsStored()
+	if data != m.dataSlots {
+		m.t.Fatalf("VersionsStored data = %d, ledger = %d", data, m.dataSlots)
+	}
+}
+
+func TestLogModelRandomOps(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		for _, s := range []int{1, 2, 3, 5} {
+			m := newModelChecker(t, s, seed)
+			nPages := 1 + m.rng.Intn(20)
+			for op := 0; op < 300; op++ {
+				id := page.ID(m.rng.Intn(nPages))
+				if m.rng.Intn(10) < 7 {
+					m.appendPage(id)
+				} else {
+					m.freePage(id)
+				}
+			}
+			// Drain: free everything; all data slots must eventually be
+			// reclaimed except those pinned in the open group.
+			for id := range m.live {
+				m.freePage(id)
+			}
+			m.l.AbandonOpenGroup()
+			// After abandoning, every group with zero active members is
+			// reclaimed; since nothing is live, all groups are gone.
+			data, parity := m.l.VersionsStored()
+			if data != 0 || parity != 0 {
+				t.Fatalf("seed %d s %d: %d data + %d parity versions leaked after full drain",
+					seed, s, data, parity)
+			}
+		}
+	}
+}
+
+// TestLogModelRecoveryEveryColumn crashes each column of a randomly
+// built log and verifies the plans are internally consistent (every
+// survivor slot is a currently allocated slot on a healthy column).
+func TestLogModelRecoveryPlansConsistent(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		const s = 4
+		m := newModelChecker(t, s, 100+seed)
+		for op := 0; op < 120; op++ {
+			m.appendPage(page.ID(m.rng.Intn(15)))
+		}
+		for col := 0; col < s; col++ {
+			plan, err := m.l.PlanRecovery(col)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, lp := range plan.Lost {
+				if _, live := m.live[lp.Page]; !live {
+					t.Fatalf("plan wants to rebuild non-live page %v", lp.Page)
+				}
+				for _, ck := range lp.Survivors {
+					if ck.Column == col {
+						t.Fatalf("survivor on the crashed column %d", col)
+					}
+					c, ok := m.allocated[ck.Key]
+					if !ok || m.freed[ck.Key] {
+						t.Fatalf("survivor key %d not currently allocated", ck.Key)
+					}
+					if c != ck.Column {
+						t.Fatalf("survivor key %d column mismatch", ck.Key)
+					}
+				}
+			}
+			for _, id := range plan.Rehome {
+				ck, ok := m.l.Lookup(id)
+				if !ok {
+					t.Fatalf("rehome target %v not live", id)
+				}
+				if ck.Column == col {
+					t.Fatalf("rehome target %v lives on crashed column", id)
+				}
+			}
+		}
+	}
+}

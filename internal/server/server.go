@@ -1,0 +1,618 @@
+// Package server implements the remote memory server: a user-level
+// program that listens on a socket, accepts connections from RMP
+// clients, and stores their swapped-out pages in main memory
+// (paper §3.2).
+//
+// Faithful to the paper, the server is policy-agnostic: it answers
+// pageins and pageouts "without knowing whether it stores memory
+// pages or parity pages". A parity server is just another server. The
+// one cooperative extra is XORWRITE: for the basic parity policy the
+// server computes old XOR new locally and forwards the delta to the
+// designated parity server itself, saving the client a transfer.
+//
+// The paper forks "a new instance of the server" per client; here each
+// accepted connection gets a session goroutine. Sessions presenting
+// the same client name (from HELLO) share one key namespace, so a
+// client may open several connections for parallelism — and so a
+// parity delta forwarded on the client's behalf lands where the client
+// can later read it back during recovery. Namespaces are 16-bit tags
+// prefixed onto the 48-bit client key space.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rmp/internal/disk"
+	"rmp/internal/page"
+	"rmp/internal/pagestore"
+	"rmp/internal/wire"
+)
+
+// keyBits is how many bits of the wire key belong to the client; the
+// top 16 bits carry the client-namespace tag.
+const keyBits = 48
+
+const keyMask = uint64(1)<<keyBits - 1
+
+// Config parametrizes a Server.
+type Config struct {
+	// Name identifies the server in logs and load reports.
+	Name string
+	// CapacityPages is the donated memory in pages (hard limit,
+	// including overflow headroom).
+	CapacityPages int
+	// OverflowFrac is the fraction of capacity kept as overflow for
+	// parity logging (the paper uses 0.10).
+	OverflowFrac float64
+	// AuthToken, when non-empty, must match the token carried in each
+	// client's HELLO. Stands in for the paper's privileged-port check.
+	AuthToken string
+	// PressureDelay is added to every page service while the host is
+	// under native memory pressure, emulating requests "serviced from
+	// the disk" after the kernel swapped the server's pages out (§2.1).
+	PressureDelay time.Duration
+	// ServiceDelay is added to every page service unconditionally.
+	// It emulates a distant or slow server — the paper's §5
+	// heterogeneous-network scenario where "the time it takes to
+	// transfer a page may not be identical for each server".
+	ServiceDelay time.Duration
+	// Spill enables the paper's §2.1 pressure behaviour: "when native
+	// memory-demanding processes start on a server workstation, part
+	// of the server's memory is swapped out to disk. Future requests
+	// will be serviced from the disk". Under pressure, half of the
+	// stored pages move to a local spill file and incoming stores go
+	// there too; when pressure clears they migrate back to memory.
+	Spill bool
+	// SpillFrac is the fraction of stored pages spilled when pressure
+	// sets in (default 0.5).
+	SpillFrac float64
+	// Logger receives diagnostics; nil silences them.
+	Logger *log.Logger
+}
+
+// Server is a remote memory server. Create with New, start with Serve
+// or ListenAndServe, stop with Close.
+type Server struct {
+	cfg   Config
+	store *pagestore.Store
+
+	mu      sync.Mutex
+	ln      net.Listener
+	conns   map[net.Conn]struct{}
+	clients map[string]*clientNS
+	nextTag uint16
+	closed  bool
+
+	pressure atomic.Bool
+	// extraDelay augments Config.ServiceDelay at runtime (varying
+	// host or network load).
+	extraDelay atomic.Int64
+
+	// spill backs pressure-evicted pages on the local disk (nil when
+	// Config.Spill is off). spillMu serializes compound
+	// read-modify-write operations (XORWRITE/XORDELTA) that may span
+	// memory and spill.
+	spillMu sync.Mutex
+	spill   *disk.Store
+
+	wg sync.WaitGroup
+
+	// parityConns caches outbound connections for XORWRITE forwarding,
+	// keyed by "addr|clientName" because the forwarded HELLO must
+	// impersonate the originating client to hit its namespace.
+	parityMu    sync.Mutex
+	parityConns map[string]*parityConn
+}
+
+type parityConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// clientNS is the per-client-name state shared by that client's
+// sessions: the namespace tag, the swap-space reservation, and a
+// reference count of live sessions. Pages and reservations outlive
+// individual connections (a transient disconnect must not destroy a
+// client's swap space); they are torn down when the last session of a
+// client that said BYE closes, or via DropClient.
+type clientNS struct {
+	tag      uint16
+	refs     int
+	reserved int
+	saidBye  bool
+}
+
+type session struct {
+	conn net.Conn
+	name string
+	ns   *clientNS
+}
+
+// New creates a server with the given configuration.
+func New(cfg Config) *Server {
+	if cfg.Name == "" {
+		cfg.Name = "rmemd"
+	}
+	s := &Server{
+		cfg:         cfg,
+		store:       pagestore.New(cfg.CapacityPages, cfg.OverflowFrac),
+		conns:       make(map[net.Conn]struct{}),
+		clients:     make(map[string]*clientNS),
+		parityConns: make(map[string]*parityConn),
+	}
+	if cfg.Spill {
+		spill, err := disk.OpenTemp(disk.LatencyModel{})
+		if err != nil {
+			s.logf("%s: spill disabled: %v", cfg.Name, err)
+		} else {
+			s.spill = spill
+		}
+	}
+	return s
+}
+
+// ListenAndServe listens on addr ("host:port", port 0 for ephemeral)
+// and serves until Close. It returns once the listener is installed;
+// serving continues in the background.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.Serve(ln)
+	return nil
+}
+
+// Serve starts accepting connections from ln in the background.
+func (s *Server) Serve(ln net.Listener) {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+}
+
+// Addr returns the listen address, or nil before Serve.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// SetPressure marks the host as loaded (or unloaded) by native
+// memory-demanding processes. While set, swap-space allocation is
+// denied, every ack carries wire.FlagPressure advising the client to
+// migrate its pages elsewhere, and page service pays PressureDelay.
+// With Config.Spill, setting pressure also swaps part of the donated
+// memory out to the local disk (and clearing it swaps back in) —
+// the §2.1 behaviour.
+func (s *Server) SetPressure(on bool) {
+	was := s.pressure.Swap(on)
+	if was == on {
+		return
+	}
+	if on {
+		s.spillExcess()
+	} else {
+		s.unspill()
+	}
+}
+
+// Pressure reports the current pressure flag.
+func (s *Server) Pressure() bool { return s.pressure.Load() }
+
+// Store exposes the backing page store (read-mostly; used by tests,
+// stats endpoints and crash-recovery tooling).
+func (s *Server) Store() *pagestore.Store { return s.store }
+
+// Close stops the listener and all sessions and waits for them.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.parityMu.Lock()
+	for _, pc := range s.parityConns {
+		pc.conn.Close()
+	}
+	s.parityConns = make(map[string]*parityConn)
+	s.parityMu.Unlock()
+	s.wg.Wait()
+	if s.spill != nil {
+		s.spill.Close()
+	}
+	return nil
+}
+
+// DropClient discards everything held for the named client: pages,
+// reservation, namespace. Administrative escape hatch for clients that
+// vanished without BYE.
+func (s *Server) DropClient(name string) {
+	s.mu.Lock()
+	ns, ok := s.clients[name]
+	if ok {
+		delete(s.clients, name)
+	}
+	s.mu.Unlock()
+	if ok {
+		s.purgeNamespace(ns)
+	}
+}
+
+func (s *Server) purgeNamespace(ns *clientNS) {
+	if ns.reserved > 0 {
+		s.store.Release(ns.reserved)
+		ns.reserved = 0
+	}
+	var doomed []uint64
+	for _, k := range s.store.Keys() {
+		if uint16(k>>keyBits) == ns.tag {
+			doomed = append(doomed, k)
+		}
+	}
+	doomed = append(doomed, s.spilledKeysOf(ns.tag)...)
+	s.deleteAnywhere(doomed...)
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf(format, args...)
+	}
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// attach binds a connection to the namespace for client name,
+// creating it on first contact.
+func (s *Server) attach(conn net.Conn, name string) *session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ns, ok := s.clients[name]
+	if !ok {
+		s.nextTag++
+		ns = &clientNS{tag: s.nextTag}
+		s.clients[name] = ns
+	}
+	ns.refs++
+	ns.saidBye = false
+	return &session{conn: conn, name: name, ns: ns}
+}
+
+// detach drops a session; the namespace is purged when the last
+// session of a BYE'd client leaves.
+func (s *Server) detach(sess *session) {
+	s.mu.Lock()
+	sess.ns.refs--
+	purge := sess.ns.refs == 0 && sess.ns.saidBye
+	if purge {
+		delete(s.clients, sess.name)
+	}
+	s.mu.Unlock()
+	if purge {
+		s.purgeNamespace(sess.ns)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+
+	// First frame must be HELLO with a valid token.
+	m, err := wire.Decode(conn)
+	if err != nil {
+		return
+	}
+	if m.Type != wire.THello {
+		wire.Encode(conn, &wire.Msg{Type: m.Type.Ack(), Status: wire.StatusDenied})
+		return
+	}
+	if s.cfg.AuthToken != "" && string(m.Data) != s.cfg.AuthToken {
+		wire.Encode(conn, &wire.Msg{Type: wire.THelloAck, Status: wire.StatusDenied})
+		s.logf("%s: rejected client %q: bad token", s.cfg.Name, m.Host)
+		return
+	}
+	name := m.Host
+	if name == "" {
+		name = conn.RemoteAddr().String()
+	}
+	sess := s.attach(conn, name)
+	defer s.detach(sess)
+	if err := s.reply(sess, &wire.Msg{Type: wire.THelloAck, N: uint32(s.store.Free())}); err != nil {
+		return
+	}
+	s.logf("%s: client %q connected (ns %d)", s.cfg.Name, sess.name, sess.ns.tag)
+
+	for {
+		m, err := wire.Decode(conn)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				s.logf("%s: client %q read: %v", s.cfg.Name, sess.name, err)
+			}
+			return
+		}
+		resp := s.handle(sess, m)
+		if err := s.reply(sess, resp); err != nil {
+			return
+		}
+		if m.Type == wire.TBye {
+			return
+		}
+	}
+}
+
+// reply sends resp, stamping the pressure advisory flag.
+func (s *Server) reply(sess *session, resp *wire.Msg) error {
+	if s.pressure.Load() {
+		resp.Flags |= wire.FlagPressure
+	}
+	return wire.Encode(sess.conn, resp)
+}
+
+// nsKey namespaces a client key with the client tag.
+func nsKey(tag uint16, key uint64) uint64 { return uint64(tag)<<keyBits | (key & keyMask) }
+
+// handle services one request and builds the acknowledgement.
+func (s *Server) handle(sess *session, m *wire.Msg) *wire.Msg {
+	tag := sess.ns.tag
+	ack := &wire.Msg{Type: m.Type.Ack(), Key: m.Key}
+	switch m.Type {
+	case wire.TAlloc:
+		if s.pressure.Load() {
+			ack.Status = wire.StatusNoSpace
+			return ack
+		}
+		granted := s.store.Reserve(int(m.N))
+		s.mu.Lock()
+		sess.ns.reserved += granted
+		s.mu.Unlock()
+		ack.N = uint32(granted)
+		if granted == 0 {
+			ack.Status = wire.StatusNoSpace
+		}
+
+	case wire.TPageOut:
+		if err := m.VerifyData(); err != nil {
+			ack.Status = wire.StatusBadChecksum
+			return ack
+		}
+		s.maybeStall()
+		if err := s.putAnywhere(nsKey(tag, m.Key), page.Buf(m.Data)); err != nil {
+			ack.Status = storeStatus(err)
+		}
+
+	case wire.TPageIn:
+		s.maybeStall()
+		data, err := s.getAnywhere(nsKey(tag, m.Key))
+		if err != nil {
+			ack.Status = storeStatus(err)
+			return ack
+		}
+		ack.Data = data
+		ack.WithChecksum()
+
+	case wire.TFree:
+		keys := make([]uint64, len(m.Keys))
+		for i, k := range m.Keys {
+			keys[i] = nsKey(tag, k)
+		}
+		s.deleteAnywhere(keys...)
+		ack.N = uint32(len(keys))
+
+	case wire.TLoad:
+		ack.N = uint32(s.store.Free())
+
+	case wire.TXorWrite:
+		if err := m.VerifyData(); err != nil {
+			ack.Status = wire.StatusBadChecksum
+			return ack
+		}
+		s.maybeStall()
+		delta, err := s.xorWriteAnywhere(nsKey(tag, m.Key), page.Buf(m.Data))
+		if err != nil {
+			ack.Status = storeStatus(err)
+			return ack
+		}
+		// Forward old^new to the parity server before acking, so the
+		// client may discard the page once the ack arrives (§2.2: the
+		// client "should not discard the page just swapped out" until
+		// the new parity is computed — our ack is that safety point).
+		if err := s.forwardDelta(m.Host, sess.name, m.ParityKey, delta); err != nil {
+			s.logf("%s: parity forward to %s failed: %v", s.cfg.Name, m.Host, err)
+			ack.Status = wire.StatusInternal
+			ack.Data = []byte(err.Error())
+		}
+
+	case wire.TXorDelta:
+		if err := m.VerifyData(); err != nil {
+			ack.Status = wire.StatusBadChecksum
+			return ack
+		}
+		if err := s.xorMergeAnywhere(nsKey(tag, m.Key), page.Buf(m.Data)); err != nil {
+			ack.Status = storeStatus(err)
+		}
+
+	case wire.TStat:
+		s.mu.Lock()
+		clients := len(s.clients)
+		s.mu.Unlock()
+		st := s.store.Stats()
+		info := wire.StatInfo{
+			Name:         s.cfg.Name,
+			StoredPages:  s.store.Len(),
+			FreePages:    s.store.Free(),
+			InOverflow:   s.store.InOverflow(),
+			Pressure:     s.pressure.Load(),
+			Clients:      clients,
+			Puts:         st.Puts,
+			Gets:         st.Gets,
+			Deletes:      st.Deletes,
+			XorWrites:    st.XorWrites,
+			Misses:       st.Misses,
+			DeniedAllocs: st.Denied,
+		}
+		data, err := json.Marshal(info)
+		if err != nil {
+			ack.Status = wire.StatusInternal
+			ack.Data = []byte(err.Error())
+			return ack
+		}
+		ack.Data = data
+
+	case wire.TBye:
+		s.mu.Lock()
+		sess.ns.saidBye = true
+		s.mu.Unlock()
+
+	default:
+		ack.Status = wire.StatusInternal
+		ack.Data = []byte(fmt.Sprintf("unknown request type %v", m.Type))
+	}
+	return ack
+}
+
+// SetExtraDelay adds d to every page service from now on, emulating
+// a degrading network path or host (0 restores the configured speed).
+func (s *Server) SetExtraDelay(d time.Duration) { s.extraDelay.Store(int64(d)) }
+
+// maybeStall emulates slow hosts: a constant service delay for
+// distant servers, any runtime extra delay, plus disk-backed service
+// while under pressure.
+func (s *Server) maybeStall() {
+	d := s.cfg.ServiceDelay + time.Duration(s.extraDelay.Load())
+	if s.pressure.Load() {
+		d += s.cfg.PressureDelay
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+func storeStatus(err error) wire.Status {
+	switch {
+	case errors.Is(err, pagestore.ErrNoSpace):
+		return wire.StatusNoSpace
+	case errors.Is(err, pagestore.ErrNotFound):
+		return wire.StatusNotFound
+	default:
+		return wire.StatusInternal
+	}
+}
+
+// forwardDelta sends an XORDELTA to the parity server at addr on
+// behalf of clientName, so the delta lands in a namespace the client
+// itself can read during recovery.
+func (s *Server) forwardDelta(addr, clientName string, parityKey uint64, delta page.Buf) error {
+	if addr == "" {
+		return errors.New("server: XORWRITE without parity host")
+	}
+	cacheKey := addr + "|" + clientName
+	pc, err := s.parityConnFor(cacheKey, addr, clientName)
+	if err != nil {
+		return err
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	req := (&wire.Msg{Type: wire.TXorDelta, Key: parityKey, Data: delta}).WithChecksum()
+	if err := wire.Encode(pc.conn, req); err != nil {
+		s.invalidateParityConn(cacheKey, pc)
+		return err
+	}
+	ack, err := wire.Decode(pc.conn)
+	if err != nil {
+		s.invalidateParityConn(cacheKey, pc)
+		return err
+	}
+	return ack.Status.Err()
+}
+
+func (s *Server) parityConnFor(cacheKey, addr, clientName string) (*parityConn, error) {
+	s.parityMu.Lock()
+	pc, ok := s.parityConns[cacheKey]
+	s.parityMu.Unlock()
+	if ok {
+		return pc, nil
+	}
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	hello := &wire.Msg{Type: wire.THello, Host: clientName, Data: []byte(s.cfg.AuthToken)}
+	if err := wire.Encode(conn, hello); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	ack, err := wire.Decode(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := ack.Status.Err(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	pc = &parityConn{conn: conn}
+	s.parityMu.Lock()
+	if existing, ok := s.parityConns[cacheKey]; ok {
+		s.parityMu.Unlock()
+		conn.Close()
+		return existing, nil
+	}
+	s.parityConns[cacheKey] = pc
+	s.parityMu.Unlock()
+	return pc, nil
+}
+
+func (s *Server) invalidateParityConn(cacheKey string, pc *parityConn) {
+	pc.conn.Close()
+	s.parityMu.Lock()
+	if s.parityConns[cacheKey] == pc {
+		delete(s.parityConns, cacheKey)
+	}
+	s.parityMu.Unlock()
+}

@@ -1,0 +1,193 @@
+package server
+
+import (
+	"errors"
+
+	"rmp/internal/disk"
+	"rmp/internal/page"
+	"rmp/internal/pagestore"
+)
+
+// This file implements the §2.1 pressure behaviour: when native
+// memory-demanding processes start on the host, part of the donated
+// memory is swapped out to a local spill file and requests touching
+// those pages are serviced from the disk (slower — which is why the
+// server simultaneously advises clients to migrate away).
+
+// errNotAnywhere reports a key found neither in memory nor on spill.
+var errNotAnywhere = pagestore.ErrNotFound
+
+// spillExcess moves a fraction of the stored pages to the spill file.
+func (s *Server) spillExcess() {
+	if s.spill == nil {
+		return
+	}
+	s.spillMu.Lock()
+	defer s.spillMu.Unlock()
+	frac := s.cfg.SpillFrac
+	if frac <= 0 || frac > 1 {
+		frac = 0.5
+	}
+	keys := s.store.Keys()
+	n := int(float64(len(keys)) * frac)
+	for _, k := range keys[:n] {
+		data, err := s.store.Get(k)
+		if err != nil {
+			continue
+		}
+		if err := s.spill.Put(k, data); err != nil {
+			s.logf("%s: spill of key %d failed: %v", s.cfg.Name, k, err)
+			continue
+		}
+		s.store.Delete(k)
+	}
+	if n > 0 {
+		s.logf("%s: spilled %d pages to disk under memory pressure", s.cfg.Name, n)
+	}
+}
+
+// unspill brings every spilled page back into memory (pressure
+// cleared). Pages that no longer fit stay spilled.
+func (s *Server) unspill() {
+	if s.spill == nil {
+		return
+	}
+	s.spillMu.Lock()
+	defer s.spillMu.Unlock()
+	restored := 0
+	for _, k := range s.spill.Keys() {
+		data, err := s.spill.Get(k)
+		if err != nil {
+			continue
+		}
+		if err := s.store.Put(k, data); err != nil {
+			break // memory full again; keep the rest spilled
+		}
+		s.spill.Delete(k)
+		restored++
+	}
+	if restored > 0 {
+		s.logf("%s: restored %d pages from spill", s.cfg.Name, restored)
+	}
+}
+
+// getAnywhere reads a page from memory or, failing that, the spill.
+func (s *Server) getAnywhere(key uint64) (page.Buf, error) {
+	data, err := s.store.Get(key)
+	if err == nil || s.spill == nil {
+		return data, err
+	}
+	if !errors.Is(err, pagestore.ErrNotFound) {
+		return nil, err
+	}
+	data, derr := s.spill.Get(key)
+	if derr != nil {
+		if errors.Is(derr, disk.ErrNotFound) {
+			return nil, errNotAnywhere
+		}
+		return nil, derr
+	}
+	return data, nil
+}
+
+// putAnywhere stores a page, honouring pressure: under pressure (or
+// when memory is full) the page goes to the spill file. Overwrites
+// land wherever the current version lives so a key never exists in
+// both places.
+func (s *Server) putAnywhere(key uint64, data page.Buf) error {
+	if s.spill == nil {
+		return s.store.Put(key, data)
+	}
+	s.spillMu.Lock()
+	defer s.spillMu.Unlock()
+	return s.putLocked(key, data)
+}
+
+// putLocked is putAnywhere's body; caller holds spillMu.
+func (s *Server) putLocked(key uint64, data page.Buf) error {
+	// If the key currently lives on spill, overwrite it there.
+	if _, err := s.spill.Get(key); err == nil {
+		return s.spill.Put(key, data)
+	}
+	if s.pressure.Load() {
+		// New stores are serviced from the disk while pressured, but
+		// an existing in-memory version must not be duplicated.
+		if _, err := s.store.Get(key); err == nil {
+			return s.store.Put(key, data)
+		}
+		return s.spill.Put(key, data)
+	}
+	err := s.store.Put(key, data)
+	if errors.Is(err, pagestore.ErrNoSpace) {
+		return s.spill.Put(key, data)
+	}
+	return err
+}
+
+// deleteAnywhere removes keys from both tiers.
+func (s *Server) deleteAnywhere(keys ...uint64) {
+	s.store.Delete(keys...)
+	if s.spill != nil {
+		s.spill.Delete(keys...)
+	}
+}
+
+// xorWriteAnywhere implements XORWRITE across tiers: store data under
+// key and return old XOR new (old = zeros when absent).
+func (s *Server) xorWriteAnywhere(key uint64, data page.Buf) (page.Buf, error) {
+	if s.spill == nil {
+		return s.store.XorWrite(key, data)
+	}
+	if err := data.CheckLen(); err != nil {
+		return nil, err
+	}
+	s.spillMu.Lock()
+	defer s.spillMu.Unlock()
+	old, err := s.getAnywhere(key)
+	delta := data.Clone()
+	if err == nil {
+		page.XORInto(delta, old)
+	} else if !errors.Is(err, pagestore.ErrNotFound) {
+		return nil, err
+	}
+	if err := s.putLocked(key, data); err != nil {
+		return nil, err
+	}
+	return delta, nil
+}
+
+// xorMergeAnywhere implements XORDELTA across tiers.
+func (s *Server) xorMergeAnywhere(key uint64, data page.Buf) error {
+	if s.spill == nil {
+		return s.store.XorMerge(key, data)
+	}
+	if err := data.CheckLen(); err != nil {
+		return err
+	}
+	s.spillMu.Lock()
+	defer s.spillMu.Unlock()
+	old, err := s.getAnywhere(key)
+	if err != nil {
+		if !errors.Is(err, pagestore.ErrNotFound) {
+			return err
+		}
+		return s.putLocked(key, data)
+	}
+	merged := old.Clone()
+	page.XORInto(merged, data)
+	return s.putLocked(key, merged)
+}
+
+// spilledKeysOf lists spilled keys belonging to a namespace tag.
+func (s *Server) spilledKeysOf(tag uint16) []uint64 {
+	if s.spill == nil {
+		return nil
+	}
+	var out []uint64
+	for _, k := range s.spill.Keys() {
+		if uint16(k>>keyBits) == tag {
+			out = append(out, k)
+		}
+	}
+	return out
+}

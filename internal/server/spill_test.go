@@ -1,0 +1,165 @@
+package server_test
+
+import (
+	"testing"
+
+	"rmp/internal/client"
+	"rmp/internal/server"
+)
+
+// spillServer starts a server with disk spill enabled.
+func spillServer(t *testing.T, capacity int) (*server.Server, string) {
+	t.Helper()
+	return startServer(t, server.Config{CapacityPages: capacity, Spill: true})
+}
+
+// TestSpillUnderPressure: §2.1 — pressure moves part of the donated
+// memory to disk, requests keep working, and clearing pressure brings
+// the pages back.
+func TestSpillUnderPressure(t *testing.T) {
+	srv, addr := spillServer(t, 256)
+	c := dial(t, addr, "spill-client", "")
+	const n = 40
+	for i := uint64(0); i < n; i++ {
+		if err := c.PageOut(i, fillPage(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if srv.Store().Len() != n {
+		t.Fatalf("setup: store holds %d", srv.Store().Len())
+	}
+
+	srv.SetPressure(true)
+	inMem := srv.Store().Len()
+	if inMem >= n {
+		t.Fatalf("pressure spilled nothing: still %d in memory", inMem)
+	}
+	// Every page — spilled or resident — must still be readable.
+	for i := uint64(0); i < n; i++ {
+		got, err := c.PageIn(i)
+		if err != nil || got.Checksum() != fillPage(i).Checksum() {
+			t.Fatalf("pagein %d under pressure: %v", i, err)
+		}
+	}
+	c.PressureAdvised() // clear the latch
+
+	srv.SetPressure(false)
+	if got := srv.Store().Len(); got != n {
+		t.Fatalf("unspill restored %d of %d pages", got, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		got, err := c.PageIn(i)
+		if err != nil || got.Checksum() != fillPage(i).Checksum() {
+			t.Fatalf("pagein %d after unspill: %v", i, err)
+		}
+	}
+}
+
+// TestSpillOverwriteStaysConsistent: a page overwritten while spilled
+// must not resurface with stale contents after unspill.
+func TestSpillOverwriteStaysConsistent(t *testing.T) {
+	srv, addr := spillServer(t, 256)
+	c := dial(t, addr, "spill-client", "")
+	const n = 20
+	for i := uint64(0); i < n; i++ {
+		if err := c.PageOut(i, fillPage(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.SetPressure(true)
+	// Overwrite everything (each key lands wherever it currently lives).
+	for i := uint64(0); i < n; i++ {
+		if err := c.PageOut(i, fillPage(i+1000)); err != nil {
+			t.Fatalf("overwrite %d under pressure: %v", i, err)
+		}
+	}
+	srv.SetPressure(false)
+	for i := uint64(0); i < n; i++ {
+		got, err := c.PageIn(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Checksum() != fillPage(i+1000).Checksum() {
+			t.Fatalf("page %d has stale contents after spill round trip", i)
+		}
+	}
+}
+
+// TestSpillFreeRemovesBothTiers: FREE while pressured must remove the
+// spilled copy too.
+func TestSpillFreeRemovesBothTiers(t *testing.T) {
+	srv, addr := spillServer(t, 256)
+	c := dial(t, addr, "spill-client", "")
+	for i := uint64(0); i < 10; i++ {
+		if err := c.PageOut(i, fillPage(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.SetPressure(true)
+	var keys []uint64
+	for i := uint64(0); i < 10; i++ {
+		keys = append(keys, i)
+	}
+	if err := c.Free(keys...); err != nil {
+		t.Fatal(err)
+	}
+	srv.SetPressure(false)
+	for i := uint64(0); i < 10; i++ {
+		if _, err := c.PageIn(i); err == nil {
+			t.Fatalf("freed page %d resurfaced from spill", i)
+		}
+	}
+}
+
+// TestSpillXorWritePath: the basic-parity XORWRITE path must compute
+// deltas against spilled old versions.
+func TestSpillXorWritePath(t *testing.T) {
+	srv, addr := spillServer(t, 256)
+	_, paddr := startServer(t, server.Config{CapacityPages: 256})
+	c := dial(t, addr, "spill-client", "")
+	pc := dial(t, paddr, "spill-client", "")
+
+	old := fillPage(1)
+	if err := c.XorWrite(7, old, paddr, 100); err != nil {
+		t.Fatal(err)
+	}
+	srv.SetPressure(true) // key 7 may spill
+	newer := fillPage(2)
+	if err := c.XorWrite(7, newer, paddr, 100); err != nil {
+		t.Fatalf("XorWrite against spilled old version: %v", err)
+	}
+	// Parity = old ^ (old^new) = new.
+	parity, err := pc.PageIn(100)
+	if err != nil || parity.Checksum() != newer.Checksum() {
+		t.Fatalf("parity wrong after spilled XorWrite: %v", err)
+	}
+	got, err := c.PageIn(7)
+	if err != nil || got.Checksum() != newer.Checksum() {
+		t.Fatalf("data wrong after spilled XorWrite: %v", err)
+	}
+}
+
+// TestSpillNamespacePurge: BYE must drop a client's spilled pages too.
+func TestSpillNamespacePurge(t *testing.T) {
+	srv, addr := spillServer(t, 256)
+	c, err := client.Dial(addr, "spill-client", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 10; i++ {
+		if err := c.PageOut(i, fillPage(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.SetPressure(true)
+	if err := c.Bye(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return srv.Store().Len() == 0 })
+	srv.SetPressure(false)
+	// Nothing may resurface for a new session of the same client.
+	c2 := dial(t, addr, "spill-client", "")
+	if _, err := c2.PageIn(0); err == nil {
+		t.Fatal("purged client's spilled page resurfaced")
+	}
+}

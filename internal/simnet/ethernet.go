@@ -1,0 +1,245 @@
+// Package simnet simulates a shared 10 Mbps CSMA/CD Ethernet — the
+// paper's interconnect — at frame granularity, with carrier sensing,
+// collisions, and truncated binary exponential backoff (IEEE 802.3,
+// after Tanenbaum [24] which the paper cites).
+//
+// The paper's §4.6 observation is that remote memory paging over a
+// *loaded* Ethernet degrades badly: paging consumes all the bandwidth
+// it can get, competing sources drive the medium into repeated
+// collisions, and effective throughput collapses. That inefficiency
+// is a property of CSMA/CD, not of remote paging. This package
+// reproduces the effect: RunLoad measures the effective page-transfer
+// bandwidth of an RMP client sharing the wire with n background
+// stations at a given offered load.
+package simnet
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Physical constants of 10 Mbps Ethernet.
+const (
+	// SlotTime is the 802.3 slot time (512 bit times at 10 Mbps).
+	SlotTime = 51200 * time.Nanosecond
+	// FrameBytes is the payload carried per frame (1500 MTU minus
+	// protocol headers; a page needs several frames).
+	FrameBytes = 1460
+	// frameSlots is a frame's transmission time in slot times:
+	// (1518 bytes on the wire * 8 bits) / 512 bits per slot ≈ 24.
+	frameSlots = 24
+	// interFrameGapSlots approximates the 9.6 us IFG (rounded up to
+	// one slot for the slotted model).
+	interFrameGapSlots = 1
+	// maxBackoffExp caps binary exponential backoff (802.3: 10).
+	maxBackoffExp = 10
+	// maxAttempts aborts a frame after 16 collisions (802.3).
+	maxAttempts = 16
+)
+
+// station is one transmitter on the shared medium.
+type station struct {
+	queued   int   // frames waiting
+	backoff  int64 // slots until next attempt allowed
+	attempts int   // collisions suffered by the head frame
+
+	sent      uint64
+	collided  uint64
+	aborted   uint64
+	openLoop  bool    // background stations generate frames by rate
+	frameProb float64 // per-slot arrival probability (open loop)
+}
+
+// Config parametrizes a load run.
+type Config struct {
+	// BackgroundStations is the number of competing traffic sources.
+	BackgroundStations int
+	// BackgroundLoad is the total offered background load as a
+	// fraction of the raw medium bandwidth (e.g. 0.4 = 4 Mbps),
+	// spread evenly over the background stations.
+	BackgroundLoad float64
+	// Pages is how many 8 KB pages the RMP client transfers.
+	Pages int
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// Result summarizes a run.
+type Result struct {
+	// PageTime is the mean wire time per 8 KB page seen by the RMP
+	// client (excluding protocol processing).
+	PageTime time.Duration
+	// Collisions is the total collision count on the medium.
+	Collisions uint64
+	// AbortedFrames counts frames dropped after 16 attempts.
+	AbortedFrames uint64
+	// Utilization is the fraction of slots carrying good frames.
+	Utilization float64
+	// BackgroundThroughput is the fraction of offered background
+	// frames actually delivered.
+	BackgroundThroughput float64
+}
+
+// framesPerPage is how many frames one 8 KB page needs.
+const framesPerPage = (8192 + FrameBytes - 1) / FrameBytes // 6
+
+// RunLoad simulates an RMP client paging over an Ethernet shared with
+// background stations. The client is closed-loop: it keeps exactly
+// one page in flight (the pager's dedicated daemon is synchronous),
+// queueing the next page's frames as soon as the previous page
+// completes.
+func RunLoad(cfg Config) Result {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.Pages <= 0 {
+		cfg.Pages = 500
+	}
+
+	stations := make([]*station, 1+cfg.BackgroundStations)
+	rmp := &station{}
+	stations[0] = rmp
+	perStationProb := 0.0
+	if cfg.BackgroundStations > 0 {
+		// Offered load L of the medium means L/frameSlots frame
+		// arrivals per slot across all background stations.
+		perStationProb = cfg.BackgroundLoad / float64(frameSlots) / float64(cfg.BackgroundStations)
+	}
+	for i := 1; i < len(stations); i++ {
+		stations[i] = &station{openLoop: true, frameProb: perStationProb}
+	}
+
+	var (
+		slot          int64
+		goodSlots     int64
+		collisions    uint64
+		aborted       uint64
+		bgOffered     uint64
+		bgDelivered   uint64
+		pagesDone     int
+		pageStart     int64
+		totalPageTime int64 // in slots
+	)
+
+	rmp.queued = framesPerPage
+	pageStart = 0
+
+	for pagesDone < cfg.Pages {
+		slot++
+		if slot > 1<<31 {
+			break // safety valve: medium totally collapsed
+		}
+		// Open-loop arrivals.
+		for _, st := range stations[1:] {
+			if rng.Float64() < st.frameProb {
+				st.queued++
+				bgOffered++
+			}
+		}
+		// Who attempts in this slot?
+		var ready []*station
+		for _, st := range stations {
+			if st.queued > 0 {
+				if st.backoff > 0 {
+					st.backoff--
+				} else {
+					ready = append(ready, st)
+				}
+			}
+		}
+		switch len(ready) {
+		case 0:
+			continue
+		case 1:
+			st := ready[0]
+			// Successful transmission occupies the medium for
+			// frameSlots; open-loop arrivals keep accumulating at the
+			// other stations during that time (they sense carrier and
+			// defer, queueing up for the moment the wire goes idle —
+			// the 1-persistent behaviour that makes loaded CSMA/CD
+			// collapse).
+			busy := int64(frameSlots + interFrameGapSlots - 1)
+			slot += busy
+			goodSlots += frameSlots
+			for _, bg := range stations[1:] {
+				for k := int64(0); k < busy; k++ {
+					if rng.Float64() < bg.frameProb {
+						bg.queued++
+						bgOffered++
+					}
+				}
+			}
+			// Other stations' backoff timers run down while the wire
+			// is busy (they will re-attempt as soon as it goes idle).
+			for _, other := range stations {
+				if other != st && other.backoff > 0 {
+					other.backoff -= busy
+					if other.backoff < 0 {
+						other.backoff = 0
+					}
+				}
+			}
+			st.queued--
+			st.sent++
+			st.attempts = 0
+			if st.openLoop {
+				bgDelivered++
+			} else if st.queued == 0 {
+				// Page complete.
+				pagesDone++
+				totalPageTime += slot - pageStart
+				pageStart = slot
+				if pagesDone < cfg.Pages {
+					st.queued = framesPerPage
+				}
+			}
+		default:
+			// Collision: everyone backs off.
+			collisions++
+			for _, st := range ready {
+				st.attempts++
+				st.collided++
+				if st.attempts >= maxAttempts {
+					// 802.3 gives up; the paging protocol would retry
+					// at a higher level, so the RMP requeues the frame
+					// with a fresh attempt counter. Background frames
+					// are dropped.
+					if st.openLoop {
+						st.queued--
+						st.aborted++
+						aborted++
+					}
+					st.attempts = 0
+					continue
+				}
+				exp := st.attempts
+				if exp > maxBackoffExp {
+					exp = maxBackoffExp
+				}
+				st.backoff = int64(rng.Intn(1 << exp))
+			}
+		}
+	}
+
+	res := Result{
+		Collisions:    collisions,
+		AbortedFrames: aborted,
+	}
+	if pagesDone > 0 {
+		res.PageTime = time.Duration(totalPageTime / int64(pagesDone) * int64(SlotTime))
+	}
+	if slot > 0 {
+		res.Utilization = float64(goodSlots) / float64(slot)
+	}
+	if bgOffered > 0 {
+		res.BackgroundThroughput = float64(bgDelivered) / float64(bgOffered)
+	}
+	return res
+}
+
+// UnloadedPageTime is the wire time per page on an idle Ethernet
+// according to this model; the paper measures 9.64 ms (§4.4), which
+// includes inter-frame gaps and MAC overheads this model reproduces
+// structurally.
+func UnloadedPageTime() time.Duration {
+	r := RunLoad(Config{Pages: 200, Seed: 1})
+	return r.PageTime
+}

@@ -1,0 +1,77 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestUnloadedPageTimeNearPaper(t *testing.T) {
+	// The paper measures 9.64 ms of wire time per 8 KB page (§4.4);
+	// the frame-level model should land in the same regime (a page is
+	// 6 frames of ~25 slots at 51.2 us).
+	pt := UnloadedPageTime()
+	if pt < 6*time.Millisecond || pt > 12*time.Millisecond {
+		t.Fatalf("unloaded page time %v, want 6-12ms (paper: 9.64ms)", pt)
+	}
+}
+
+func TestLoadDegradesPaging(t *testing.T) {
+	base := RunLoad(Config{Pages: 300, Seed: 7})
+	loaded := RunLoad(Config{Pages: 300, Seed: 7, BackgroundStations: 6, BackgroundLoad: 0.5})
+	if loaded.PageTime <= base.PageTime {
+		t.Fatalf("background load did not slow paging: %v vs %v", loaded.PageTime, base.PageTime)
+	}
+	if loaded.Collisions == 0 {
+		t.Fatal("no collisions under contention")
+	}
+}
+
+// TestThroughputCollapse reproduces §4.6: as offered load rises past
+// what CSMA/CD can carry, collisions snowball and the RMP's effective
+// bandwidth collapses (paging gets dramatically slower, not just
+// proportionally slower).
+func TestThroughputCollapse(t *testing.T) {
+	light := RunLoad(Config{Pages: 200, Seed: 3, BackgroundStations: 4, BackgroundLoad: 0.2})
+	heavy := RunLoad(Config{Pages: 200, Seed: 3, BackgroundStations: 12, BackgroundLoad: 1.2})
+	if heavy.PageTime < 2*light.PageTime {
+		t.Fatalf("no collapse: %v under heavy load vs %v under light", heavy.PageTime, light.PageTime)
+	}
+	if heavy.BackgroundThroughput >= light.BackgroundThroughput {
+		t.Fatalf("background delivery did not degrade: %.2f vs %.2f",
+			heavy.BackgroundThroughput, light.BackgroundThroughput)
+	}
+}
+
+func TestUtilizationBounded(t *testing.T) {
+	for _, load := range []float64{0, 0.3, 0.8, 1.5} {
+		r := RunLoad(Config{Pages: 100, Seed: 9, BackgroundStations: 8, BackgroundLoad: load})
+		if r.Utilization < 0 || r.Utilization > 1 {
+			t.Fatalf("utilization %v out of range at load %v", r.Utilization, load)
+		}
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	a := RunLoad(Config{Pages: 100, Seed: 5, BackgroundStations: 4, BackgroundLoad: 0.4})
+	b := RunLoad(Config{Pages: 100, Seed: 5, BackgroundStations: 4, BackgroundLoad: 0.4})
+	if a != b {
+		t.Fatal("same seed, different results")
+	}
+	c := RunLoad(Config{Pages: 100, Seed: 6, BackgroundStations: 4, BackgroundLoad: 0.4})
+	if a == c {
+		t.Fatal("different seeds, identical results")
+	}
+}
+
+func TestDefaultPages(t *testing.T) {
+	r := RunLoad(Config{Seed: 2})
+	if r.PageTime == 0 {
+		t.Fatal("default run produced no page timing")
+	}
+}
+
+func BenchmarkRunLoad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		RunLoad(Config{Pages: 100, Seed: int64(i), BackgroundStations: 6, BackgroundLoad: 0.5})
+	}
+}

@@ -1,0 +1,125 @@
+package simnet
+
+import (
+	"math/rand"
+	"time"
+)
+
+// MultiClientResult reports an Ethernet shared by several paging
+// clients.
+type MultiClientResult struct {
+	// PageTimes is each client's mean wire time per page.
+	PageTimes []time.Duration
+	// Collisions across the run.
+	Collisions uint64
+	// Utilization of the medium by good frames.
+	Utilization float64
+}
+
+// RunMultiClient simulates n closed-loop RMP clients sharing one
+// CSMA/CD Ethernet, each transferring pages back to back. The paper
+// evaluates one client at a time; this extension answers the obvious
+// deployment question — what happens when several workstations page
+// remotely at once — and shows the medium dividing fairly but each
+// client's paging slowing roughly n-fold (plus collision waste),
+// until a switched or token-based fabric is called for.
+func RunMultiClient(nClients, pagesEach int, seed int64) MultiClientResult {
+	rng := rand.New(rand.NewSource(seed))
+	if nClients < 1 {
+		nClients = 1
+	}
+	if pagesEach <= 0 {
+		pagesEach = 200
+	}
+
+	type cli struct {
+		queued    int
+		backoff   int64
+		attempts  int
+		pagesDone int
+		pageStart int64
+		totalTime int64
+	}
+	clients := make([]*cli, nClients)
+	for i := range clients {
+		clients[i] = &cli{queued: framesPerPage}
+	}
+
+	var (
+		slot       int64
+		goodSlots  int64
+		collisions uint64
+		doneTotal  int
+	)
+	target := nClients * pagesEach
+
+	for doneTotal < target {
+		slot++
+		if slot > 1<<31 {
+			break
+		}
+		var ready []*cli
+		for _, c := range clients {
+			if c.pagesDone >= pagesEach || c.queued == 0 {
+				continue
+			}
+			if c.backoff > 0 {
+				c.backoff--
+				continue
+			}
+			ready = append(ready, c)
+		}
+		switch len(ready) {
+		case 0:
+			continue
+		case 1:
+			c := ready[0]
+			busy := int64(frameSlots + interFrameGapSlots - 1)
+			slot += busy
+			goodSlots += frameSlots
+			for _, other := range clients {
+				if other != c && other.backoff > 0 {
+					other.backoff -= busy
+					if other.backoff < 0 {
+						other.backoff = 0
+					}
+				}
+			}
+			c.queued--
+			c.attempts = 0
+			if c.queued == 0 {
+				c.pagesDone++
+				doneTotal++
+				c.totalTime += slot - c.pageStart
+				c.pageStart = slot
+				if c.pagesDone < pagesEach {
+					c.queued = framesPerPage
+				}
+			}
+		default:
+			collisions++
+			for _, c := range ready {
+				c.attempts++
+				exp := c.attempts
+				if exp > maxBackoffExp {
+					exp = maxBackoffExp
+				}
+				c.backoff = int64(rng.Intn(1 << exp))
+			}
+		}
+	}
+
+	res := MultiClientResult{Collisions: collisions}
+	for _, c := range clients {
+		if c.pagesDone > 0 {
+			res.PageTimes = append(res.PageTimes,
+				time.Duration(c.totalTime/int64(c.pagesDone)*int64(SlotTime)))
+		} else {
+			res.PageTimes = append(res.PageTimes, 0)
+		}
+	}
+	if slot > 0 {
+		res.Utilization = float64(goodSlots) / float64(slot)
+	}
+	return res
+}

@@ -1,0 +1,67 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMultiClientSingleMatchesBaseline(t *testing.T) {
+	one := RunMultiClient(1, 200, 1)
+	base := RunLoad(Config{Pages: 200, Seed: 1})
+	if one.PageTimes[0] != base.PageTime {
+		t.Fatalf("single multi-client %v != baseline %v", one.PageTimes[0], base.PageTime)
+	}
+	if one.Collisions != 0 {
+		t.Fatal("one client collided with itself")
+	}
+}
+
+func TestMultiClientScalesRoughlyLinearly(t *testing.T) {
+	one := RunMultiClient(1, 150, 2).PageTimes[0]
+	four := RunMultiClient(4, 150, 2)
+	var worst time.Duration
+	var sum time.Duration
+	for _, pt := range four.PageTimes {
+		sum += pt
+		if pt > worst {
+			worst = pt
+		}
+	}
+	mean := sum / 4
+	// Four closed-loop clients share the medium; the binary-
+	// exponential-backoff capture effect lets a transmitting station
+	// burst several frames, so the slowdown lands between 2x and the
+	// strict round-robin 4x (plus collision waste).
+	if mean < 2*one || mean > 8*one {
+		t.Fatalf("4 clients mean page time %v, single %v: outside 2-8x", mean, one)
+	}
+	if four.Collisions == 0 {
+		t.Fatal("no collisions among 4 contending clients")
+	}
+	// Fairness: the worst client is within 2x of the mean.
+	if worst > 2*mean {
+		t.Fatalf("unfair sharing: worst %v vs mean %v", worst, mean)
+	}
+}
+
+func TestMultiClientUtilizationStaysHigh(t *testing.T) {
+	// Closed-loop clients back off adaptively; the medium should stay
+	// mostly busy with good frames even at 8 contenders.
+	r := RunMultiClient(8, 100, 3)
+	if r.Utilization < 0.5 {
+		t.Fatalf("utilization %.2f with 8 paging clients", r.Utilization)
+	}
+}
+
+func TestMultiClientDeterministic(t *testing.T) {
+	a := RunMultiClient(3, 50, 7)
+	b := RunMultiClient(3, 50, 7)
+	if a.Collisions != b.Collisions || a.Utilization != b.Utilization {
+		t.Fatal("same seed, different results")
+	}
+	for i := range a.PageTimes {
+		if a.PageTimes[i] != b.PageTimes[i] {
+			t.Fatal("same seed, different page times")
+		}
+	}
+}

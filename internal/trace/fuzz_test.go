@@ -1,0 +1,35 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReader: arbitrary bytes must never panic the trace reader.
+func FuzzReader(f *testing.F) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, KindRefs)
+	for i := int64(0); i < 50; i++ {
+		w.Write(i*3, i%2 == 0)
+	}
+	w.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte("RMPT\x01\x01\x00\x00"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		r, err := NewReader(bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 1<<16; i++ { // bound the walk
+			if _, _, err := r.Next(); err != nil {
+				if err != io.EOF {
+					_ = err // mid-record truncation: fine
+				}
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,210 @@
+package vm
+
+import (
+	"testing"
+
+	"rmp/internal/blockdev"
+	"rmp/internal/page"
+)
+
+func raSpace(t *testing.T, pages, resident int64, ra int) (*Space, *blockdev.CountingDevice) {
+	t.Helper()
+	dev := blockdev.NewCountingDevice(blockdev.NewMemDevice())
+	s, err := NewOpts(pages*page.Size, resident*page.Size, dev, Options{Readahead: ra})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, dev
+}
+
+// writeSweep dirties pages 0..n-1 so they have backing copies after
+// eviction.
+func writeSweep(t *testing.T, s *Space, n int64) {
+	t.Helper()
+	for pg := int64(0); pg < n; pg++ {
+		if err := s.Write(pg*page.Size, []byte{byte(pg + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestReadaheadPrefetchesSequentialRuns(t *testing.T) {
+	const pages = 32
+	s, _ := raSpace(t, pages, 4, 4)
+	writeSweep(t, s, pages)
+	// Sequential read sweep: after the run is detected, most demand
+	// faults should be absorbed by prefetch.
+	b := make([]byte, 1)
+	for pg := int64(0); pg < pages; pg++ {
+		if err := s.Read(pg*page.Size, b); err != nil {
+			t.Fatal(err)
+		}
+		if b[0] != byte(pg+1) {
+			t.Fatalf("page %d lost data under readahead", pg)
+		}
+	}
+	st := s.Stats()
+	if st.Prefetch == 0 {
+		t.Fatal("no prefetches on a sequential sweep")
+	}
+	if st.PrefHits == 0 {
+		t.Fatal("prefetched pages never hit")
+	}
+}
+
+func TestReadaheadDisabledByDefault(t *testing.T) {
+	s, _ := raSpace(t, 16, 4, 0)
+	writeSweep(t, s, 16)
+	b := make([]byte, 1)
+	for pg := int64(0); pg < 16; pg++ {
+		if err := s.Read(pg*page.Size, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Stats(); st.Prefetch != 0 {
+		t.Fatalf("prefetching happened with Readahead=0: %+v", st)
+	}
+}
+
+func TestReadaheadSkipsRandomAccess(t *testing.T) {
+	const pages = 64
+	s, _ := raSpace(t, pages, 8, 4)
+	writeSweep(t, s, pages)
+	// Strided (non-sequential) reads must not trigger runs.
+	b := make([]byte, 1)
+	for pg := int64(0); pg < pages; pg += 7 {
+		if err := s.Read(pg*page.Size, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Stats(); st.Prefetch != 0 {
+		t.Fatalf("prefetched on strided access: %d", st.Prefetch)
+	}
+}
+
+func TestReadaheadStopsAtUnbackedPages(t *testing.T) {
+	s, dev := raSpace(t, 32, 4, 8)
+	// Back only pages 0..5; a run ending at 5 must not read past it.
+	writeSweep(t, s, 6)
+	b := make([]byte, 1)
+	for pg := int64(0); pg < 6; pg++ {
+		if err := s.Read(pg*page.Size, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, _ := dev.Counts()
+	if r > 6 {
+		t.Fatalf("device saw %d reads for 6 backed pages", r)
+	}
+}
+
+func TestReadaheadCorrectnessUnderPressure(t *testing.T) {
+	// Readahead must never change contents, only timing: run the same
+	// mixed workload with and without and compare checksums.
+	run := func(ra int) uint32 {
+		dev := blockdev.NewMemDevice()
+		s, err := NewOpts(64*page.Size, 6*page.Size, dev, Options{Readahead: ra})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pg := int64(0); pg < 64; pg++ {
+			if err := s.Write(pg*page.Size, []byte{byte(pg * 3)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sum := page.NewBuf()
+		b := make([]byte, 1)
+		for i, pg := range []int64{0, 1, 2, 3, 40, 41, 42, 10, 11, 63, 5, 6, 7, 8} {
+			if err := s.Read(pg*page.Size, b); err != nil {
+				t.Fatal(err)
+			}
+			sum[i] = b[0]
+		}
+		return sum.Checksum()
+	}
+	if run(0) != run(8) {
+		t.Fatal("readahead changed observable contents")
+	}
+}
+
+// TestReadaheadNeverEvictsDemandFrame is the regression test for a
+// corruption bug: with Readahead >= maxRes the prefetch loop could
+// evict the frame being returned to the caller, whose subsequent
+// write then landed in an orphaned buffer and was silently lost.
+func TestReadaheadNeverEvictsDemandFrame(t *testing.T) {
+	const pages = 16
+	dev := blockdev.NewMemDevice()
+	// Resident 2 pages, readahead 8 — far beyond residency.
+	s, err := NewOpts(pages*page.Size, 2*page.Size, dev, Options{Readahead: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pg := int64(0); pg < pages; pg++ {
+		if err := s.Write(pg*page.Size, []byte{byte(pg + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Sequential read-modify-write sweep: each iteration demand-faults
+	// a page (triggering readahead) and then writes through the
+	// returned frame.
+	b := make([]byte, 1)
+	for pg := int64(0); pg < pages; pg++ {
+		if err := s.Read(pg*page.Size, b); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Write(pg*page.Size, []byte{b[0] ^ 0xFF}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for pg := int64(0); pg < pages; pg++ {
+		if err := s.Read(pg*page.Size, b); err != nil {
+			t.Fatal(err)
+		}
+		if b[0] != byte(pg+1)^0xFF {
+			t.Fatalf("page %d lost its write: got %#x", pg, b[0])
+		}
+	}
+}
+
+func TestNegativeReadaheadClamped(t *testing.T) {
+	dev := blockdev.NewMemDevice()
+	s, err := NewOpts(page.Size*4, page.Size*2, dev, Options{Readahead: -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(0, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSequentialReadNoReadahead(b *testing.B) {
+	benchSeqRead(b, 0)
+}
+
+func BenchmarkSequentialReadReadahead8(b *testing.B) {
+	benchSeqRead(b, 8)
+}
+
+func benchSeqRead(b *testing.B, ra int) {
+	dev := blockdev.NewMemDevice()
+	const pages = 256
+	s, err := NewOpts(pages*page.Size, 16*page.Size, dev, Options{Readahead: ra})
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, page.Size)
+	for pg := int64(0); pg < pages; pg++ {
+		if err := s.Write(pg*page.Size, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(pages * page.Size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for pg := int64(0); pg < pages; pg++ {
+			if err := s.Read(pg*page.Size, buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

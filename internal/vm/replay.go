@@ -1,0 +1,106 @@
+package vm
+
+import "container/list"
+
+// Ref is one page-granular memory reference in an application trace.
+type Ref struct {
+	Page  int64
+	Write bool
+}
+
+// FaultKind distinguishes paging traffic directions.
+type FaultKind int
+
+const (
+	// FaultIn is a pagein: a fault on a page whose contents live on
+	// the backing store.
+	FaultIn FaultKind = iota
+	// FaultOut is a pageout: a dirty eviction.
+	FaultOut
+)
+
+// Fault is one paging I/O produced by trace replay.
+type Fault struct {
+	Kind FaultKind
+	Page int64
+}
+
+// Replayer simulates LRU demand paging over a page-reference stream
+// without storing any data. The experiment harness replays the
+// paper-scale application traces through it to obtain the pagein /
+// pageout streams that drive the timing models; Space implements the
+// same policy for real data, and tests assert the two agree.
+type Replayer struct {
+	maxRes   int
+	resident map[int64]*rframe
+	lru      *list.List
+	written  map[int64]bool
+	onFault  func(Fault)
+
+	ins, outs uint64
+}
+
+type rframe struct {
+	page  int64
+	dirty bool
+	elem  *list.Element
+}
+
+// NewReplayer creates a replayer with the given resident-set size in
+// pages (minimum 2, matching Space). onFault may be nil.
+func NewReplayer(residentPages int, onFault func(Fault)) *Replayer {
+	if residentPages < 2 {
+		residentPages = 2
+	}
+	return &Replayer{
+		maxRes:   residentPages,
+		resident: make(map[int64]*rframe),
+		lru:      list.New(),
+		written:  make(map[int64]bool),
+		onFault:  onFault,
+	}
+}
+
+// Ref feeds one reference through the LRU.
+func (r *Replayer) Ref(pg int64, write bool) {
+	f, ok := r.resident[pg]
+	if ok {
+		r.lru.MoveToFront(f.elem)
+		if write {
+			f.dirty = true
+		}
+		return
+	}
+	if len(r.resident) >= r.maxRes {
+		back := r.lru.Back()
+		v := back.Value.(*rframe)
+		if v.dirty {
+			r.outs++
+			r.written[v.page] = true
+			if r.onFault != nil {
+				r.onFault(Fault{Kind: FaultOut, Page: v.page})
+			}
+		}
+		r.lru.Remove(back)
+		delete(r.resident, v.page)
+	}
+	f = &rframe{page: pg, dirty: write}
+	if r.written[pg] {
+		r.ins++
+		if r.onFault != nil {
+			r.onFault(Fault{Kind: FaultIn, Page: pg})
+		}
+	}
+	f.elem = r.lru.PushFront(f)
+	r.resident[pg] = f
+}
+
+// Refs feeds a batch of references.
+func (r *Replayer) Refs(refs []Ref) {
+	for _, ref := range refs {
+		r.Ref(ref.Page, ref.Write)
+	}
+}
+
+// Counts returns the pageins and pageouts replayed so far.
+func (r *Replayer) Counts() (ins, outs uint64) { return r.ins, r.outs }

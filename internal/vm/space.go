@@ -1,0 +1,323 @@
+// Package vm implements a user-space demand-paged address space.
+//
+// It stands in for the DEC OSF/1 virtual memory system of the paper:
+// applications address a flat byte range, a bounded set of page
+// frames is kept resident under LRU replacement, and evictions /
+// faults issue page-sized block I/O to a blockdev.Device — which in
+// the paper's configuration is the remote memory pager.
+//
+// Semantics follow a real pager: pages are demand-zero on first
+// touch (no backing read), clean evictions are free (the backing copy
+// is still valid), and only dirty evictions page out.
+package vm
+
+import (
+	"container/list"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"rmp/internal/blockdev"
+	"rmp/internal/page"
+)
+
+// Stats counts paging activity of a Space.
+type Stats struct {
+	Faults    uint64 // frames materialized (zero-fill + pageins)
+	PageIns   uint64 // faults served by reading the backing device
+	PageOuts  uint64 // dirty evictions written to the backing device
+	Evictions uint64 // total evictions (clean + dirty)
+	Accesses  uint64 // byte-range accesses (not individual bytes)
+	Prefetch  uint64 // pages read ahead speculatively
+	PrefHits  uint64 // demand faults absorbed by an earlier prefetch
+}
+
+// Options tunes a Space beyond size and residency.
+type Options struct {
+	// Readahead is how many sequentially-next backed pages to
+	// prefetch after a demand pagein that continues a sequential run.
+	// 0 disables readahead. Real pagers (including OSF/1's) cluster
+	// pageins this way; the benchmark harness quantifies its effect
+	// in the READAHEAD ablation.
+	Readahead int
+}
+
+// frame is a resident page.
+type frame struct {
+	bn    int64
+	data  page.Buf
+	dirty bool
+	elem  *list.Element // position in the LRU list
+}
+
+// Space is a demand-paged address space. Not safe for concurrent use:
+// it models a single faulting process, like the paper's applications.
+type Space struct {
+	size     int64 // bytes
+	resident map[int64]*frame
+	maxRes   int
+	lru      *list.List // front = most recent; back = victim
+	backing  blockdev.Device
+	// written tracks blocks that exist on the backing device, so
+	// faults on never-written pages zero-fill instead of reading.
+	written map[int64]bool
+
+	opts Options
+	// lastIn is the block of the previous demand pagein, for
+	// sequential-run detection; prefetched tracks frames brought in
+	// speculatively whose first demand hit should count as a prefetch
+	// hit.
+	lastIn     int64
+	prefetched map[int64]bool
+
+	stats Stats
+}
+
+// New creates a space of size bytes backed by dev, keeping at most
+// residentBytes resident (rounded down to whole pages, minimum two
+// pages so cross-page accesses can always complete).
+func New(size, residentBytes int64, dev blockdev.Device) (*Space, error) {
+	return NewOpts(size, residentBytes, dev, Options{})
+}
+
+// NewOpts is New with tuning options.
+func NewOpts(size, residentBytes int64, dev blockdev.Device, opts Options) (*Space, error) {
+	if size <= 0 {
+		return nil, errors.New("vm: size must be positive")
+	}
+	maxRes := int(residentBytes / page.Size)
+	if maxRes < 2 {
+		maxRes = 2
+	}
+	if opts.Readahead < 0 {
+		opts.Readahead = 0
+	}
+	return &Space{
+		size:       size,
+		resident:   make(map[int64]*frame),
+		maxRes:     maxRes,
+		lru:        list.New(),
+		backing:    dev,
+		written:    make(map[int64]bool),
+		opts:       opts,
+		lastIn:     -2,
+		prefetched: make(map[int64]bool),
+	}, nil
+}
+
+// Size returns the space's size in bytes.
+func (s *Space) Size() int64 { return s.size }
+
+// Stats returns a snapshot of the paging counters.
+func (s *Space) Stats() Stats { return s.stats }
+
+// ResidentPages returns the current number of resident frames.
+func (s *Space) ResidentPages() int { return len(s.resident) }
+
+// fault makes block bn resident and returns its frame.
+func (s *Space) fault(bn int64) (*frame, error) {
+	if f, ok := s.resident[bn]; ok {
+		s.lru.MoveToFront(f.elem)
+		if s.prefetched[bn] {
+			delete(s.prefetched, bn)
+			s.stats.PrefHits++
+		}
+		return f, nil
+	}
+	f, err := s.materialize(bn)
+	if err != nil {
+		return nil, err
+	}
+	// Sequential readahead: a demand pagein that continues a run
+	// speculatively pulls in the next backed blocks. The prefetch
+	// count is capped below the resident size and the demand frame is
+	// re-promoted after every prefetch, so the frame being returned
+	// can never be the eviction victim of its own readahead.
+	if s.opts.Readahead > 0 && s.written[bn] {
+		sequential := bn == s.lastIn+1
+		s.lastIn = bn
+		limit := s.opts.Readahead
+		if limit > s.maxRes-2 {
+			limit = s.maxRes - 2
+		}
+		if sequential {
+			for next := bn + 1; next <= bn+int64(limit); next++ {
+				if next*page.Size >= s.size || !s.written[next] {
+					break
+				}
+				if _, resident := s.resident[next]; resident {
+					continue
+				}
+				if _, err := s.materialize(next); err != nil {
+					return nil, err
+				}
+				s.prefetched[next] = true
+				s.stats.Prefetch++
+				s.lru.MoveToFront(f.elem)
+			}
+		}
+	}
+	return f, nil
+}
+
+// materialize brings block bn into a fresh frame (evicting if full).
+func (s *Space) materialize(bn int64) (*frame, error) {
+	if len(s.resident) >= s.maxRes {
+		if err := s.evictVictim(); err != nil {
+			return nil, err
+		}
+	}
+	f := &frame{bn: bn, data: page.NewBuf()}
+	s.stats.Faults++
+	if s.written[bn] {
+		if err := s.backing.ReadBlock(bn, f.data); err != nil {
+			return nil, fmt.Errorf("vm: pagein block %d: %w", bn, err)
+		}
+		s.stats.PageIns++
+	}
+	f.elem = s.lru.PushFront(f)
+	s.resident[bn] = f
+	return f, nil
+}
+
+// evictVictim pushes the least recently used frame out.
+func (s *Space) evictVictim() error {
+	back := s.lru.Back()
+	if back == nil {
+		return errors.New("vm: nothing to evict")
+	}
+	f := back.Value.(*frame)
+	if f.dirty {
+		if err := s.backing.WriteBlock(f.bn, f.data); err != nil {
+			return fmt.Errorf("vm: pageout block %d: %w", f.bn, err)
+		}
+		s.written[f.bn] = true
+		s.stats.PageOuts++
+	}
+	s.lru.Remove(back)
+	delete(s.resident, f.bn)
+	delete(s.prefetched, f.bn)
+	s.stats.Evictions++
+	return nil
+}
+
+// Flush writes every dirty resident page to the backing device (like
+// a process exit syncing its swap), in ascending block order so a
+// disk-backed device sees a sequential stream.
+func (s *Space) Flush() error {
+	dirty := make([]*frame, 0, len(s.resident))
+	for _, f := range s.resident {
+		if f.dirty {
+			dirty = append(dirty, f)
+		}
+	}
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i].bn < dirty[j].bn })
+	for _, f := range dirty {
+		if err := s.backing.WriteBlock(f.bn, f.data); err != nil {
+			return err
+		}
+		s.written[f.bn] = true
+		s.stats.PageOuts++
+		f.dirty = false
+	}
+	return nil
+}
+
+// Close discards backing storage for the whole space.
+func (s *Space) Close() error {
+	bns := make([]int64, 0, len(s.written))
+	for bn := range s.written {
+		bns = append(bns, bn)
+	}
+	return s.backing.Discard(bns...)
+}
+
+// checkRange validates [off, off+n).
+func (s *Space) checkRange(off int64, n int) error {
+	if off < 0 || n < 0 || off+int64(n) > s.size {
+		return fmt.Errorf("vm: access [%d,%d) outside space of %d bytes", off, off+int64(n), s.size)
+	}
+	return nil
+}
+
+// Read copies len(b) bytes at offset off into b.
+func (s *Space) Read(off int64, b []byte) error {
+	if err := s.checkRange(off, len(b)); err != nil {
+		return err
+	}
+	s.stats.Accesses++
+	for len(b) > 0 {
+		bn := off / page.Size
+		po := int(off % page.Size)
+		n := page.Size - po
+		if n > len(b) {
+			n = len(b)
+		}
+		f, err := s.fault(bn)
+		if err != nil {
+			return err
+		}
+		copy(b, f.data[po:po+n])
+		off += int64(n)
+		b = b[n:]
+	}
+	return nil
+}
+
+// Write copies b into the space at offset off.
+func (s *Space) Write(off int64, b []byte) error {
+	if err := s.checkRange(off, len(b)); err != nil {
+		return err
+	}
+	s.stats.Accesses++
+	for len(b) > 0 {
+		bn := off / page.Size
+		po := int(off % page.Size)
+		n := page.Size - po
+		if n > len(b) {
+			n = len(b)
+		}
+		f, err := s.fault(bn)
+		if err != nil {
+			return err
+		}
+		copy(f.data[po:po+n], b[:n])
+		f.dirty = true
+		off += int64(n)
+		b = b[n:]
+	}
+	return nil
+}
+
+// Float64 reads the float64 at element index i (8-byte elements).
+func (s *Space) Float64(i int64) (float64, error) {
+	var b [8]byte
+	if err := s.Read(i*8, b[:]); err != nil {
+		return 0, err
+	}
+	return bitsToFloat(binary.LittleEndian.Uint64(b[:])), nil
+}
+
+// SetFloat64 writes the float64 at element index i.
+func (s *Space) SetFloat64(i int64, v float64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], floatToBits(v))
+	return s.Write(i*8, b[:])
+}
+
+// Uint64 reads the uint64 at element index i.
+func (s *Space) Uint64(i int64) (uint64, error) {
+	var b [8]byte
+	if err := s.Read(i*8, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// SetUint64 writes the uint64 at element index i.
+func (s *Space) SetUint64(i int64, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return s.Write(i*8, b[:])
+}

@@ -1,0 +1,357 @@
+package vm
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"rmp/internal/blockdev"
+	"rmp/internal/page"
+)
+
+func newSpace(t *testing.T, size, resident int64) (*Space, *blockdev.CountingDevice) {
+	t.Helper()
+	dev := blockdev.NewCountingDevice(blockdev.NewMemDevice())
+	s, err := New(size, resident, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, dev
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	s, _ := newSpace(t, 1<<20, 1<<20)
+	msg := []byte("remote memory pager")
+	if err := s.Write(12345, msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if err := s.Read(12345, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q, want %q", got, msg)
+	}
+}
+
+func TestCrossPageAccess(t *testing.T) {
+	s, _ := newSpace(t, 4*page.Size, 2*page.Size)
+	data := make([]byte, 3*page.Size)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	if err := s.Write(page.Size/2, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := s.Read(page.Size/2, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("cross-page data corrupted")
+	}
+}
+
+func TestZeroFillOnFirstTouch(t *testing.T) {
+	s, dev := newSpace(t, 1<<20, 1<<20)
+	b := make([]byte, 100)
+	b[0] = 0xFF
+	if err := s.Read(5000, b); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range b {
+		if v != 0 {
+			t.Fatal("first touch not zero-filled")
+		}
+	}
+	if r, w := dev.Counts(); r != 0 || w != 0 {
+		t.Fatalf("zero-fill fault hit the device: %d reads %d writes", r, w)
+	}
+}
+
+func TestEvictionAndPageinUnderPressure(t *testing.T) {
+	// 8 pages of data, 2 resident: sweeping twice must page out dirty
+	// pages and page them back in.
+	s, dev := newSpace(t, 8*page.Size, 2*page.Size)
+	for pg := int64(0); pg < 8; pg++ {
+		if err := s.Write(pg*page.Size, []byte{byte(pg + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for pg := int64(0); pg < 8; pg++ {
+		b := make([]byte, 1)
+		if err := s.Read(pg*page.Size, b); err != nil {
+			t.Fatal(err)
+		}
+		if b[0] != byte(pg+1) {
+			t.Fatalf("page %d lost its data: got %d", pg, b[0])
+		}
+	}
+	st := s.Stats()
+	if st.PageOuts == 0 || st.PageIns == 0 {
+		t.Fatalf("expected paging traffic, got %+v", st)
+	}
+	r, w := dev.Counts()
+	if r != st.PageIns || w != st.PageOuts {
+		t.Fatalf("device counts (%d,%d) disagree with stats (%d,%d)", r, w, st.PageIns, st.PageOuts)
+	}
+}
+
+func TestCleanEvictionsAreFree(t *testing.T) {
+	s, dev := newSpace(t, 8*page.Size, 2*page.Size)
+	// Write pages 0..7 once (dirty evictions), then sweep read-only
+	// twice; the second sweep's evictions are clean.
+	for pg := int64(0); pg < 8; pg++ {
+		if err := s.Write(pg*page.Size, []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, wAfterInit := dev.Counts()
+	b := make([]byte, 1)
+	for round := 0; round < 2; round++ {
+		for pg := int64(0); pg < 8; pg++ {
+			if err := s.Read(pg*page.Size, b); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	_, wAfterReads := dev.Counts()
+	// Two dirty pages may remain resident from the write pass and get
+	// evicted during the first read sweep; nothing after that.
+	if wAfterReads > wAfterInit+2 {
+		t.Fatalf("clean evictions wrote to device: %d -> %d", wAfterInit, wAfterReads)
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	s, _ := newSpace(t, 3*page.Size, 2*page.Size)
+	b := make([]byte, 1)
+	// Touch 0, 1 (resident: 0,1). Touch 0 again (LRU victim now 1).
+	// Touch 2 -> evicts 1, not 0.
+	for _, pg := range []int64{0, 1, 0, 2} {
+		if err := s.Write(pg*page.Size, []byte{byte(pg + 10)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Read(0, b); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.PageIns != 0 {
+		t.Fatal("page 0 was evicted despite being recently used")
+	}
+}
+
+func TestBoundsChecking(t *testing.T) {
+	s, _ := newSpace(t, page.Size, page.Size)
+	if err := s.Read(-1, make([]byte, 1)); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	if err := s.Write(page.Size-1, make([]byte, 2)); err == nil {
+		t.Fatal("overflow write accepted")
+	}
+	if _, err := New(0, 0, blockdev.NewMemDevice()); err == nil {
+		t.Fatal("zero-size space accepted")
+	}
+}
+
+func TestFloat64Accessors(t *testing.T) {
+	s, _ := newSpace(t, 1<<16, 1<<12)
+	want := []float64{0, 1.5, -2.25, 1e300, -1e-300}
+	for i, v := range want {
+		if err := s.SetFloat64(int64(i), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, v := range want {
+		got, err := s.Float64(int64(i))
+		if err != nil || got != v {
+			t.Fatalf("Float64(%d) = %v, want %v", i, got, v)
+		}
+	}
+}
+
+func TestUint64Accessors(t *testing.T) {
+	s, _ := newSpace(t, 1<<16, 1<<12)
+	for i := int64(0); i < 100; i++ {
+		if err := s.SetUint64(i, uint64(i*i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int64(0); i < 100; i++ {
+		got, err := s.Uint64(i)
+		if err != nil || got != uint64(i*i) {
+			t.Fatalf("Uint64(%d) = %d, want %d", i, got, i*i)
+		}
+	}
+}
+
+func TestFlushWritesDirtyPages(t *testing.T) {
+	s, dev := newSpace(t, 4*page.Size, 8*page.Size)
+	if err := s.Write(0, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, w := dev.Counts(); w != 0 {
+		t.Fatal("write reached device before flush")
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, w := dev.Counts(); w != 1 {
+		t.Fatalf("flush wrote %d pages, want 1", w)
+	}
+	// Double flush: nothing newly dirty.
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, w := dev.Counts(); w != 1 {
+		t.Fatal("clean flush wrote pages")
+	}
+}
+
+func TestCloseDiscardsBacking(t *testing.T) {
+	mem := blockdev.NewMemDevice()
+	s, err := New(8*page.Size, 2*page.Size, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pg := int64(0); pg < 8; pg++ {
+		if err := s.Write(pg*page.Size, []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if mem.Len() == 0 {
+		t.Fatal("setup: nothing on backing device")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if mem.Len() != 0 {
+		t.Fatalf("Close left %d blocks on device", mem.Len())
+	}
+}
+
+func TestQuickReadBackWhatYouWrote(t *testing.T) {
+	s, _ := newSpace(t, 1<<18, 1<<14) // 32 pages, 2 resident... 4 resident
+	f := func(off uint32, val byte, n uint8) bool {
+		o := int64(off) % (1<<18 - 256)
+		ln := int(n)%64 + 1
+		data := bytes.Repeat([]byte{val}, ln)
+		if err := s.Write(o, data); err != nil {
+			return false
+		}
+		got := make([]byte, ln)
+		if err := s.Read(o, got); err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplayerMatchesSpace: the data-free Replayer must produce the
+// same fault counts as a real Space fed the identical reference
+// stream.
+func TestReplayerMatchesSpace(t *testing.T) {
+	const pages = 64
+	const resident = 8
+	refs := make([]Ref, 0, 4096)
+	// A mix of sweeps and strided accesses with writes.
+	for i := int64(0); i < pages; i++ {
+		refs = append(refs, Ref{Page: i, Write: true})
+	}
+	for i := int64(0); i < pages; i += 3 {
+		refs = append(refs, Ref{Page: i, Write: false})
+	}
+	for i := int64(pages - 1); i >= 0; i -= 2 {
+		refs = append(refs, Ref{Page: i, Write: i%4 == 0})
+	}
+
+	s, _ := newSpace(t, pages*page.Size, resident*page.Size)
+	b := make([]byte, 1)
+	for _, r := range refs {
+		var err error
+		if r.Write {
+			err = s.Write(r.Page*page.Size, []byte{1})
+		} else {
+			err = s.Read(r.Page*page.Size, b)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rp := NewReplayer(resident, nil)
+	rp.Refs(refs)
+	ins, outs := rp.Counts()
+	st := s.Stats()
+	if ins != st.PageIns || outs != st.PageOuts {
+		t.Fatalf("replayer (%d in, %d out) != space (%d in, %d out)",
+			ins, outs, st.PageIns, st.PageOuts)
+	}
+}
+
+func TestReplayerFaultCallback(t *testing.T) {
+	var events []Fault
+	rp := NewReplayer(2, func(f Fault) { events = append(events, f) })
+	// Fill 0,1; write 2 evicts 0 (dirty) -> FaultOut{0}; ref 0 again
+	// evicts 1 -> FaultOut{1}, and pages 0 back in -> FaultIn{0}.
+	rp.Ref(0, true)
+	rp.Ref(1, true)
+	rp.Ref(2, true)
+	rp.Ref(0, false)
+	want := []Fault{{FaultOut, 0}, {FaultOut, 1}, {FaultIn, 0}}
+	if len(events) != len(want) {
+		t.Fatalf("events = %+v, want %+v", events, want)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, events[i], want[i])
+		}
+	}
+}
+
+func TestReplayerCleanEvictionSilent(t *testing.T) {
+	var outs int
+	rp := NewReplayer(2, func(f Fault) {
+		if f.Kind == FaultOut {
+			outs++
+		}
+	})
+	rp.Ref(0, false)
+	rp.Ref(1, false)
+	rp.Ref(2, false) // evicts clean 0
+	if outs != 0 {
+		t.Fatal("clean eviction produced a pageout")
+	}
+}
+
+func BenchmarkSpaceSequentialWrite(b *testing.B) {
+	dev := blockdev.NewMemDevice()
+	s, err := New(1<<24, 1<<22, dev)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := int64(i*4096) % (1<<24 - 4096)
+		if err := s.Write(off, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReplayer(b *testing.B) {
+	rp := NewReplayer(1024, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rp.Ref(int64(i%4096), i%2 == 0)
+	}
+}

@@ -1,0 +1,67 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"rmp/internal/page"
+)
+
+// FuzzDecode hammers the frame decoder with arbitrary bytes: it must
+// never panic or over-allocate, only return errors.
+func FuzzDecode(f *testing.F) {
+	// Seed with valid frames of each interesting shape.
+	seed := func(m *Msg) {
+		var buf bytes.Buffer
+		if err := Encode(&buf, m); err == nil {
+			f.Add(buf.Bytes())
+		}
+	}
+	seed(&Msg{Type: THello, Host: "client", Data: []byte("token")})
+	seed(&Msg{Type: TLoad})
+	seed(&Msg{Type: TFree, Keys: []uint64{1, 2, 3}})
+	data := page.NewBuf()
+	data.Fill(1)
+	seed((&Msg{Type: TPageOut, Key: 9, Data: data}).WithChecksum())
+	f.Add([]byte{})
+	f.Add([]byte{0x52, 0x4D, 1, 1, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		m, err := Decode(bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		// A successfully decoded frame must re-encode.
+		var buf bytes.Buffer
+		if err := Encode(&buf, m); err != nil && err != ErrTooLarge {
+			t.Fatalf("decoded frame failed to re-encode: %v", err)
+		}
+	})
+}
+
+// FuzzRoundTrip: any encodable message decodes to itself.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint8(5), uint8(0), uint64(1), uint32(2), uint64(3), "host", []byte("data"))
+	f.Fuzz(func(t *testing.T, typ, flags uint8, key uint64, n uint32, pkey uint64, host string, data []byte) {
+		if len(host) > 2048 || len(data) > page.Size {
+			return
+		}
+		m := &Msg{
+			Type: Type(typ), Flags: flags, Key: key, N: n,
+			ParityKey: pkey, Host: host, Data: data,
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, m); err != nil {
+			return
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("decode of encoded frame: %v", err)
+		}
+		if got.Type != m.Type || got.Flags != m.Flags || got.Key != m.Key ||
+			got.N != m.N || got.ParityKey != m.ParityKey || got.Host != m.Host ||
+			!bytes.Equal(got.Data, m.Data) {
+			t.Fatalf("round trip mangled message: %+v vs %+v", got, m)
+		}
+	})
+}

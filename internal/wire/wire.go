@@ -1,0 +1,347 @@
+// Package wire implements the binary protocol spoken between the RMP
+// client (the pager) and the remote memory servers.
+//
+// The protocol is a strict request/response protocol over a byte
+// stream (TCP in production, net.Pipe in tests). Every message is one
+// frame:
+//
+//	offset  size  field
+//	0       2     magic 0x524D ("RM")
+//	2       1     protocol version (1)
+//	3       1     message type
+//	4       1     flags
+//	5       1     status
+//	6       2     reserved (zero)
+//	8       4     payload length (bytes following the header)
+//
+// The payload is a fixed field block followed by variable sections:
+//
+//	Key(8) N(4) Checksum(4) ParityKey(8)
+//	hostLen(2) host bytes
+//	nkeys(4) keys (8 each)
+//	dataLen(4) data bytes
+//
+// Servers are deliberately policy-agnostic: they store opaque
+// (key -> page) pairs. The paper makes the same point — "a parity
+// server is by no means different than a memory server" (§3.2). All
+// placement, mirroring and parity-group bookkeeping lives in the
+// client; the one server-side extra is XORWRITE, used by the basic
+// parity policy, where the server computes old XOR new and forwards
+// the delta to the parity server itself (§2.2).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"rmp/internal/page"
+)
+
+// Protocol constants.
+const (
+	Magic   = 0x524D // "RM"
+	Version = 1
+
+	headerLen = 12
+
+	// MaxPayload bounds a frame so a corrupt or hostile peer cannot
+	// make us allocate unbounded memory. Large enough for a page plus
+	// every fixed field and a long host name.
+	MaxPayload = page.Size + 4096
+)
+
+// Type enumerates message types. Requests have odd values' acks
+// immediately following for readability in traces.
+type Type uint8
+
+const (
+	THello Type = iota + 1
+	THelloAck
+	TAlloc
+	TAllocAck
+	TPageOut
+	TPageOutAck
+	TPageIn
+	TPageInAck
+	TFree
+	TFreeAck
+	TLoad
+	TLoadAck
+	TXorWrite
+	TXorWriteAck
+	TXorDelta
+	TXorDeltaAck
+	TBye
+	TByeAck
+	TStat
+	TStatAck
+)
+
+var typeNames = map[Type]string{
+	THello: "HELLO", THelloAck: "HELLO_ACK",
+	TAlloc: "ALLOC", TAllocAck: "ALLOC_ACK",
+	TPageOut: "PAGEOUT", TPageOutAck: "PAGEOUT_ACK",
+	TPageIn: "PAGEIN", TPageInAck: "PAGEIN_ACK",
+	TFree: "FREE", TFreeAck: "FREE_ACK",
+	TLoad: "LOAD", TLoadAck: "LOAD_ACK",
+	TXorWrite: "XORWRITE", TXorWriteAck: "XORWRITE_ACK",
+	TXorDelta: "XORDELTA", TXorDeltaAck: "XORDELTA_ACK",
+	TBye: "BYE", TByeAck: "BYE_ACK",
+	TStat: "STAT", TStatAck: "STAT_ACK",
+}
+
+func (t Type) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("Type(%d)", uint8(t))
+}
+
+// Ack returns the acknowledgement type for a request type.
+func (t Type) Ack() Type { return t + 1 }
+
+// Status is the server's verdict on a request.
+type Status uint8
+
+const (
+	StatusOK Status = iota
+	// StatusNoSpace: swap-space allocation denied — the server is out
+	// of donatable memory (paper §2.1: "When a server runs out of
+	// memory, it denies further swap space allocation requests").
+	StatusNoSpace
+	// StatusNotFound: pagein or free of a key the server doesn't hold.
+	StatusNotFound
+	// StatusBadChecksum: page data failed CRC verification.
+	StatusBadChecksum
+	// StatusDenied: the client is not authorized (paper §3.1 restricts
+	// the device to the superuser and privileged ports; we carry an
+	// auth token in HELLO instead).
+	StatusDenied
+	// StatusInternal: internal server error; detail in the data section.
+	StatusInternal
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusNoSpace:
+		return "NO_SPACE"
+	case StatusNotFound:
+		return "NOT_FOUND"
+	case StatusBadChecksum:
+		return "BAD_CHECKSUM"
+	case StatusDenied:
+		return "DENIED"
+	case StatusInternal:
+		return "INTERNAL"
+	}
+	return fmt.Sprintf("Status(%d)", uint8(s))
+}
+
+// Err converts a non-OK status into an error, nil for StatusOK.
+func (s Status) Err() error {
+	if s == StatusOK {
+		return nil
+	}
+	return &StatusError{Status: s}
+}
+
+// StatusError wraps a non-OK Status as a Go error.
+type StatusError struct{ Status Status }
+
+func (e *StatusError) Error() string { return "wire: server returned " + e.Status.String() }
+
+// Frame flags.
+const (
+	// FlagPressure is set by a server on any ack when native
+	// memory-demanding processes have started on its host. It is the
+	// paper's "note ... advising it to send no more pages to this
+	// server" (§2.1). The client reacts by migrating pages away.
+	FlagPressure = 1 << 0
+)
+
+// Msg is a decoded protocol message. Unused fields are zero.
+type Msg struct {
+	Type   Type
+	Flags  uint8
+	Status Status
+
+	// Key addresses one stored page (PAGEOUT/PAGEIN/XORWRITE/XORDELTA).
+	Key uint64
+	// N is a count: pages requested in ALLOC, granted in ALLOC_ACK,
+	// free pages in LOAD_ACK.
+	N uint32
+	// Checksum is the CRC-32C of Data for page-carrying messages.
+	Checksum uint32
+	// ParityKey is the key under which the parity server accumulates
+	// the delta for an XORWRITE.
+	ParityKey uint64
+	// Host is the parity server address for XORWRITE, or the client
+	// name in HELLO, or the auth token (HELLO uses Data for the token).
+	Host string
+	// Keys lists pages for FREE.
+	Keys []uint64
+	// Data is the page payload, or an error detail for StatusError.
+	Data []byte
+}
+
+// Errors returned by the codec.
+var (
+	ErrBadMagic   = errors.New("wire: bad magic")
+	ErrBadVersion = errors.New("wire: unsupported protocol version")
+	ErrTooLarge   = errors.New("wire: frame exceeds maximum payload")
+	ErrTruncated  = errors.New("wire: truncated payload")
+)
+
+// payloadSize computes the encoded payload length for m.
+func (m *Msg) payloadSize() int {
+	return 8 + 4 + 4 + 8 + // Key, N, Checksum, ParityKey
+		2 + len(m.Host) +
+		4 + 8*len(m.Keys) +
+		4 + len(m.Data)
+}
+
+// Encode writes m as one frame to w.
+func Encode(w io.Writer, m *Msg) error {
+	plen := m.payloadSize()
+	if plen > MaxPayload {
+		return ErrTooLarge
+	}
+	buf := make([]byte, headerLen+plen)
+	binary.BigEndian.PutUint16(buf[0:], Magic)
+	buf[2] = Version
+	buf[3] = uint8(m.Type)
+	buf[4] = m.Flags
+	buf[5] = uint8(m.Status)
+	binary.BigEndian.PutUint32(buf[8:], uint32(plen))
+
+	p := buf[headerLen:]
+	binary.BigEndian.PutUint64(p[0:], m.Key)
+	binary.BigEndian.PutUint32(p[8:], m.N)
+	binary.BigEndian.PutUint32(p[12:], m.Checksum)
+	binary.BigEndian.PutUint64(p[16:], m.ParityKey)
+	off := 24
+	binary.BigEndian.PutUint16(p[off:], uint16(len(m.Host)))
+	off += 2
+	off += copy(p[off:], m.Host)
+	binary.BigEndian.PutUint32(p[off:], uint32(len(m.Keys)))
+	off += 4
+	for _, k := range m.Keys {
+		binary.BigEndian.PutUint64(p[off:], k)
+		off += 8
+	}
+	binary.BigEndian.PutUint32(p[off:], uint32(len(m.Data)))
+	off += 4
+	copy(p[off:], m.Data)
+
+	_, err := w.Write(buf)
+	return err
+}
+
+// Decode reads one frame from r.
+func Decode(r io.Reader) (*Msg, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	if binary.BigEndian.Uint16(hdr[0:]) != Magic {
+		return nil, ErrBadMagic
+	}
+	if hdr[2] != Version {
+		return nil, ErrBadVersion
+	}
+	plen := binary.BigEndian.Uint32(hdr[8:])
+	if plen > MaxPayload {
+		return nil, ErrTooLarge
+	}
+	p := make([]byte, plen)
+	if _, err := io.ReadFull(r, p); err != nil {
+		return nil, err
+	}
+
+	m := &Msg{
+		Type:   Type(hdr[3]),
+		Flags:  hdr[4],
+		Status: Status(hdr[5]),
+	}
+	if len(p) < 24+2 {
+		return nil, ErrTruncated
+	}
+	m.Key = binary.BigEndian.Uint64(p[0:])
+	m.N = binary.BigEndian.Uint32(p[8:])
+	m.Checksum = binary.BigEndian.Uint32(p[12:])
+	m.ParityKey = binary.BigEndian.Uint64(p[16:])
+	off := 24
+	hlen := int(binary.BigEndian.Uint16(p[off:]))
+	off += 2
+	if off+hlen+4 > len(p) {
+		return nil, ErrTruncated
+	}
+	m.Host = string(p[off : off+hlen])
+	off += hlen
+	nkeys := int(binary.BigEndian.Uint32(p[off:]))
+	off += 4
+	if nkeys > 0 {
+		if off+8*nkeys+4 > len(p) {
+			return nil, ErrTruncated
+		}
+		m.Keys = make([]uint64, nkeys)
+		for i := range m.Keys {
+			m.Keys[i] = binary.BigEndian.Uint64(p[off:])
+			off += 8
+		}
+	}
+	if off+4 > len(p) {
+		return nil, ErrTruncated
+	}
+	dlen := int(binary.BigEndian.Uint32(p[off:]))
+	off += 4
+	if off+dlen > len(p) {
+		return nil, ErrTruncated
+	}
+	if dlen > 0 {
+		m.Data = p[off : off+dlen : off+dlen]
+	}
+	return m, nil
+}
+
+// VerifyData checks the message checksum against its data; messages
+// that carry no data always verify.
+func (m *Msg) VerifyData() error {
+	if len(m.Data) == 0 {
+		return nil
+	}
+	if page.Buf(m.Data).Checksum() != m.Checksum {
+		return &StatusError{Status: StatusBadChecksum}
+	}
+	return nil
+}
+
+// StatInfo is the server-state snapshot carried (as JSON in Data) by
+// a STAT_ACK. It powers rmpctl's operator view and the experiments'
+// memory accounting.
+type StatInfo struct {
+	Name         string `json:"name"`
+	StoredPages  int    `json:"stored_pages"`
+	FreePages    int    `json:"free_pages"`
+	InOverflow   bool   `json:"in_overflow"`
+	Pressure     bool   `json:"pressure"`
+	Clients      int    `json:"clients"`
+	Puts         uint64 `json:"puts"`
+	Gets         uint64 `json:"gets"`
+	Deletes      uint64 `json:"deletes"`
+	XorWrites    uint64 `json:"xor_writes"`
+	Misses       uint64 `json:"misses"`
+	DeniedAllocs uint64 `json:"denied_allocs"`
+}
+
+// WithChecksum fills in the checksum for the current Data and returns m.
+func (m *Msg) WithChecksum() *Msg {
+	if len(m.Data) > 0 {
+		m.Checksum = page.Buf(m.Data).Checksum()
+	}
+	return m
+}

@@ -1,0 +1,269 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rmp/internal/page"
+)
+
+func roundTrip(t *testing.T, m *Msg) *Msg {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Encode(&buf, m); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	return got
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	m := &Msg{Type: TLoad}
+	got := roundTrip(t, m)
+	if got.Type != TLoad || got.Key != 0 || len(got.Data) != 0 {
+		t.Fatalf("round trip mangled empty message: %+v", got)
+	}
+}
+
+func TestRoundTripFull(t *testing.T) {
+	data := page.NewBuf()
+	data.Fill(5)
+	m := &Msg{
+		Type:      TXorWrite,
+		Flags:     FlagPressure,
+		Status:    StatusOK,
+		Key:       0xDEADBEEF,
+		N:         77,
+		ParityKey: 0xCAFE,
+		Host:      "parity.example:7000",
+		Keys:      []uint64{1, 2, 3, 1 << 60},
+		Data:      data,
+	}
+	m.WithChecksum()
+	got := roundTrip(t, m)
+	if got.Type != m.Type || got.Flags != m.Flags || got.Key != m.Key ||
+		got.N != m.N || got.ParityKey != m.ParityKey || got.Host != m.Host {
+		t.Fatalf("fixed fields mangled: %+v", got)
+	}
+	if !reflect.DeepEqual(got.Keys, m.Keys) {
+		t.Fatalf("keys mangled: %v", got.Keys)
+	}
+	if !bytes.Equal(got.Data, m.Data) {
+		t.Fatal("data mangled")
+	}
+	if err := got.VerifyData(); err != nil {
+		t.Fatalf("VerifyData: %v", err)
+	}
+}
+
+func TestVerifyDataDetectsCorruption(t *testing.T) {
+	data := page.NewBuf()
+	data.Fill(9)
+	m := (&Msg{Type: TPageOut, Key: 1, Data: data}).WithChecksum()
+	var buf bytes.Buffer
+	if err := Encode(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(raw)-1] ^= 0xFF // flip a data byte
+	got, err := Decode(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.VerifyData(); err == nil {
+		t.Fatal("VerifyData accepted corrupted page")
+	}
+}
+
+func TestDecodeBadMagic(t *testing.T) {
+	raw := make([]byte, 12)
+	if _, err := Decode(bytes.NewReader(raw)); err != ErrBadMagic {
+		t.Fatalf("got %v, want ErrBadMagic", err)
+	}
+}
+
+func TestDecodeBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, &Msg{Type: TPing()}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[2] = 99
+	if _, err := Decode(bytes.NewReader(raw)); err != ErrBadVersion {
+		t.Fatalf("got %v, want ErrBadVersion", err)
+	}
+}
+
+// TPing returns an arbitrary valid type for framing tests.
+func TPing() Type { return TLoad }
+
+func TestDecodeOversizedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, &Msg{Type: TLoad}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	binary.BigEndian.PutUint32(raw[8:], MaxPayload+1)
+	if _, err := Decode(bytes.NewReader(raw)); err != ErrTooLarge {
+		t.Fatalf("got %v, want ErrTooLarge", err)
+	}
+}
+
+func TestEncodeRejectsOversized(t *testing.T) {
+	m := &Msg{Type: TPageOut, Data: make([]byte, MaxPayload)}
+	if err := Encode(io.Discard, m); err != ErrTooLarge {
+		t.Fatalf("got %v, want ErrTooLarge", err)
+	}
+}
+
+func TestDecodeTruncatedPayload(t *testing.T) {
+	m := &Msg{Type: TFree, Keys: []uint64{1, 2, 3}}
+	var buf bytes.Buffer
+	if err := Encode(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Claim more keys than the payload holds.
+	// keys count sits after fixed 24 bytes + 2-byte host len (host empty).
+	binary.BigEndian.PutUint32(raw[12+26:], 1000)
+	if _, err := Decode(bytes.NewReader(raw)); err != ErrTruncated {
+		t.Fatalf("got %v, want ErrTruncated", err)
+	}
+}
+
+func TestDecodeShortRead(t *testing.T) {
+	m := &Msg{Type: TLoad}
+	var buf bytes.Buffer
+	if err := Encode(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()[:8] // cut mid-header
+	if _, err := Decode(bytes.NewReader(raw)); err == nil {
+		t.Fatal("Decode accepted short frame")
+	}
+}
+
+func TestStatusErr(t *testing.T) {
+	if StatusOK.Err() != nil {
+		t.Fatal("StatusOK.Err() != nil")
+	}
+	err := StatusNoSpace.Err()
+	if err == nil || !strings.Contains(err.Error(), "NO_SPACE") {
+		t.Fatalf("StatusNoSpace.Err() = %v", err)
+	}
+}
+
+func TestTypeAck(t *testing.T) {
+	pairs := []Type{THello, TAlloc, TPageOut, TPageIn, TFree, TLoad, TXorWrite, TXorDelta, TBye}
+	for _, req := range pairs {
+		ack := req.Ack()
+		if !strings.HasSuffix(ack.String(), "_ACK") {
+			t.Errorf("%v.Ack() = %v, not an ack", req, ack)
+		}
+		if !strings.HasPrefix(ack.String(), strings.TrimSuffix(req.String(), "")) {
+			t.Errorf("%v.Ack() = %v, mismatched pair", req, ack)
+		}
+	}
+}
+
+func TestTypeStringUnknown(t *testing.T) {
+	if got := Type(200).String(); got != "Type(200)" {
+		t.Errorf("unknown type string = %q", got)
+	}
+	if got := Status(200).String(); got != "Status(200)" {
+		t.Errorf("unknown status string = %q", got)
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	f := func(key uint64, n uint32, pkey uint64, host string, keys []uint64, data []byte) bool {
+		if len(host) > 1024 {
+			host = host[:1024]
+		}
+		if len(keys) > 64 {
+			keys = keys[:64]
+		}
+		if len(data) > page.Size {
+			data = data[:page.Size]
+		}
+		m := &Msg{Type: TPageOut, Key: key, N: n, ParityKey: pkey, Host: host, Keys: keys, Data: data}
+		var buf bytes.Buffer
+		if err := Encode(&buf, m); err != nil {
+			return false
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Key != key || got.N != n || got.ParityKey != pkey || got.Host != host {
+			return false
+		}
+		if len(keys) == 0 && len(got.Keys) != 0 {
+			return false
+		}
+		if len(keys) > 0 && !reflect.DeepEqual(got.Keys, keys) {
+			return false
+		}
+		return bytes.Equal(got.Data, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBackToBackFrames(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 10; i++ {
+		if err := Encode(&buf, &Msg{Type: TPageIn, Key: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		m, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if m.Key != uint64(i) {
+			t.Fatalf("frame %d decoded key %d", i, m.Key)
+		}
+	}
+}
+
+func BenchmarkEncodePageOut(b *testing.B) {
+	data := page.NewBuf()
+	data.Fill(1)
+	m := (&Msg{Type: TPageOut, Key: 42, Data: data}).WithChecksum()
+	b.SetBytes(page.Size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Encode(io.Discard, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodePageOut(b *testing.B) {
+	data := page.NewBuf()
+	data.Fill(1)
+	m := (&Msg{Type: TPageOut, Key: 42, Data: data}).WithChecksum()
+	var buf bytes.Buffer
+	if err := Encode(&buf, m); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.SetBytes(page.Size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
