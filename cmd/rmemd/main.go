@@ -5,11 +5,20 @@
 // Usage:
 //
 //	rmemd -listen :7077 -capacity-mb 256 -overflow 0.10
+//	rmemd -listen :7078 -advertise host2:7078 -join host1:7077
 //
 // The daemon serves until interrupted. SIGUSR1 toggles the memory-
 // pressure advisory, emulating native memory-demanding processes
 // starting on the host (§2.1): while set, new swap-space allocations
 // are denied and clients are advised to migrate their pages away.
+//
+// SIGUSR2 starts a graceful drain: the daemon stops accepting new
+// allocations, advises every client to migrate its pages elsewhere,
+// and exits once the last page has been evacuated.
+//
+// With -join, the daemon announces its advertised address to existing
+// cluster members at startup; their heartbeat replies gossip it to
+// every live pager, which joins it without a restart.
 package main
 
 import (
@@ -17,8 +26,11 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
+	"time"
 
+	"rmp/internal/client"
 	"rmp/internal/page"
 	"rmp/internal/server"
 )
@@ -31,6 +43,8 @@ func main() {
 		token      = flag.String("token", "", "auth token clients must present (empty = open)")
 		name       = flag.String("name", "", "server name for logs (default: listen address)")
 		spill      = flag.Bool("spill", true, "under memory pressure, swap donated pages to local disk (paper §2.1)")
+		join       = flag.String("join", "", "comma-separated existing members to announce this server to")
+		advertise  = flag.String("advertise", "", "address peers should gossip for this server (default: the bound address; set it when listening on all interfaces)")
 	)
 	flag.Parse()
 
@@ -52,16 +66,71 @@ func main() {
 	log.Printf("rmemd: serving %d MB (%d pages) on %v", *capacityMB,
 		*capacityMB<<20/page.Size, srv.Addr())
 
+	if *join != "" {
+		self := *advertise
+		if self == "" {
+			self = srv.Addr().String()
+		}
+		announce(self, strings.Split(*join, ","), n, *token)
+	}
+	// Watch for a drain from either trigger — SIGUSR2 or a wire-level
+	// DRAIN (rmpctl drain) — and exit once the store is empty.
+	go waitDrained(srv)
+
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGUSR1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGUSR1, syscall.SIGUSR2)
 	for s := range sig {
-		if s == syscall.SIGUSR1 {
+		switch s {
+		case syscall.SIGUSR1:
 			srv.SetPressure(!srv.Pressure())
 			log.Printf("rmemd: memory pressure advisory now %v", srv.Pressure())
+		case syscall.SIGUSR2:
+			if !srv.Draining() {
+				log.Printf("rmemd: draining — advising clients to migrate, exiting when empty")
+				srv.SetDraining(true)
+			}
+		default:
+			log.Printf("rmemd: shutting down (%v)", s)
+			srv.Close()
+			return
+		}
+	}
+}
+
+// announce tells each existing member about this server; their PONGs
+// gossip it to every pager.
+func announce(self string, peers []string, name, token string) {
+	for _, peer := range peers {
+		peer = strings.TrimSpace(peer)
+		if peer == "" {
 			continue
 		}
-		log.Printf("rmemd: shutting down (%v)", s)
-		srv.Close()
-		return
+		c, err := client.Dial(peer, name, token)
+		if err != nil {
+			log.Printf("rmemd: announcing to %s: %v", peer, err)
+			continue
+		}
+		if _, err := c.Join(self); err != nil {
+			log.Printf("rmemd: announcing to %s: %v", peer, err)
+		} else {
+			log.Printf("rmemd: announced %s to %s", self, peer)
+		}
+		c.Bye()
 	}
+}
+
+// waitDrained exits the daemon once a drain has begun and every
+// client has evacuated its pages. Clients see the drain advisory on
+// the next heartbeat and migrate; a draining daemon with no stored
+// pages exits right away.
+func waitDrained(srv *server.Server) {
+	for {
+		time.Sleep(500 * time.Millisecond)
+		if srv.Draining() && srv.Store().Len() == 0 {
+			break
+		}
+	}
+	log.Printf("rmemd: drain complete, all pages evacuated; exiting")
+	srv.Close()
+	os.Exit(0)
 }

@@ -11,7 +11,9 @@
 //	rmpctl -server host:7077 put 7 < page.bin     (exactly 8192 bytes)
 //	rmpctl -server host:7077 get 7 > page.bin
 //	rmpctl -server host:7077 free 7 8 9
-//	rmpctl -server host:7077 ping
+//	rmpctl -server host:7077 ping                  (heartbeat: rtt, load, drain, peers)
+//	rmpctl -server host:7077 join host2:7077       (announce a new member)
+//	rmpctl -server host:7077 drain                 (ask the server to leave gracefully)
 //	rmpctl -registry servers.conf survey           (load of every server)
 package main
 
@@ -38,7 +40,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		log.Fatal("rmpctl: need a command: load | stats | alloc N | put KEY | get KEY | free KEY... | ping | survey")
+		log.Fatal("rmpctl: need a command: load | stats | alloc N | put KEY | get KEY | free KEY... | ping | join ADDR | drain | survey")
 	}
 
 	cmd := args[0]
@@ -115,9 +117,27 @@ func main() {
 
 	case "ping":
 		start := time.Now()
-		_, err := c.Load()
+		free, draining, peers, err := c.Ping(5 * time.Second)
 		check(err)
-		fmt.Printf("%s: ok (%v)\n", *serverAddr, time.Since(start).Round(time.Microsecond))
+		state := "ok"
+		if draining {
+			state = "DRAINING"
+		}
+		fmt.Printf("%s: %s (%v), %d free pages\n", *serverAddr, state,
+			time.Since(start).Round(time.Microsecond), free)
+		for _, peer := range peers {
+			fmt.Printf("  peer %s\n", peer)
+		}
+
+	case "join":
+		need(args, 2)
+		count, err := c.Join(args[1])
+		check(err)
+		fmt.Printf("announced %s; server now knows %d peer(s)\n", args[1], count)
+
+	case "drain":
+		check(c.Drain())
+		fmt.Printf("%s: draining — clients will migrate pages away; the daemon exits when empty\n", *serverAddr)
 
 	default:
 		log.Fatalf("rmpctl: unknown command %q", cmd)
@@ -140,7 +160,7 @@ func survey(registry, name, token string) {
 			fmt.Printf("%-24s DOWN (%v)\n", addr, err)
 			continue
 		}
-		free, err := c.Load()
+		free, draining, _, err := c.Ping(5 * time.Second)
 		pressured := c.PressureAdvised()
 		c.Bye()
 		if err != nil {
@@ -150,6 +170,9 @@ func survey(registry, name, token string) {
 		state := "ok"
 		if pressured {
 			state = "PRESSURED"
+		}
+		if draining {
+			state = "DRAINING"
 		}
 		fmt.Printf("%-24s %s  %6d free pages (%d MB)\n", addr, state, free, free*page.Size>>20)
 	}

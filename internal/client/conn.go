@@ -34,6 +34,11 @@ type Conn struct {
 	// the pager polls and clears it to drive migration.
 	pressureMu sync.Mutex
 	pressured  bool
+	// draining is latched when any ack arrives with FlagDrain set: the
+	// server asked to leave and wants its pages migrated out. Unlike
+	// pressure it is not cleared on read — a draining server stays
+	// draining until the pager finishes evacuating it.
+	draining bool
 
 	// serverFree is the last free-page count reported by the server
 	// (HELLO_ACK and LOAD_ACK carry it).
@@ -55,7 +60,14 @@ const DialTimeout = 5 * time.Second
 // Dial connects to a server, performs the HELLO handshake as
 // clientName with the given auth token, and returns the ready Conn.
 func Dial(addr, clientName, token string) (*Conn, error) {
-	nc, err := net.DialTimeout("tcp", addr, DialTimeout)
+	return DialWithTimeout(addr, clientName, token, DialTimeout)
+}
+
+// DialWithTimeout is Dial with an explicit TCP-establishment bound
+// (the heartbeat prober uses the detector's probe timeout here, so a
+// black-holed re-dial cannot outlive the probe deadline).
+func DialWithTimeout(addr, clientName, token string, timeout time.Duration) (*Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
 	}
@@ -102,12 +114,23 @@ func (c *Conn) roundTrip(req *wire.Msg) (*wire.Msg, error) {
 	if ack.Type != req.Type.Ack() {
 		return nil, fmt.Errorf("client: got %v in reply to %v", ack.Type, req.Type)
 	}
-	if ack.Flags&wire.FlagPressure != 0 {
-		c.pressureMu.Lock()
-		c.pressured = true
-		c.pressureMu.Unlock()
-	}
+	c.latchFlags(ack.Flags)
 	return ack, nil
+}
+
+// latchFlags records advisory flags carried on any ack.
+func (c *Conn) latchFlags(flags uint8) {
+	if flags&(wire.FlagPressure|wire.FlagDrain) == 0 {
+		return
+	}
+	c.pressureMu.Lock()
+	if flags&wire.FlagPressure != 0 {
+		c.pressured = true
+	}
+	if flags&wire.FlagDrain != 0 {
+		c.draining = true
+	}
+	c.pressureMu.Unlock()
 }
 
 // RTT returns the smoothed request round-trip estimate (0 before the
@@ -137,6 +160,13 @@ func (c *Conn) PressureAdvised() bool {
 	p := c.pressured
 	c.pressured = false
 	return p
+}
+
+// DrainAdvised reports (without clearing) the latched drain advisory.
+func (c *Conn) DrainAdvised() bool {
+	c.pressureMu.Lock()
+	defer c.pressureMu.Unlock()
+	return c.draining
 }
 
 // Alloc asks the server to promise n pages of swap space and returns
@@ -220,11 +250,7 @@ func (c *Conn) PageOutBatch(keys []uint64, pages []page.Buf) error {
 		if err != nil {
 			return err // stream broken; cannot drain further
 		}
-		if ack.Flags&wire.FlagPressure != 0 {
-			c.pressureMu.Lock()
-			c.pressured = true
-			c.pressureMu.Unlock()
-		}
+		c.latchFlags(ack.Flags)
 		if e := ack.Status.Err(); e != nil && firstErr == nil {
 			firstErr = e
 		}
@@ -290,6 +316,68 @@ func (c *Conn) XorDelta(key uint64, data page.Buf) error {
 	}
 	req := (&wire.Msg{Type: wire.TXorDelta, Key: key, Data: data}).WithChecksum()
 	ack, err := c.roundTrip(req)
+	if err != nil {
+		return err
+	}
+	return ack.Status.Err()
+}
+
+// Ping performs one heartbeat probe bounded by timeout. It returns
+// the server's free-page count, whether the server is draining, and
+// any peer addresses the server gossips back. A Ping that misses its
+// deadline poisons the connection (a late PONG would desynchronize
+// the request/response framing), so callers must discard the Conn
+// after an error.
+func (c *Conn) Ping(timeout time.Duration) (free int, draining bool, peers []string, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(timeout))
+		defer c.conn.SetDeadline(time.Time{})
+	}
+	// Heartbeats bypass the RTT estimate on purpose: PING skips the
+	// server's service-delay model, so its latency is not a fair
+	// sample of page-service time.
+	if err = wire.Encode(c.conn, &wire.Msg{Type: wire.TPing}); err != nil {
+		return 0, false, nil, err
+	}
+	ack, err := wire.Decode(c.conn)
+	if err != nil {
+		return 0, false, nil, err
+	}
+	if ack.Type != wire.TPong {
+		return 0, false, nil, fmt.Errorf("client: got %v in reply to PING", ack.Type)
+	}
+	c.latchFlags(ack.Flags)
+	if err := ack.Status.Err(); err != nil {
+		return 0, false, nil, err
+	}
+	draining = ack.Flags&wire.FlagDrain != 0
+	if len(ack.Data) > 0 {
+		var info wire.PongInfo
+		if err := json.Unmarshal(ack.Data, &info); err == nil {
+			peers = info.Peers
+		}
+	}
+	return int(ack.N), draining, peers, nil
+}
+
+// Join announces another server's address to this server, which will
+// gossip it to clients via PONG. Returns the server's resulting peer
+// count.
+func (c *Conn) Join(addr string) (int, error) {
+	ack, err := c.roundTrip(&wire.Msg{Type: wire.TJoin, Host: addr})
+	if err != nil {
+		return 0, err
+	}
+	return int(ack.N), ack.Status.Err()
+}
+
+// Drain asks the server to leave gracefully: it stops granting swap
+// space and advises every client (via FlagDrain on all acks) to
+// migrate pages out.
+func (c *Conn) Drain() error {
+	ack, err := c.roundTrip(&wire.Msg{Type: wire.TDrain})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,411 @@
+package client_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"rmp/internal/chaos"
+	"rmp/internal/client"
+	"rmp/internal/membership"
+	"rmp/internal/page"
+	"rmp/internal/server"
+)
+
+// End-to-end tests for the live-membership layer: heartbeat failure
+// detection through fault-injecting proxies, background re-protection,
+// graceful drain, and dynamic join (gossip + registry watching).
+
+// hbConfig is an aggressive detector for tests: death confirmed after
+// ~3×20ms of silence instead of the production seconds.
+func hbConfig() *membership.Config {
+	return &membership.Config{
+		Interval: 20 * time.Millisecond,
+		Timeout:  150 * time.Millisecond,
+		Misses:   3,
+	}
+}
+
+func waitUntil(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out after %v waiting for %s", d, what)
+}
+
+// proxiedCluster puts a chaos proxy in front of every server so a test
+// can kill a server's network without touching the server process —
+// exactly what a crashed workstation looks like from the pager.
+type proxiedCluster struct {
+	*cluster
+	proxies []*chaos.Proxy
+	via     []string // proxy addresses, what the pager dials
+}
+
+func newProxiedCluster(t *testing.T, n, capacity int) *proxiedCluster {
+	t.Helper()
+	pc := &proxiedCluster{cluster: newCluster(t, n, capacity)}
+	for i, addr := range pc.addrs {
+		px, err := chaos.New(addr)
+		if err != nil {
+			t.Fatalf("proxy %d: %v", i, err)
+		}
+		t.Cleanup(px.Close)
+		pc.proxies = append(pc.proxies, px)
+		pc.via = append(pc.via, px.Addr())
+	}
+	return pc
+}
+
+// kill makes server i unreachable: new connections are refused and
+// every established one (data path and heartbeat alike) is severed.
+func (pc *proxiedCluster) kill(i int) {
+	pc.proxies[i].RefuseNew(true)
+	pc.proxies[i].CutAll()
+}
+
+// TestHeartbeatFailoverMirrored is the issue's acceptance scenario: a
+// three-server mirrored cluster under load loses one server. The
+// heartbeat detector — not a data-path error — must confirm the death,
+// background re-protection must restore full redundancy and record the
+// exposure window, and a second crash afterwards must lose nothing.
+func TestHeartbeatFailoverMirrored(t *testing.T) {
+	pc := newProxiedCluster(t, 3, 512)
+	p, err := client.New(client.Config{
+		ClientName: "failover-test",
+		Servers:    pc.via,
+		Policy:     client.PolicyMirroring,
+		Membership: hbConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	const n = 30
+	for i := uint64(0); i < n; i++ {
+		if err := p.PageOut(page.ID(i), mkPage(i)); err != nil {
+			t.Fatalf("pageout %d: %v", i, err)
+		}
+	}
+	if r := p.Redundancy(); r.Full != n {
+		t.Fatalf("before crash: Redundancy = %+v, want Full=%d", r, n)
+	}
+
+	// Kill server 0. The workload is quiesced, so only the heartbeat
+	// path can notice.
+	pc.kill(0)
+	waitUntil(t, 5*time.Second, "heartbeat death confirmation", func() bool {
+		return p.Stats().HeartbeatDeaths >= 1
+	})
+
+	// Background re-protection must re-mirror every affected page onto
+	// the two survivors without any pager call from us.
+	waitUntil(t, 10*time.Second, "re-protection to restore full redundancy", func() bool {
+		r := p.Redundancy()
+		return r.Full == n && r.Degraded == 0 && r.Lost == 0
+	})
+	st := p.Stats()
+	if st.Rebuilds < 1 {
+		t.Fatalf("Rebuilds = %d, want >= 1", st.Rebuilds)
+	}
+	if st.Exposure <= 0 {
+		t.Fatalf("Exposure = %v, want > 0", st.Exposure)
+	}
+	if st.RebuildPending != 0 {
+		t.Fatalf("RebuildPending = %d after convergence", st.RebuildPending)
+	}
+
+	// Redundancy is restored, so a second crash must not lose a page.
+	pc.kill(1)
+	for i := uint64(0); i < n; i++ {
+		got, err := p.PageIn(page.ID(i))
+		if err != nil {
+			t.Fatalf("pagein %d after second crash: %v", i, err)
+		}
+		if got.Checksum() != mkPage(i).Checksum() {
+			t.Fatalf("page %d corrupted after second crash", i)
+		}
+	}
+}
+
+// TestHeartbeatDeathCauseInSurvey: a heartbeat-confirmed death must
+// show up in Survey with a timestamp and a cause naming the missed
+// heartbeats — distinguishable from "never connected".
+func TestHeartbeatDeathCauseInSurvey(t *testing.T) {
+	pc := newProxiedCluster(t, 3, 256)
+	p, err := client.New(client.Config{
+		Servers:    pc.via,
+		Policy:     client.PolicyMirroring,
+		Membership: hbConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	before := time.Now()
+	pc.kill(2)
+	waitUntil(t, 5*time.Second, "death confirmation", func() bool {
+		return p.Stats().HeartbeatDeaths >= 1
+	})
+	info := p.Survey()[2]
+	if info.Alive {
+		t.Fatal("dead server still reported alive")
+	}
+	if !info.EverConnected {
+		t.Fatal("EverConnected lost on death")
+	}
+	if info.DiedAt.Before(before) {
+		t.Fatalf("DiedAt = %v, want after %v", info.DiedAt, before)
+	}
+	if info.DiedCause == "" {
+		t.Fatal("DiedCause empty for heartbeat-confirmed death")
+	}
+}
+
+// TestGracefulDrain: an operator marks a server draining; the pager
+// must learn it over heartbeats, migrate every page off, release the
+// server, and keep it out of future placements.
+func TestGracefulDrain(t *testing.T) {
+	c := newCluster(t, 3, 512)
+	p, err := client.New(client.Config{
+		ClientName: "drain-test",
+		Servers:    c.addrs,
+		Policy:     client.PolicyMirroring,
+		Membership: hbConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	const n = 20
+	for i := uint64(0); i < n; i++ {
+		if err := p.PageOut(page.ID(i), mkPage(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c.servers[0].SetDraining(true)
+	waitUntil(t, 5*time.Second, "drain to complete", func() bool {
+		return p.Stats().Drained >= 1
+	})
+	if got := c.servers[0].Store().Len(); got != 0 {
+		t.Fatalf("drained server still holds %d pages", got)
+	}
+	info := p.Survey()[0]
+	if info.Alive || !info.Draining {
+		t.Fatalf("drained server: Alive=%v Draining=%v, want false/true", info.Alive, info.Draining)
+	}
+
+	// Everything must still read back, and new pageouts must land only
+	// on the two remaining servers.
+	for i := uint64(0); i < n; i++ {
+		got, err := p.PageIn(page.ID(i))
+		if err != nil || got.Checksum() != mkPage(i).Checksum() {
+			t.Fatalf("pagein %d after drain: %v", i, err)
+		}
+	}
+	for i := uint64(n); i < n+10; i++ {
+		if err := p.PageOut(page.ID(i), mkPage(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.servers[0].Store().Len(); got != 0 {
+		t.Fatalf("drained server received %d new pages", got)
+	}
+}
+
+// TestJoinViaGossip: a server announced to one member via JOIN is
+// gossiped in PONGs and automatically joined by the pager, then
+// absorbs load the original server cannot take.
+func TestJoinViaGossip(t *testing.T) {
+	small := server.New(server.Config{Name: "small", CapacityPages: 16, OverflowFrac: 0.10})
+	if err := small.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { small.Close() })
+	big := server.New(server.Config{Name: "big", CapacityPages: 512, OverflowFrac: 0.10})
+	if err := big.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { big.Close() })
+
+	p, err := client.New(client.Config{
+		ClientName: "join-test",
+		Servers:    []string{small.Addr().String()},
+		Policy:     client.PolicyNone,
+		Membership: hbConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// Announce the big server to the small one over the wire, the way
+	// `rmpctl join` does.
+	ann, err := client.Dial(small.Addr().String(), "announcer", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ann.Close()
+	if _, err := ann.Join(big.Addr().String()); err != nil {
+		t.Fatalf("join announce: %v", err)
+	}
+
+	waitUntil(t, 5*time.Second, "gossiped peer to join the view", func() bool {
+		return len(p.Survey()) == 2 && p.Stats().Joined >= 1
+	})
+	info := p.Survey()[1]
+	if info.Addr != big.Addr().String() || !info.Alive {
+		t.Fatalf("joined server info = %+v", info)
+	}
+
+	// 64 pages cannot fit on the small server; the joiner must absorb
+	// the overflow that would otherwise spill to disk.
+	for i := uint64(0); i < 64; i++ {
+		if err := p.PageOut(page.ID(i), mkPage(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := big.Store().Len(); got == 0 {
+		t.Fatal("joined server took no pages")
+	}
+	for i := uint64(0); i < 64; i++ {
+		got, err := p.PageIn(page.ID(i))
+		if err != nil || got.Checksum() != mkPage(i).Checksum() {
+			t.Fatalf("pagein %d: %v", i, err)
+		}
+	}
+}
+
+// TestJoinViaRegistryWatch: appending a server to the watched registry
+// file brings it into the live view without restarting the pager.
+func TestJoinViaRegistryWatch(t *testing.T) {
+	c := newCluster(t, 2, 256)
+	reg := filepath.Join(t.TempDir(), "servers.conf")
+	if err := os.WriteFile(reg, []byte(c.addrs[0]+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := client.New(client.Config{
+		ClientName:    "watch-test",
+		Servers:       []string{c.addrs[0]},
+		Policy:        client.PolicyNone,
+		Membership:    hbConfig(),
+		WatchRegistry: reg,
+		WatchEvery:    20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if len(p.Survey()) != 1 {
+		t.Fatalf("view has %d servers before the edit", len(p.Survey()))
+	}
+
+	content := fmt.Sprintf("# cluster\n%s\n%s\n", c.addrs[0], c.addrs[1])
+	if err := os.WriteFile(reg, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, 5*time.Second, "registry watcher to join the new server", func() bool {
+		return len(p.Survey()) == 2
+	})
+	info := p.Survey()[1]
+	if info.Addr != c.addrs[1] || !info.Alive {
+		t.Fatalf("watched-in server info = %+v", info)
+	}
+}
+
+// TestRevivalAfterRestart: a dead server that comes back is noticed by
+// the continuing heartbeats and revived into the placement pool.
+func TestRevivalAfterRestart(t *testing.T) {
+	pc := newProxiedCluster(t, 3, 256)
+	p, err := client.New(client.Config{
+		Servers:    pc.via,
+		Policy:     client.PolicyMirroring,
+		Membership: hbConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for i := uint64(0); i < 10; i++ {
+		if err := p.PageOut(page.ID(i), mkPage(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pc.kill(0)
+	waitUntil(t, 5*time.Second, "death confirmation", func() bool {
+		return p.Stats().HeartbeatDeaths >= 1
+	})
+	// "Restart" the server by restoring its network.
+	pc.proxies[0].RefuseNew(false)
+	waitUntil(t, 5*time.Second, "revival", func() bool {
+		info := p.Survey()[0]
+		return info.Alive && !info.Suspect
+	})
+	info := p.Survey()[0]
+	if !info.DiedAt.IsZero() || info.DiedCause != "" {
+		t.Fatalf("revived server still carries death record: %+v", info)
+	}
+	for i := uint64(0); i < 10; i++ {
+		got, err := p.PageIn(page.ID(i))
+		if err != nil || got.Checksum() != mkPage(i).Checksum() {
+			t.Fatalf("pagein %d after revival: %v", i, err)
+		}
+	}
+}
+
+// TestDataPathDeathCauseRecorded: without the membership layer the
+// pager still records when and why a server died (data-path error) and
+// distinguishes it from a server that never connected.
+func TestDataPathDeathCauseRecorded(t *testing.T) {
+	c := newCluster(t, 2, 256)
+	// 127.0.0.1:1 refuses connections: a registered server that is not
+	// actually up.
+	addrs := append(append([]string{}, c.addrs...), "127.0.0.1:1")
+	p, err := client.New(client.Config{Servers: addrs, Policy: client.PolicyNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	never := p.Survey()[2]
+	if never.EverConnected {
+		t.Fatal("unreachable server marked EverConnected")
+	}
+	if never.DiedCause == "" {
+		t.Fatal("no cause recorded for failed startup dial")
+	}
+
+	before := time.Now()
+	for i := uint64(0); i < 20; i++ {
+		if err := p.PageOut(page.ID(i), mkPage(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.crash(0)
+	for i := uint64(0); i < 20; i++ {
+		p.PageIn(page.ID(i)) // some fail; the first failure records the death
+	}
+	died := p.Survey()[0]
+	if died.Alive {
+		t.Fatal("crashed server still alive in survey")
+	}
+	if !died.EverConnected {
+		t.Fatal("crashed server lost EverConnected")
+	}
+	if died.DiedAt.Before(before) {
+		t.Fatalf("DiedAt = %v, want after %v", died.DiedAt, before)
+	}
+	if died.DiedCause == "" {
+		t.Fatal("DiedCause empty for data-path death")
+	}
+}

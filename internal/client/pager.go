@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"rmp/internal/disk"
+	"rmp/internal/membership"
 	"rmp/internal/page"
 	"rmp/internal/wire"
 )
@@ -105,6 +106,18 @@ type Config struct {
 	// garbage-collecting fragmented groups. Zero means the paper's
 	// 10%. Only meaningful for PolicyParityLogging.
 	OverflowBudget float64
+	// Membership, when non-nil, enables the live-membership layer:
+	// heartbeat failure detection (PING/PONG on a dedicated connection
+	// per server), crash confirmation without a data-path error, and
+	// background re-protection through a recovery worker instead of
+	// synchronous recovery inside the failing request. Nil preserves
+	// the paper's behaviour (crashes noticed only when an I/O fails).
+	Membership *membership.Config
+	// WatchRegistry, when set, polls this registry file and joins any
+	// servers appended to it at runtime (file-based dynamic join).
+	WatchRegistry string
+	// WatchEvery is the registry poll interval (default 2s).
+	WatchEvery time.Duration
 }
 
 // Stats counts pager activity.
@@ -120,6 +133,19 @@ type Stats struct {
 	GCPasses         uint64
 	LostPages        uint64 // unrecoverable (PolicyNone after crash)
 	FallbackPageOuts uint64 // pageouts that went to local disk
+
+	// Membership-layer counters (zero unless Config.Membership is set,
+	// except Drained which also counts synchronous drains).
+	HeartbeatDeaths uint64 // crashes confirmed by the failure detector
+	Joined          uint64 // servers added to the view at runtime
+	Drained         uint64 // servers that left gracefully
+	Rebuilds        uint64 // background re-protection passes completed
+	RebuildFailures uint64 // re-protection passes that reported errors
+	RebuildPending  uint64 // confirmed deaths awaiting re-protection
+	// Exposure accumulates the window between each confirmed death and
+	// the completion of its re-protection pass — the time the data
+	// spent at reduced redundancy, which dominates loss probability.
+	Exposure time.Duration
 }
 
 // ErrPageLost is returned by PageIn when a page is unrecoverable
@@ -139,6 +165,18 @@ type remoteServer struct {
 	// pressured is set when the server advises migration; cleared
 	// when migration away from it completes.
 	pressured bool
+	// suspect is set while the failure detector has missed heartbeats
+	// but not yet confirmed death; no new placements go there.
+	suspect bool
+	// draining is set when the server asked to leave gracefully; it
+	// takes no new placements and its pages are migrated out.
+	draining bool
+	// everConnected distinguishes "never connected" from "died":
+	// false with diedCause set means the initial dial failed.
+	everConnected bool
+	joinedAt      time.Time // when added to the view (zero for config-time servers)
+	diedAt        time.Time // when the most recent death was observed
+	diedCause     error     // what killed it (or the failed dial)
 }
 
 // headroom is how many more pages the server has promised to take.
@@ -182,6 +220,20 @@ type Pager struct {
 
 	stopRebalance chan struct{}
 	rebalanceWG   sync.WaitGroup
+
+	// Membership layer (nil / empty unless Config.Membership is set).
+	hb        *membership.Detector
+	rep       *membership.Reprotector
+	prober    *hbProber
+	stopWatch func()
+	// addMu serializes AddServer so concurrent gossip cannot insert
+	// the same address twice (the dial happens outside p.mu).
+	addMu sync.Mutex
+	// rebuildPending maps a dead server index to its death-confirm
+	// time while its re-protection pass has not run yet. Entries are
+	// consumed by ensureRecovered (background job or synchronous
+	// barrier at a policy entry point, whichever comes first).
+	rebuildPending map[int]time.Time
 }
 
 // policyImpl is the per-policy strategy. Implementations run with
@@ -196,8 +248,15 @@ type policyImpl interface {
 	// handleCrash recovers from the death of server srv (already
 	// marked dead).
 	handleCrash(srv int) error
-	// evacuate moves pages off the (still alive) pressured server.
+	// evacuate moves pages off the (still alive) pressured or
+	// draining server.
 	evacuate(srv int) error
+	// serverJoined tells the policy that server srv is alive and may
+	// take placements (a dynamic join or a revival).
+	serverJoined(srv int)
+	// redundancy classifies every page by whether it would survive
+	// one more server crash. Pure observer: no I/O, no recovery.
+	redundancy() Redundancy
 }
 
 // New creates a pager, connects to every reachable server, allocates
@@ -207,15 +266,18 @@ func New(cfg Config) (*Pager, error) {
 		cfg.ClientName = "rmp-client"
 	}
 	p := &Pager{
-		cfg:   cfg,
-		table: make(map[page.ID]*location),
+		cfg:            cfg,
+		table:          make(map[page.ID]*location),
+		rebuildPending: make(map[int]time.Time),
 	}
 	for _, addr := range cfg.Servers {
 		rs := &remoteServer{addr: addr}
 		if conn, err := Dial(addr, cfg.ClientName, cfg.AuthToken); err == nil {
 			rs.conn = conn
 			rs.alive = true
+			rs.everConnected = true
 		} else {
+			rs.diedCause = err
 			p.logf("server %s unreachable at startup: %v", addr, err)
 		}
 		p.servers = append(p.servers, rs)
@@ -242,6 +304,18 @@ func New(cfg Config) (*Pager, error) {
 		p.stopRebalance = make(chan struct{})
 		p.rebalanceWG.Add(1)
 		go p.rebalanceLoop(cfg.RebalanceEvery)
+	}
+	// The membership layer starts last: its callbacks need p.pol.
+	if cfg.Membership != nil {
+		p.rep = membership.NewReprotector()
+		p.prober = newHBProber(cfg.ClientName, cfg.AuthToken)
+		p.hb = membership.NewDetector(*cfg.Membership, p.prober, p.onMemberEvent, p.onMemberAck)
+		for _, rs := range p.servers {
+			p.hb.Track(rs.addr)
+		}
+	}
+	if cfg.WatchRegistry != "" {
+		p.stopWatch = WatchRegistry(cfg.WatchRegistry, cfg.WatchEvery, p.onRegistryChange)
 	}
 	return p, nil
 }
@@ -308,7 +382,9 @@ func (p *Pager) allocKey() uint64 {
 	return k
 }
 
-// Close says goodbye to every server and closes the swap file.
+// Close says goodbye to every server and closes the swap file. The
+// membership machinery is stopped first, without p.mu held — its
+// callbacks and jobs take p.mu themselves.
 func (p *Pager) Close() error {
 	p.mu.Lock()
 	if p.closed {
@@ -317,6 +393,15 @@ func (p *Pager) Close() error {
 	}
 	p.closed = true
 	p.mu.Unlock()
+	if p.stopWatch != nil {
+		p.stopWatch()
+	}
+	if p.hb != nil {
+		p.hb.Close()
+	}
+	if p.rep != nil {
+		p.rep.Close()
+	}
 	if p.stopRebalance != nil {
 		close(p.stopRebalance)
 		p.rebalanceWG.Wait()
@@ -328,6 +413,9 @@ func (p *Pager) Close() error {
 			rs.conn.Bye()
 		}
 	}
+	if p.prober != nil {
+		p.prober.Close()
+	}
 	return p.swap.Close()
 }
 
@@ -335,7 +423,9 @@ func (p *Pager) Close() error {
 func (p *Pager) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.stats
+	s := p.stats
+	s.RebuildPending = uint64(len(p.rebuildPending))
+	return s
 }
 
 // ServerInfo is one row of a cluster survey.
@@ -343,8 +433,16 @@ type ServerInfo struct {
 	Addr      string
 	Alive     bool
 	Pressured bool
+	Suspect   bool // heartbeats missing, death not yet confirmed
+	Draining  bool // asked to leave; pages being migrated out
 	RTT       time.Duration
 	Stat      wire.StatInfo // zero when the server is unreachable
+	// EverConnected false with DiedCause set means the server never
+	// answered at all (bad address, never started); true means it was
+	// up and died at DiedAt.
+	EverConnected bool
+	DiedAt        time.Time // zero if never died since last revival
+	DiedCause     string    // last death (or failed dial) error, "" if none
 }
 
 // Survey polls every configured server's state — the operational view
@@ -354,13 +452,22 @@ func (p *Pager) Survey() []ServerInfo {
 	defer p.mu.Unlock()
 	out := make([]ServerInfo, 0, len(p.servers))
 	for i, rs := range p.servers {
-		info := ServerInfo{Addr: rs.addr, Alive: rs.alive, Pressured: rs.pressured}
+		info := ServerInfo{
+			Addr: rs.addr, Alive: rs.alive, Pressured: rs.pressured,
+			Suspect: rs.suspect, Draining: rs.draining,
+			EverConnected: rs.everConnected, DiedAt: rs.diedAt,
+		}
+		if rs.diedCause != nil {
+			info.DiedCause = rs.diedCause.Error()
+		}
 		if rs.alive {
 			info.RTT = rs.conn.RTT()
 			st, err := rs.conn.Stat()
 			if err != nil {
 				p.serverDied(i, err)
 				info.Alive = false
+				info.DiedAt = rs.diedAt
+				info.DiedCause = rs.diedCause.Error()
 			} else {
 				info.Stat = st
 			}
@@ -444,7 +551,7 @@ func (p *Pager) pickFrom(allowed []int, exclude ...int) int {
 	var cands []cand
 	for _, i := range allowed {
 		rs := p.servers[i]
-		if !rs.alive || rs.pressured || skip[i] {
+		if !rs.alive || rs.pressured || rs.suspect || rs.draining || skip[i] {
 			continue
 		}
 		if rs.headroom() <= 0 {
@@ -624,7 +731,10 @@ func isConnError(err error) bool {
 	return !errors.As(err, &se)
 }
 
-// serverDied marks a server dead and triggers policy recovery.
+// serverDied marks a server dead and triggers policy recovery: either
+// synchronously (no membership layer — the paper's behaviour) or by
+// queueing a background re-protection job, so the failing request
+// returns promptly and redundancy is restored off the data path.
 func (p *Pager) serverDied(srv int, cause error) {
 	rs := p.servers[srv]
 	if !rs.alive {
@@ -633,11 +743,63 @@ func (p *Pager) serverDied(srv int, cause error) {
 	p.logf("server %s died: %v", rs.addr, cause)
 	rs.alive = false
 	rs.granted, rs.used = 0, 0
+	rs.diedAt = time.Now()
+	rs.diedCause = cause
 	if rs.conn != nil {
 		rs.conn.Close()
 	}
+	if p.rep != nil {
+		p.rebuildPending[srv] = rs.diedAt
+		p.rep.Enqueue(membership.Job{
+			Kind: membership.JobRebuild, Addr: rs.addr, ConfirmedAt: rs.diedAt,
+			Run: func() error {
+				p.mu.Lock()
+				defer p.mu.Unlock()
+				if p.closed {
+					return nil
+				}
+				p.ensureRecovered(srv)
+				return nil
+			},
+		})
+		return
+	}
 	if err := p.pol.handleCrash(srv); err != nil {
 		p.logf("recovery after %s crash: %v", rs.addr, err)
+	}
+}
+
+// ensureRecovered runs the pending re-protection pass for srv, if
+// any, and accounts the exposure window (p.mu held). Idempotent: the
+// pending entry is consumed by whoever gets here first — the
+// background job, a policy entry point that needs consistent state,
+// or a revival.
+func (p *Pager) ensureRecovered(srv int) {
+	diedAt, ok := p.rebuildPending[srv]
+	if !ok {
+		return
+	}
+	delete(p.rebuildPending, srv)
+	rs := p.servers[srv]
+	if err := p.pol.handleCrash(srv); err != nil {
+		p.stats.RebuildFailures++
+		p.logf("re-protection after %s crash: %v", rs.addr, err)
+	} else {
+		p.stats.Rebuilds++
+	}
+	p.stats.Exposure += time.Since(diedAt)
+}
+
+// ensureAllRecovered drains every pending re-protection pass (p.mu
+// held). The parity policies call this before touching group
+// bookkeeping: their invariants assume crash recovery ran before any
+// other mutation, so the asynchronous gap must close here.
+func (p *Pager) ensureAllRecovered() {
+	for len(p.rebuildPending) > 0 {
+		for srv := range p.rebuildPending {
+			p.ensureRecovered(srv) // may add new entries; restart the scan
+			break
+		}
 	}
 }
 
@@ -679,25 +841,25 @@ func (p *Pager) rebalanceLoop(every time.Duration) {
 }
 
 // Rebalance performs one pass of the paper's load-adaptation policy:
-// dead servers are re-dialed (a restarted workstation rejoins the
-// donor pool with empty memory), pages are migrated away from servers
-// that advised memory pressure, and pages that fell back to the local
-// disk are promoted to servers that have free memory again.
+// pending crash recoveries run first, dead servers are re-dialed (a
+// restarted workstation rejoins the donor pool with empty memory),
+// draining servers are evacuated and released, pages are migrated
+// away from servers that advised memory pressure, and pages that fell
+// back to the local disk are promoted to servers with free memory.
 func (p *Pager) Rebalance() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
 		return nil
 	}
-	// Refresh load/pressure via LOAD polls; try to revive the dead.
+	p.ensureAllRecovered()
+	// Refresh load/pressure/drain via LOAD polls; try to revive the
+	// dead. Drained servers are not re-dialed — they left on purpose
+	// (the membership layer revives them if their drain is cancelled).
 	for i, rs := range p.servers {
 		if !rs.alive {
-			if conn, err := Dial(rs.addr, p.cfg.ClientName, p.cfg.AuthToken); err == nil {
-				rs.conn = conn
-				rs.alive = true
-				rs.granted, rs.used = 0, 0
-				rs.pressured = false
-				p.logf("server %s rejoined", rs.addr)
+			if !rs.draining {
+				p.reviveServer(i)
 			}
 			continue
 		}
@@ -710,10 +872,22 @@ func (p *Pager) Rebalance() error {
 		} else {
 			rs.pressured = false
 		}
+		if rs.conn.DrainAdvised() {
+			rs.draining = true
+		}
 	}
 	var firstErr error
 	for i, rs := range p.servers {
-		if rs.alive && rs.pressured {
+		if !rs.alive {
+			continue
+		}
+		if rs.draining {
+			if err := p.finishDrain(i); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if rs.pressured {
 			if err := p.pol.evacuate(i); err != nil && firstErr == nil {
 				firstErr = err
 			}

@@ -125,6 +125,41 @@ func (m *mirrorPolicy) free(id page.ID) error {
 	return nil
 }
 
+// serverJoined: nothing to precompute — the joiner becomes a mirror
+// target on the next placement or re-protection pass.
+func (m *mirrorPolicy) serverJoined(int) {}
+
+// redundancy counts live copies: two copies on distinct servers (or
+// one copy plus the disk shadow) survive one more crash.
+func (m *mirrorPolicy) redundancy() Redundancy {
+	p := m.p
+	var r Redundancy
+	for _, loc := range p.table {
+		if loc.lost {
+			r.Lost++
+			continue
+		}
+		copies := 0
+		for _, ref := range loc.replicas {
+			if p.servers[ref.srv].alive {
+				copies++
+			}
+		}
+		if loc.onDisk {
+			copies++
+		}
+		switch {
+		case copies >= 2:
+			r.Full++
+		case copies == 1:
+			r.Degraded++
+		default:
+			r.Lost++
+		}
+	}
+	return r
+}
+
 // handleCrash restores two-copy redundancy: for every page that had a
 // replica on the dead server, read the surviving copy and mirror it
 // onto another server.

@@ -109,6 +109,31 @@ func (n *nonePolicy) free(id page.ID) error {
 	return nil
 }
 
+// serverJoined: nothing to precompute — pickServer sees the new
+// server on the next placement.
+func (n *nonePolicy) serverJoined(int) {}
+
+// redundancy: a remote-only copy dies with its server (Degraded); a
+// disk-fallback copy survives any server crash (Full).
+func (n *nonePolicy) redundancy() Redundancy {
+	p := n.p
+	var r Redundancy
+	for _, loc := range p.table {
+		switch {
+		case loc.lost:
+			r.Lost++
+		case loc.onDisk:
+			r.Full++
+		case len(loc.replicas) == 1 && p.servers[loc.replicas[0].srv].alive:
+			r.Degraded++
+		default:
+			// Copy sits on a dead server awaiting crash handling.
+			r.Lost++
+		}
+	}
+	return r
+}
+
 // handleCrash marks every page homed on the dead server as lost.
 func (n *nonePolicy) handleCrash(srv int) error {
 	p := n.p

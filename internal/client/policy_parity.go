@@ -110,6 +110,9 @@ func (pp *parityPolicy) xorWrite(srv int, key uint64, data page.Buf, parityKey u
 
 func (pp *parityPolicy) pageOut(id page.ID, data page.Buf) error {
 	p := pp.p
+	// Close the asynchronous-recovery gap first: group bookkeeping
+	// mutated before a pending crash rebuild would corrupt parity.
+	p.ensureAllRecovered()
 	// Overwrite in place; a mid-write crash triggers recovery (which
 	// re-homes the page with its pre-crash contents), after which the
 	// retry lands the new contents on the new home.
@@ -196,6 +199,7 @@ func (pp *parityPolicy) place(id page.ID, data page.Buf) error {
 
 func (pp *parityPolicy) pageIn(id page.ID) (page.Buf, error) {
 	p := pp.p
+	p.ensureAllRecovered()
 	if home, ok := pp.homes[id]; ok {
 		data, err := p.fetchPage(home.srv, home.key)
 		if err == nil {
@@ -302,6 +306,7 @@ func (pp *parityPolicy) deleteGroup(g *parityGroup) {
 // the slot is freed.
 func (pp *parityPolicy) free(id page.ID) error {
 	p := pp.p
+	p.ensureAllRecovered()
 	home, ok := pp.homes[id]
 	if !ok {
 		if loc := p.table[id]; loc != nil {
@@ -319,6 +324,119 @@ func (pp *parityPolicy) free(id page.ID) error {
 	}
 	pp.dropMemberBookkeeping(id)
 	return nil
+}
+
+// serverJoined folds a joined (or revived) server into the layout.
+// If the layout is degraded — parity doubled up on a data server, or
+// no live parity host at all — parity duty migrates onto the joiner,
+// restoring single-failure tolerance for every group. Otherwise the
+// joiner simply becomes another data server.
+func (pp *parityPolicy) serverJoined(srv int) {
+	p := pp.p
+	if !p.servers[srv].alive || srv == pp.parityIdx {
+		return
+	}
+	for _, i := range pp.dataIdx {
+		if i == srv {
+			return // already in the layout (revival after evacuation)
+		}
+	}
+	degraded := pp.parityIdx < 0 || !p.servers[pp.parityIdx].alive
+	for _, i := range pp.dataIdx {
+		if i == pp.parityIdx {
+			degraded = true
+		}
+	}
+	if degraded {
+		oldIdx := pp.parityIdx
+		oldKeys := make([]uint64, 0, len(pp.groups))
+		for _, g := range pp.groups {
+			oldKeys = append(oldKeys, g.parityKey)
+		}
+		pp.parityIdx = srv
+		if err := pp.recomputeGroups(); err != nil {
+			p.logf("parity migration to joined server %s: %v", p.servers[srv].addr, err)
+			return
+		}
+		if oldIdx >= 0 && oldIdx < len(p.servers) {
+			p.freeSlots(oldIdx, oldKeys...)
+		}
+		p.logf("parity duty moved to joined server %s", p.servers[srv].addr)
+		return
+	}
+	pp.dataIdx = append(pp.dataIdx, srv)
+	if pp.slots[srv] == nil {
+		pp.slots[srv] = &srvSlots{}
+	}
+}
+
+// recomputeGroups writes fresh parity for every group onto the
+// current parity server.
+func (pp *parityPolicy) recomputeGroups() error {
+	p := pp.p
+	var firstErr error
+	for _, g := range pp.groups {
+		parityPage := page.NewBuf()
+		for srv, id := range g.members {
+			home := pp.homes[id]
+			data, err := p.fetchPage(srv, home.key)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			page.XORInto(parityPage, data)
+		}
+		g.parityKey = p.allocKey()
+		if err := p.sendPage(pp.parityIdx, g.parityKey, parityPage, true); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// redundancy: a page survives one more crash iff its home is alive,
+// its group's parity lives on a distinct live server, and every other
+// member of the group is reachable for reconstruction.
+func (pp *parityPolicy) redundancy() Redundancy {
+	p := pp.p
+	var r Redundancy
+	parityOK := pp.parityIdx >= 0 && pp.parityIdx < len(p.servers) &&
+		p.servers[pp.parityIdx].alive
+	for _, home := range pp.homes {
+		if !p.servers[home.srv].alive {
+			// Awaiting reconstruction: still recoverable via parity,
+			// but another crash could finish it off.
+			r.Degraded++
+			continue
+		}
+		full := parityOK && pp.parityIdx != home.srv
+		if full {
+			if g := pp.groups[home.slot]; g != nil {
+				for msrv := range g.members {
+					if !p.servers[msrv].alive {
+						full = false
+						break
+					}
+				}
+			}
+		}
+		if full {
+			r.Full++
+		} else {
+			r.Degraded++
+		}
+	}
+	for _, loc := range p.table {
+		switch {
+		case loc.lost:
+			r.Lost++
+		case loc.onDisk:
+			r.Full++
+		}
+	}
+	return r
 }
 
 // handleCrash reconstructs the dead server's pages via the parity
@@ -541,11 +659,14 @@ func (pp *parityPolicy) rebuildParity() error {
 	return firstErr
 }
 
-// evacuate migrates pages (or parity pages) off a pressured server.
+// evacuate migrates pages (or parity pages) off a pressured or
+// draining server. A doubled-up server (parity on a data server after
+// an earlier failure) holds both roles, so the parity branch falls
+// through to the data branch rather than returning.
 func (pp *parityPolicy) evacuate(srv int) error {
 	p := pp.p
 	if srv == pp.parityIdx {
-		// Move parity duty: re-elect and recompute. Mark the pressured
+		// Move parity duty: re-elect and recompute. Mark the evacuated
 		// server so rebuildParity skips it, then free its parity pages.
 		oldKeys := make([]uint64, 0, len(pp.groups))
 		for _, g := range pp.groups {
@@ -558,8 +679,8 @@ func (pp *parityPolicy) evacuate(srv int) error {
 			return err
 		}
 		p.freeSlots(oldIdx, oldKeys...)
-		p.servers[oldIdx].pressured = false
-		return nil
+		// pressured stays set until the data branch finishes, so the
+		// re-homing below cannot pick this server again.
 	}
 	// Data server: re-home each of its pages.
 	var ids []page.ID

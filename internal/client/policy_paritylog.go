@@ -122,6 +122,9 @@ func (pl *parityLogPolicy) appendAndSend(id page.ID, data page.Buf) error {
 
 func (pl *parityLogPolicy) pageOut(id page.ID, data page.Buf) error {
 	p := pl.p
+	// Close the asynchronous-recovery gap before touching the log:
+	// appending through a layout with a dead column corrupts groups.
+	p.ensureAllRecovered()
 
 	// Promote a disk-fallback page back through the log if possible.
 	if loc := p.table[id]; loc != nil && loc.onDisk {
@@ -171,6 +174,7 @@ func (pl *parityLogPolicy) columnsAlive() bool {
 
 func (pl *parityLogPolicy) pageIn(id page.ID) (page.Buf, error) {
 	p := pl.p
+	p.ensureAllRecovered()
 	for attempt := 0; attempt < 2; attempt++ {
 		if ck, ok := pl.log.Lookup(id); ok {
 			data, err := p.fetchPage(pl.srvForColumn(ck.Column), ck.Key)
@@ -195,6 +199,7 @@ func (pl *parityLogPolicy) pageIn(id page.ID) (page.Buf, error) {
 
 func (pl *parityLogPolicy) free(id page.ID) error {
 	p := pl.p
+	p.ensureAllRecovered()
 	if loc := p.table[id]; loc != nil {
 		p.swap.Delete(uint64(id))
 		delete(p.table, id)
@@ -231,6 +236,38 @@ func (pl *parityLogPolicy) maybeGC() {
 			return
 		}
 	}
+}
+
+// serverJoined: intentionally lazy — the log's column layout is fixed
+// between rebuilds, so a joiner is left out until the next rebuild
+// (crash, evacuation, or drain) re-plans over the alive servers. New
+// capacity still helps immediately through disk-page promotion.
+func (pl *parityLogPolicy) serverJoined(int) {}
+
+// redundancy: conservative group-level view. With the full column
+// layout alive, every logged page (sealed groups via parity, the open
+// group via the client-side buffer) survives one more crash; with any
+// column down, all logged pages are at risk until the rebuild runs.
+func (pl *parityLogPolicy) redundancy() Redundancy {
+	p := pl.p
+	var r Redundancy
+	ok := pl.columnsAlive()
+	for range pl.log.Pages() {
+		if ok {
+			r.Full++
+		} else {
+			r.Degraded++
+		}
+	}
+	for _, loc := range p.table {
+		switch {
+		case loc.lost:
+			r.Lost++
+		case loc.onDisk:
+			r.Full++
+		}
+	}
+	return r
 }
 
 // --- crash recovery and migration ----------------------------------------

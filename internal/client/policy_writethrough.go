@@ -89,6 +89,28 @@ func (w *writeThroughPolicy) free(id page.ID) error {
 	return nil
 }
 
+// serverJoined: nothing to precompute — sendRemote picks the joiner
+// up on the next placement.
+func (w *writeThroughPolicy) serverJoined(int) {}
+
+// redundancy: the disk copy is authoritative and survives any server
+// crash; a page whose disk write failed has only its remote copy.
+func (w *writeThroughPolicy) redundancy() Redundancy {
+	p := w.p
+	var r Redundancy
+	for _, loc := range p.table {
+		switch {
+		case loc.onDisk:
+			r.Full++
+		case len(loc.replicas) == 1 && p.servers[loc.replicas[0].srv].alive:
+			r.Degraded++
+		default:
+			r.Lost++
+		}
+	}
+	return r
+}
+
 // handleCrash re-pushes the dead server's pages from disk to a
 // healthy server so reads stay at memory speed.
 func (w *writeThroughPolicy) handleCrash(srv int) error {

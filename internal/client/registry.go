@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
+	"time"
 )
 
 // LoadRegistry reads the server registry file: the paper's "common
@@ -45,4 +47,52 @@ func LoadRegistry(path string) ([]string, error) {
 		return nil, fmt.Errorf("client: registry %s lists no servers", path)
 	}
 	return servers, nil
+}
+
+// WatchRegistry polls the registry file every interval and calls
+// onChange with the full server list whenever its contents change
+// (including once at start if the file is readable). It is the
+// file-based join path: an operator appends a new server's address to
+// the common file and every watching pager picks it up. Parse errors
+// and a missing file are ignored — the previous view stays in effect
+// until the file is whole again, so a half-written edit cannot empty
+// the cluster. Returns a stop function.
+func WatchRegistry(path string, interval time.Duration, onChange func([]string)) (stop func()) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	done := make(chan struct{})
+	stopped := make(chan struct{})
+	go func() {
+		defer close(stopped)
+		var last string
+		check := func() {
+			raw, err := os.ReadFile(path)
+			if err != nil || string(raw) == last {
+				return
+			}
+			servers, err := LoadRegistry(path)
+			if err != nil {
+				return
+			}
+			last = string(raw)
+			onChange(servers)
+		}
+		check()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				check()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(done) })
+		<-stopped
+	}
 }

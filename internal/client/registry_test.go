@@ -1,0 +1,131 @@
+package client
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func writeRegistry(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "servers")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadRegistry(t *testing.T) {
+	path := writeRegistry(t, `
+# remote memory servers
+mem1.example:7077
+
+mem2.example:7077   # rack 2
+  mem3.example:7078
+`)
+	got, err := LoadRegistry(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"mem1.example:7077", "mem2.example:7077", "mem3.example:7078"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestLoadRegistryBadLine(t *testing.T) {
+	path := writeRegistry(t, "mem1.example:7077\nnot-an-address\n")
+	_, err := LoadRegistry(path)
+	if err == nil || !strings.Contains(err.Error(), "not-an-address") {
+		t.Fatalf("got %v, want bad-line error naming the line", err)
+	}
+	if !strings.Contains(err.Error(), ":2:") {
+		t.Fatalf("error %v does not name line 2", err)
+	}
+}
+
+func TestLoadRegistryEmpty(t *testing.T) {
+	path := writeRegistry(t, "# only comments\n\n")
+	if _, err := LoadRegistry(path); err == nil {
+		t.Fatal("accepted registry listing no servers")
+	}
+}
+
+func TestLoadRegistryMissingFile(t *testing.T) {
+	if _, err := LoadRegistry(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("accepted missing registry file")
+	}
+}
+
+func TestWatchRegistry(t *testing.T) {
+	path := writeRegistry(t, "a.example:1\n")
+	var mu sync.Mutex
+	var views [][]string
+	stop := WatchRegistry(path, 5*time.Millisecond, func(servers []string) {
+		mu.Lock()
+		views = append(views, servers)
+		mu.Unlock()
+	})
+	defer stop()
+
+	waitViews := func(n int) [][]string {
+		t.Helper()
+		deadline := time.Now().Add(3 * time.Second)
+		for time.Now().Before(deadline) {
+			mu.Lock()
+			if len(views) >= n {
+				out := append([][]string(nil), views...)
+				mu.Unlock()
+				return out
+			}
+			mu.Unlock()
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Fatalf("timed out waiting for %d registry views", n)
+		return nil
+	}
+
+	// Initial read fires once.
+	v := waitViews(1)
+	if !reflect.DeepEqual(v[0], []string{"a.example:1"}) {
+		t.Fatalf("initial view %v", v[0])
+	}
+
+	// A bad intermediate state (half-written edit) must not fire.
+	if err := os.WriteFile(path, []byte("garbage\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	mu.Lock()
+	n := len(views)
+	mu.Unlock()
+	if n != 1 {
+		t.Fatalf("bad registry content fired onChange (%d views)", n)
+	}
+
+	// A valid append fires with the new full list.
+	if err := os.WriteFile(path, []byte("a.example:1\nb.example:2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	v = waitViews(2)
+	if !reflect.DeepEqual(v[len(v)-1], []string{"a.example:1", "b.example:2"}) {
+		t.Fatalf("updated view %v", v[len(v)-1])
+	}
+
+	// Unchanged content does not re-fire.
+	time.Sleep(30 * time.Millisecond)
+	mu.Lock()
+	n = len(views)
+	mu.Unlock()
+	if n != 2 {
+		t.Fatalf("unchanged registry re-fired onChange (%d views)", n)
+	}
+
+	// stop is idempotent and returns after the goroutine exits.
+	stop()
+	stop()
+}

@@ -1,0 +1,302 @@
+// Package membership is the live cluster-membership layer: it turns
+// the paper's static "common file" of registered servers (§2.1) into
+// a dynamic view maintained by heartbeats.
+//
+// It has two halves, both transport-agnostic so they unit-test without
+// a network:
+//
+//   - Detector: a heartbeat failure detector driving every tracked
+//     server through an alive → suspect → dead state machine. The
+//     paper only notices a crash when a data-path request fails; the
+//     detector notices within Interval×Misses even on an idle pager,
+//     which is what bounds the window of reduced redundancy.
+//   - Reprotector (reprotect.go): a background worker that runs
+//     recovery jobs after a death is confirmed, so redundancy is
+//     restored without stalling the paging data path.
+//
+// The Pager owns both: it implements Prober over dedicated heartbeat
+// connections and reacts to Events by marking servers dead and
+// queueing re-protection.
+package membership
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// State is a member's position in the failure-detection state machine.
+type State int
+
+const (
+	// StateAlive: the last probe succeeded.
+	StateAlive State = iota
+	// StateSuspect: at least one probe missed, but fewer than the
+	// confirmation threshold. New members start here — they have not
+	// proven themselves yet. Suspects take no new page placements but
+	// keep serving what they hold.
+	StateSuspect
+	// StateDead: Misses consecutive probes failed. The death is
+	// confirmed; re-protection may begin. Probing continues so a
+	// restarted server is noticed and revived.
+	StateDead
+)
+
+func (s State) String() string {
+	switch s {
+	case StateAlive:
+		return "alive"
+	case StateSuspect:
+		return "suspect"
+	case StateDead:
+		return "dead"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Config parametrizes the failure detector.
+type Config struct {
+	// Interval between heartbeat probes to each member. Default 1s.
+	Interval time.Duration
+	// Timeout bounds one probe (including any re-dial). Default:
+	// Interval.
+	Timeout time.Duration
+	// Misses is how many consecutive probes must fail before a member
+	// is confirmed dead. Default 3.
+	Misses int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = c.Interval
+	}
+	if c.Misses <= 0 {
+		c.Misses = 3
+	}
+	return c
+}
+
+// Ack is the application-level result of one successful probe.
+type Ack struct {
+	// FreePages reported by the server.
+	FreePages int
+	// Draining: the server asked to leave; migrate pages off it.
+	Draining bool
+	// Peers are server addresses announced to the probed server that
+	// the prober's owner may not know yet (dynamic join).
+	Peers []string
+}
+
+// Prober performs one application-level heartbeat probe (PING/PONG
+// for the pager; fakes in tests). It must respect timeout and must be
+// safe for concurrent calls on different addrs.
+type Prober interface {
+	Probe(addr string, timeout time.Duration) (Ack, error)
+}
+
+// Event is a state transition of one member.
+type Event struct {
+	Addr     string
+	From, To State
+	// Cause is the probe error behind a suspect/dead transition.
+	Cause error
+}
+
+// MemberInfo is a snapshot row of the detector's view.
+type MemberInfo struct {
+	Addr   string
+	State  State
+	Since  time.Time // when the current state was entered
+	Misses int       // consecutive missed probes
+	Cause  error     // last probe error (nil while alive)
+}
+
+type member struct {
+	addr    string
+	state   State
+	since   time.Time
+	misses  int
+	cause   error
+	probing bool
+}
+
+// Detector is the heartbeat failure detector. Create with
+// NewDetector, add members with Track, stop with Close. Callbacks are
+// invoked from probe goroutines without any detector lock held; they
+// may call back into the detector.
+type Detector struct {
+	cfg     Config
+	prober  Prober
+	onEvent func(Event)
+	onAck   func(addr string, ack Ack)
+
+	mu      sync.Mutex
+	members map[string]*member
+	closed  bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewDetector creates and starts a detector. onEvent and onAck may be
+// nil.
+func NewDetector(cfg Config, prober Prober, onEvent func(Event), onAck func(string, Ack)) *Detector {
+	d := &Detector{
+		cfg:     cfg.withDefaults(),
+		prober:  prober,
+		onEvent: onEvent,
+		onAck:   onAck,
+		members: make(map[string]*member),
+		stop:    make(chan struct{}),
+	}
+	d.wg.Add(1)
+	go d.loop()
+	return d
+}
+
+// Track adds addr to the probed set. New members start as suspects:
+// the first successful probe promotes them to alive (and fires an
+// event the owner uses to finish joining them). Tracking an existing
+// member is a no-op.
+func (d *Detector) Track(addr string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return
+	}
+	if _, ok := d.members[addr]; ok {
+		return
+	}
+	d.members[addr] = &member{addr: addr, state: StateSuspect, since: time.Now()}
+}
+
+// Forget removes addr from the probed set (a member that drained away
+// for good).
+func (d *Detector) Forget(addr string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.members, addr)
+}
+
+// Snapshot returns the current view, in no particular order.
+func (d *Detector) Snapshot() []MemberInfo {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]MemberInfo, 0, len(d.members))
+	for _, m := range d.members {
+		out = append(out, MemberInfo{
+			Addr: m.addr, State: m.state, Since: m.since,
+			Misses: m.misses, Cause: m.cause,
+		})
+	}
+	return out
+}
+
+// Lookup returns the info for one member.
+func (d *Detector) Lookup(addr string) (MemberInfo, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	m, ok := d.members[addr]
+	if !ok {
+		return MemberInfo{}, false
+	}
+	return MemberInfo{Addr: m.addr, State: m.state, Since: m.since,
+		Misses: m.misses, Cause: m.cause}, true
+}
+
+// Close stops probing and waits for in-flight probes.
+func (d *Detector) Close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	d.mu.Unlock()
+	close(d.stop)
+	d.wg.Wait()
+}
+
+func (d *Detector) loop() {
+	defer d.wg.Done()
+	t := time.NewTicker(d.cfg.Interval)
+	defer t.Stop()
+	d.probeAll() // probe immediately; a fresh pager wants a view now
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-t.C:
+			d.probeAll()
+		}
+	}
+}
+
+// probeAll launches one probe per member not already being probed.
+func (d *Detector) probeAll() {
+	d.mu.Lock()
+	var due []string
+	for addr, m := range d.members {
+		if !m.probing {
+			m.probing = true
+			due = append(due, addr)
+		}
+	}
+	d.mu.Unlock()
+	for _, addr := range due {
+		d.wg.Add(1)
+		go d.probe(addr)
+	}
+}
+
+func (d *Detector) probe(addr string) {
+	defer d.wg.Done()
+	ack, err := d.prober.Probe(addr, d.cfg.Timeout)
+
+	d.mu.Lock()
+	m, ok := d.members[addr]
+	if !ok || d.closed { // forgotten or shut down mid-probe
+		if ok {
+			m.probing = false
+		}
+		d.mu.Unlock()
+		return
+	}
+	m.probing = false
+	var ev *Event
+	if err == nil {
+		m.misses = 0
+		m.cause = nil
+		if m.state != StateAlive {
+			ev = &Event{Addr: addr, From: m.state, To: StateAlive}
+			m.state = StateAlive
+			m.since = time.Now()
+		}
+	} else {
+		m.misses++
+		m.cause = err
+		switch {
+		case m.state == StateAlive:
+			ev = &Event{Addr: addr, From: StateAlive, To: StateSuspect, Cause: err}
+			m.state = StateSuspect
+			m.since = time.Now()
+		case m.state == StateSuspect && m.misses >= d.cfg.Misses:
+			ev = &Event{Addr: addr, From: StateSuspect, To: StateDead,
+				Cause: fmt.Errorf("membership: %d consecutive heartbeats missed: %w", m.misses, err)}
+			m.state = StateDead
+			m.since = time.Now()
+		}
+	}
+	d.mu.Unlock()
+
+	// Dispatch without the lock so handlers can call Track/Forget.
+	if ev != nil && d.onEvent != nil {
+		d.onEvent(*ev)
+	}
+	if err == nil && d.onAck != nil {
+		d.onAck(addr, ack)
+	}
+}

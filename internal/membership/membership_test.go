@@ -1,0 +1,352 @@
+package membership
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeProber scripts probe outcomes per address. Safe for concurrent
+// probes.
+type fakeProber struct {
+	mu   sync.Mutex
+	fail map[string]error // addr → error to return (nil = success)
+	ack  map[string]Ack
+}
+
+func newFakeProber() *fakeProber {
+	return &fakeProber{fail: make(map[string]error), ack: make(map[string]Ack)}
+}
+
+func (f *fakeProber) Probe(addr string, _ time.Duration) (Ack, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.fail[addr]; err != nil {
+		return Ack{}, err
+	}
+	return f.ack[addr], nil
+}
+
+func (f *fakeProber) set(addr string, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.fail[addr] = err
+}
+
+func (f *fakeProber) setAck(addr string, a Ack) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ack[addr] = a
+}
+
+// eventLog collects events thread-safely.
+type eventLog struct {
+	mu  sync.Mutex
+	evs []Event
+}
+
+func (l *eventLog) add(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.evs = append(l.evs, e)
+}
+
+func (l *eventLog) all() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Event(nil), l.evs...)
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func testConfig() Config {
+	return Config{Interval: 5 * time.Millisecond, Timeout: 5 * time.Millisecond, Misses: 3}
+}
+
+func TestDetectorLifecycle(t *testing.T) {
+	pr := newFakeProber()
+	var log eventLog
+	d := NewDetector(testConfig(), pr, log.add, nil)
+	defer d.Close()
+
+	// New member starts suspect; first success promotes to alive.
+	d.Track("a:1")
+	waitFor(t, "a:1 alive", func() bool {
+		m, ok := d.Lookup("a:1")
+		return ok && m.State == StateAlive
+	})
+
+	// Kill it: suspect after the first miss, dead after Misses.
+	boom := errors.New("connection refused")
+	pr.set("a:1", boom)
+	waitFor(t, "a:1 dead", func() bool {
+		m, _ := d.Lookup("a:1")
+		return m.State == StateDead
+	})
+	m, _ := d.Lookup("a:1")
+	if m.Misses < 3 {
+		t.Errorf("dead with only %d misses", m.Misses)
+	}
+	if m.Cause == nil {
+		t.Error("dead member has no cause")
+	}
+
+	// Revive: probing continues on dead members.
+	pr.set("a:1", nil)
+	waitFor(t, "a:1 revived", func() bool {
+		m, _ := d.Lookup("a:1")
+		return m.State == StateAlive
+	})
+
+	// Event sequence: →alive, →suspect, →dead, →alive.
+	evs := log.all()
+	var kinds []string
+	for _, e := range evs {
+		kinds = append(kinds, fmt.Sprintf("%v→%v", e.From, e.To))
+	}
+	want := []string{"suspect→alive", "alive→suspect", "suspect→dead", "dead→alive"}
+	if len(kinds) < len(want) {
+		t.Fatalf("events %v, want at least %v", kinds, want)
+	}
+	for i, w := range want {
+		if kinds[i] != w {
+			t.Fatalf("event[%d] = %s, want %s (all: %v)", i, kinds[i], w, kinds)
+		}
+	}
+	// The death event must carry a cause mentioning the miss count.
+	for _, e := range evs {
+		if e.To == StateDead && e.Cause == nil {
+			t.Error("death event without cause")
+		}
+	}
+}
+
+func TestDetectorSuspectIsNotDead(t *testing.T) {
+	pr := newFakeProber()
+	var log eventLog
+	cfg := testConfig()
+	cfg.Misses = 100 // effectively never confirm
+	d := NewDetector(cfg, pr, log.add, nil)
+	defer d.Close()
+
+	d.Track("a:1")
+	waitFor(t, "alive", func() bool {
+		m, _ := d.Lookup("a:1")
+		return m.State == StateAlive
+	})
+	pr.set("a:1", errors.New("flaky"))
+	waitFor(t, "suspect", func() bool {
+		m, _ := d.Lookup("a:1")
+		return m.State == StateSuspect
+	})
+	// A single flake then recovery must not produce a death.
+	pr.set("a:1", nil)
+	waitFor(t, "alive again", func() bool {
+		m, _ := d.Lookup("a:1")
+		return m.State == StateAlive && m.Misses == 0
+	})
+	for _, e := range log.all() {
+		if e.To == StateDead {
+			t.Fatal("flake escalated to death despite threshold")
+		}
+	}
+}
+
+func TestDetectorForget(t *testing.T) {
+	pr := newFakeProber()
+	d := NewDetector(testConfig(), pr, nil, nil)
+	defer d.Close()
+
+	d.Track("a:1")
+	d.Track("b:2")
+	waitFor(t, "both tracked", func() bool { return len(d.Snapshot()) == 2 })
+	d.Forget("a:1")
+	if _, ok := d.Lookup("a:1"); ok {
+		t.Fatal("forgotten member still visible")
+	}
+	waitFor(t, "one member", func() bool { return len(d.Snapshot()) == 1 })
+	// Forgetting mid-probe must not resurrect it.
+	time.Sleep(20 * time.Millisecond)
+	if _, ok := d.Lookup("a:1"); ok {
+		t.Fatal("forgotten member resurrected by in-flight probe")
+	}
+}
+
+func TestDetectorAckCallback(t *testing.T) {
+	pr := newFakeProber()
+	pr.setAck("a:1", Ack{FreePages: 7, Draining: true, Peers: []string{"b:2"}})
+	var mu sync.Mutex
+	var got Ack
+	var calls int
+	d := NewDetector(testConfig(), pr, nil, func(addr string, a Ack) {
+		mu.Lock()
+		defer mu.Unlock()
+		if addr == "a:1" {
+			got = a
+			calls++
+		}
+	})
+	defer d.Close()
+	d.Track("a:1")
+	waitFor(t, "ack delivered", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return calls > 0
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	if got.FreePages != 7 || !got.Draining || len(got.Peers) != 1 || got.Peers[0] != "b:2" {
+		t.Fatalf("ack mangled: %+v", got)
+	}
+}
+
+// Callbacks may call back into the detector (Track/Forget/Lookup)
+// without deadlocking — the detector drops its lock before dispatch.
+func TestDetectorReentrantCallback(t *testing.T) {
+	pr := newFakeProber()
+	var d *Detector
+	done := make(chan struct{}, 1)
+	d = NewDetector(testConfig(), pr, nil, func(addr string, _ Ack) {
+		d.Track("b:2") // reentrant
+		d.Lookup(addr)
+		select {
+		case done <- struct{}{}:
+		default:
+		}
+	})
+	defer d.Close()
+	d.Track("a:1")
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		t.Fatal("reentrant callback deadlocked")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Interval != time.Second || c.Timeout != time.Second || c.Misses != 3 {
+		t.Fatalf("bad defaults: %+v", c)
+	}
+	c = Config{Interval: 100 * time.Millisecond}.withDefaults()
+	if c.Timeout != 100*time.Millisecond {
+		t.Fatalf("timeout should default to interval, got %v", c.Timeout)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if StateAlive.String() != "alive" || StateSuspect.String() != "suspect" ||
+		StateDead.String() != "dead" {
+		t.Fatal("state names wrong")
+	}
+	if State(9).String() != "State(9)" {
+		t.Fatal("unknown state name wrong")
+	}
+}
+
+func TestReprotectorRunsJobs(t *testing.T) {
+	r := NewReprotector()
+	defer r.Close()
+
+	var mu sync.Mutex
+	var ran []string
+	mk := func(name string, err error) Job {
+		return Job{Kind: JobRebuild, Addr: name, Run: func() error {
+			mu.Lock()
+			ran = append(ran, name)
+			mu.Unlock()
+			return err
+		}}
+	}
+	r.Enqueue(mk("a", nil))
+	r.Enqueue(mk("b", errors.New("nope")))
+	r.Enqueue(mk("c", nil))
+
+	waitFor(t, "jobs drained", func() bool {
+		s := r.Stats()
+		return s.Done+s.Failed == 3
+	})
+	s := r.Stats()
+	if s.Done != 2 || s.Failed != 1 || s.Pending != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(ran) != 3 || ran[0] != "a" || ran[1] != "b" || ran[2] != "c" {
+		t.Fatalf("jobs ran out of order: %v", ran)
+	}
+}
+
+func TestReprotectorSerial(t *testing.T) {
+	r := NewReprotector()
+	defer r.Close()
+	var active, max int32
+	var mu sync.Mutex
+	for i := 0; i < 5; i++ {
+		r.Enqueue(Job{Run: func() error {
+			mu.Lock()
+			active++
+			if active > max {
+				max = active
+			}
+			mu.Unlock()
+			time.Sleep(2 * time.Millisecond)
+			mu.Lock()
+			active--
+			mu.Unlock()
+			return nil
+		}})
+	}
+	waitFor(t, "all jobs", func() bool { return r.Stats().Done == 5 })
+	mu.Lock()
+	defer mu.Unlock()
+	if max != 1 {
+		t.Fatalf("jobs overlapped: max concurrency %d", max)
+	}
+}
+
+func TestReprotectorClose(t *testing.T) {
+	r := NewReprotector()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	r.Enqueue(Job{Run: func() error {
+		close(started)
+		<-release
+		return nil
+	}})
+	<-started
+	r.Enqueue(Job{Run: func() error { t.Error("queued job ran after Close"); return nil }})
+	done := make(chan struct{})
+	go func() {
+		r.Close() // blocks on the running job
+		close(done)
+	}()
+	// Close is initiated while job 1 is still running, so the closed
+	// flag is set before the worker can dequeue job 2.
+	waitFor(t, "close initiated", func() bool {
+		return !r.Enqueue(Job{Run: func() error { return nil }})
+	})
+	close(release)
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		t.Fatal("Close did not return")
+	}
+	if r.Enqueue(Job{Run: func() error { return nil }}) {
+		t.Fatal("Enqueue accepted after Close")
+	}
+	// Closing twice is fine.
+	r.Close()
+}

@@ -1,0 +1,142 @@
+package membership
+
+import (
+	"sync"
+	"time"
+)
+
+// JobKind labels a re-protection job for stats and logging.
+type JobKind int
+
+const (
+	// JobRebuild restores redundancy after a confirmed death.
+	JobRebuild JobKind = iota
+	// JobDrain migrates pages off a gracefully leaving server.
+	JobDrain
+)
+
+func (k JobKind) String() string {
+	switch k {
+	case JobRebuild:
+		return "rebuild"
+	case JobDrain:
+		return "drain"
+	}
+	return "job"
+}
+
+// Job is one unit of background recovery work.
+type Job struct {
+	Kind JobKind
+	// Addr of the server the job is about.
+	Addr string
+	// ConfirmedAt is when the triggering event (death confirmation,
+	// drain advisory) was observed; the owner uses it to account the
+	// exposure window.
+	ConfirmedAt time.Time
+	// Run does the work. It is called from the reprotector's single
+	// worker goroutine.
+	Run func() error
+}
+
+// ReprotectStats is a snapshot of the worker's progress.
+type ReprotectStats struct {
+	Done    uint64 // jobs completed successfully
+	Failed  uint64 // jobs whose Run returned an error
+	Pending int    // queued jobs not yet finished (incl. running)
+}
+
+// Reprotector runs recovery jobs one at a time in the background, so
+// redundancy is restored off the paging data path. Single-worker on
+// purpose: recovery jobs copy pages over the same connections the data
+// path uses, and running them serially keeps the interference bounded.
+type Reprotector struct {
+	mu     sync.Mutex
+	queue  []Job
+	done   uint64
+	failed uint64
+	closed bool
+	kick   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// NewReprotector creates and starts the worker.
+func NewReprotector() *Reprotector {
+	r := &Reprotector{kick: make(chan struct{}, 1)}
+	r.wg.Add(1)
+	go r.worker()
+	return r
+}
+
+// Enqueue queues a job. Returns false after Close.
+func (r *Reprotector) Enqueue(j Job) bool {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return false
+	}
+	r.queue = append(r.queue, j)
+	r.mu.Unlock()
+	select {
+	case r.kick <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// Stats returns a progress snapshot.
+func (r *Reprotector) Stats() ReprotectStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return ReprotectStats{Done: r.done, Failed: r.failed, Pending: len(r.queue)}
+}
+
+// Close stops the worker after the current job; queued jobs are
+// dropped.
+func (r *Reprotector) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.mu.Unlock()
+	select {
+	case r.kick <- struct{}{}:
+	default:
+	}
+	r.wg.Wait()
+}
+
+func (r *Reprotector) worker() {
+	defer r.wg.Done()
+	for {
+		r.mu.Lock()
+		if r.closed {
+			r.queue = nil
+			r.mu.Unlock()
+			return
+		}
+		if len(r.queue) == 0 {
+			r.mu.Unlock()
+			<-r.kick
+			continue
+		}
+		j := r.queue[0]
+		r.mu.Unlock()
+
+		err := j.Run()
+
+		r.mu.Lock()
+		// Dequeue after running so Pending counts the running job.
+		if len(r.queue) > 0 {
+			r.queue = r.queue[1:]
+		}
+		if err != nil {
+			r.failed++
+		} else {
+			r.done++
+		}
+		r.mu.Unlock()
+	}
+}

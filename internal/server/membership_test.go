@@ -1,0 +1,97 @@
+package server_test
+
+import (
+	"testing"
+	"time"
+
+	"rmp/internal/server"
+)
+
+func TestPingReportsLoadAndPeers(t *testing.T) {
+	srv, addr := startServer(t, server.Config{})
+	c := dial(t, addr, "client-a", "")
+
+	free, draining, peers, err := c.Ping(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free != 256 || draining || len(peers) != 0 {
+		t.Fatalf("Ping = %d, %v, %v", free, draining, peers)
+	}
+
+	// Announce two peers (one duplicated); PONG gossips them back.
+	if n, err := c.Join("peer1:7077"); err != nil || n != 1 {
+		t.Fatalf("Join = %d, %v", n, err)
+	}
+	if n, err := c.Join("peer2:7077"); err != nil || n != 2 {
+		t.Fatalf("Join = %d, %v", n, err)
+	}
+	if n, err := c.Join("peer1:7077"); err != nil || n != 2 {
+		t.Fatalf("duplicate Join = %d, %v; want dedup at 2", n, err)
+	}
+	_, _, peers, err = c.Ping(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 2 || peers[0] != "peer1:7077" || peers[1] != "peer2:7077" {
+		t.Fatalf("gossiped peers = %v", peers)
+	}
+
+	st, err := c.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Pings != 2 || len(st.Peers) != 2 || st.Draining {
+		t.Fatalf("stat = pings %d, peers %v, draining %v", st.Pings, st.Peers, st.Draining)
+	}
+	if srv.Draining() {
+		t.Fatal("server draining without being asked")
+	}
+}
+
+func TestJoinRejectsEmptyAddress(t *testing.T) {
+	_, addr := startServer(t, server.Config{})
+	c := dial(t, addr, "client-a", "")
+	if _, err := c.Join(""); err == nil {
+		t.Fatal("JOIN with empty address accepted")
+	}
+}
+
+func TestDrainLifecycle(t *testing.T) {
+	srv, addr := startServer(t, server.Config{CapacityPages: 16})
+	c := dial(t, addr, "client-a", "")
+
+	if err := c.PageOut(1, fillPage(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if !srv.Draining() {
+		t.Fatal("DRAIN did not set the draining flag")
+	}
+
+	// Allocation is denied while draining...
+	if n, err := c.Alloc(4); err != nil || n != 0 {
+		t.Fatalf("Alloc while draining = %d, %v; want 0 grant", n, err)
+	}
+	// ...but stored pages remain readable so clients can migrate them.
+	if _, err := c.PageIn(1); err != nil {
+		t.Fatalf("PageIn while draining: %v", err)
+	}
+
+	// Every subsequent ack advises drain; the latch is sticky.
+	_, draining, _, err := c.Ping(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !draining || !c.DrainAdvised() {
+		t.Fatal("drain advisory not delivered")
+	}
+
+	// Cancel: SetDraining(false) restores normal service.
+	srv.SetDraining(false)
+	if n, err := c.Alloc(4); err != nil || n != 4 {
+		t.Fatalf("Alloc after drain cancel = %d, %v", n, err)
+	}
+}

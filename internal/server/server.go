@@ -92,9 +92,22 @@ type Server struct {
 	closed  bool
 
 	pressure atomic.Bool
+	// draining is the graceful-leave flag: every ack carries
+	// wire.FlagDrain asking clients to migrate their pages out, and new
+	// swap-space allocation is denied. Set via the DRAIN message or
+	// SetDraining; rmemd exits once draining and empty.
+	draining atomic.Bool
+	// pings counts heartbeat probes served (exported via STAT).
+	pings atomic.Uint64
 	// extraDelay augments Config.ServiceDelay at runtime (varying
 	// host or network load).
 	extraDelay atomic.Int64
+
+	// peers are other servers' addresses learned from JOIN announces;
+	// gossiped back to clients in every PONG so pagers discover
+	// newly-joined servers without re-reading the registry.
+	peersMu sync.Mutex
+	peers   []string
 
 	// spill backs pressure-evicted pages on the local disk (nil when
 	// Config.Spill is off). spillMu serializes compound
@@ -211,6 +224,42 @@ func (s *Server) SetPressure(on bool) {
 
 // Pressure reports the current pressure flag.
 func (s *Server) Pressure() bool { return s.pressure.Load() }
+
+// SetDraining marks the server as gracefully leaving (or cancels the
+// leave). While draining, every ack carries wire.FlagDrain, swap-space
+// allocation is denied, and stored pages keep being served so clients
+// can migrate them out.
+func (s *Server) SetDraining(on bool) { s.draining.Store(on) }
+
+// Draining reports the graceful-leave flag.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// maxPeers bounds the gossiped peer list; beyond this a registry file
+// is the right tool.
+const maxPeers = 64
+
+// AddPeer records another server's address for gossip to clients.
+// Duplicates are ignored; returns the resulting peer count.
+func (s *Server) AddPeer(addr string) int {
+	s.peersMu.Lock()
+	defer s.peersMu.Unlock()
+	for _, p := range s.peers {
+		if p == addr {
+			return len(s.peers)
+		}
+	}
+	if len(s.peers) < maxPeers {
+		s.peers = append(s.peers, addr)
+	}
+	return len(s.peers)
+}
+
+// Peers returns a copy of the gossiped peer list.
+func (s *Server) Peers() []string {
+	s.peersMu.Lock()
+	defer s.peersMu.Unlock()
+	return append([]string(nil), s.peers...)
+}
 
 // Store exposes the backing page store (read-mostly; used by tests,
 // stats endpoints and crash-recovery tooling).
@@ -386,10 +435,13 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// reply sends resp, stamping the pressure advisory flag.
+// reply sends resp, stamping the pressure and drain advisory flags.
 func (s *Server) reply(sess *session, resp *wire.Msg) error {
 	if s.pressure.Load() {
 		resp.Flags |= wire.FlagPressure
+	}
+	if s.draining.Load() {
+		resp.Flags |= wire.FlagDrain
 	}
 	return wire.Encode(sess.conn, resp)
 }
@@ -403,7 +455,7 @@ func (s *Server) handle(sess *session, m *wire.Msg) *wire.Msg {
 	ack := &wire.Msg{Type: m.Type.Ack(), Key: m.Key}
 	switch m.Type {
 	case wire.TAlloc:
-		if s.pressure.Load() {
+		if s.pressure.Load() || s.draining.Load() {
 			ack.Status = wire.StatusNoSpace
 			return ack
 		}
@@ -446,6 +498,34 @@ func (s *Server) handle(sess *session, m *wire.Msg) *wire.Msg {
 
 	case wire.TLoad:
 		ack.N = uint32(s.store.Free())
+
+	case wire.TPing:
+		// Heartbeat: deliberately skips maybeStall — the probe measures
+		// liveness, not page-service latency, and must not miss its
+		// deadline just because the host is slow. The drain advisory
+		// rides on the reply flags; free pages in N; known peers as
+		// JSON, so pagers discover joined servers.
+		s.pings.Add(1)
+		ack.N = uint32(s.store.Free())
+		if peers := s.Peers(); len(peers) > 0 {
+			if data, err := json.Marshal(wire.PongInfo{Peers: peers}); err == nil {
+				ack.Data = data
+			}
+		}
+
+	case wire.TJoin:
+		if m.Host == "" {
+			ack.Status = wire.StatusInternal
+			ack.Data = []byte("JOIN without server address")
+			return ack
+		}
+		n := s.AddPeer(m.Host)
+		ack.N = uint32(n)
+		s.logf("%s: peer %s joined (%d known)", s.cfg.Name, m.Host, n)
+
+	case wire.TDrain:
+		s.SetDraining(true)
+		s.logf("%s: drain requested; %d pages to migrate", s.cfg.Name, s.store.Len())
 
 	case wire.TXorWrite:
 		if err := m.VerifyData(); err != nil {
@@ -495,6 +575,9 @@ func (s *Server) handle(sess *session, m *wire.Msg) *wire.Msg {
 			XorWrites:    st.XorWrites,
 			Misses:       st.Misses,
 			DeniedAllocs: st.Denied,
+			Pings:        s.pings.Load(),
+			Draining:     s.draining.Load(),
+			Peers:        s.Peers(),
 		}
 		data, err := json.Marshal(info)
 		if err != nil {

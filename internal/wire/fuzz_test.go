@@ -23,6 +23,13 @@ func FuzzDecode(f *testing.F) {
 	data := page.NewBuf()
 	data.Fill(1)
 	seed((&Msg{Type: TPageOut, Key: 9, Data: data}).WithChecksum())
+	// Membership messages: heartbeat, peer announce, graceful drain.
+	seed(&Msg{Type: TPing})
+	seed(&Msg{Type: TPong, N: 17, Flags: FlagDrain, Data: []byte(`{"peers":["127.0.0.1:7078"]}`)})
+	seed(&Msg{Type: TJoin, Host: "10.0.0.9:7077"})
+	seed(&Msg{Type: TJoinAck, N: 2})
+	seed(&Msg{Type: TDrain})
+	seed(&Msg{Type: TDrainAck, Flags: FlagDrain})
 	f.Add([]byte{})
 	f.Add([]byte{0x52, 0x4D, 1, 1, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF})
 

@@ -77,6 +77,23 @@ const (
 	TByeAck
 	TStat
 	TStatAck
+	// TPing/TPong is the membership heartbeat: a lightweight liveness
+	// probe that bypasses the emulated page-service delays. The PONG
+	// carries the server's free-page count in N, the drain advisory in
+	// FlagDrain, and (when non-empty) the server's announced-peer list
+	// as a JSON PongInfo in Data.
+	TPing
+	TPong
+	// TJoin announces a server address (Host) to the receiving server;
+	// clients learn announced peers from PONGs and join them. Sent by
+	// a starting rmemd (-join) or by an operator via rmpctl.
+	TJoin
+	TJoinAck
+	// TDrain asks the server to leave gracefully: it stops granting
+	// swap space and stamps FlagDrain on every ack, advising clients
+	// to migrate their pages out; the daemon exits once empty.
+	TDrain
+	TDrainAck
 )
 
 var typeNames = map[Type]string{
@@ -90,6 +107,9 @@ var typeNames = map[Type]string{
 	TXorDelta: "XORDELTA", TXorDeltaAck: "XORDELTA_ACK",
 	TBye: "BYE", TByeAck: "BYE_ACK",
 	TStat: "STAT", TStatAck: "STAT_ACK",
+	TPing: "PING", TPong: "PONG",
+	TJoin: "JOIN", TJoinAck: "JOIN_ACK",
+	TDrain: "DRAIN", TDrainAck: "DRAIN_ACK",
 }
 
 func (t Type) String() string {
@@ -161,6 +181,10 @@ const (
 	// paper's "note ... advising it to send no more pages to this
 	// server" (§2.1). The client reacts by migrating pages away.
 	FlagPressure = 1 << 0
+	// FlagDrain is set by a server on every ack while it is draining
+	// (graceful leave): clients must migrate all pages off it, stop
+	// new placements, and say BYE; the daemon exits once empty.
+	FlagDrain = 1 << 1
 )
 
 // Msg is a decoded protocol message. Unused fields are zero.
@@ -324,18 +348,30 @@ func (m *Msg) VerifyData() error {
 // a STAT_ACK. It powers rmpctl's operator view and the experiments'
 // memory accounting.
 type StatInfo struct {
-	Name         string `json:"name"`
-	StoredPages  int    `json:"stored_pages"`
-	FreePages    int    `json:"free_pages"`
-	InOverflow   bool   `json:"in_overflow"`
-	Pressure     bool   `json:"pressure"`
-	Clients      int    `json:"clients"`
-	Puts         uint64 `json:"puts"`
-	Gets         uint64 `json:"gets"`
-	Deletes      uint64 `json:"deletes"`
-	XorWrites    uint64 `json:"xor_writes"`
-	Misses       uint64 `json:"misses"`
-	DeniedAllocs uint64 `json:"denied_allocs"`
+	Name         string   `json:"name"`
+	StoredPages  int      `json:"stored_pages"`
+	FreePages    int      `json:"free_pages"`
+	InOverflow   bool     `json:"in_overflow"`
+	Pressure     bool     `json:"pressure"`
+	Clients      int      `json:"clients"`
+	Puts         uint64   `json:"puts"`
+	Gets         uint64   `json:"gets"`
+	Deletes      uint64   `json:"deletes"`
+	XorWrites    uint64   `json:"xor_writes"`
+	Misses       uint64   `json:"misses"`
+	DeniedAllocs uint64   `json:"denied_allocs"`
+	Pings        uint64   `json:"pings,omitempty"`
+	Draining     bool     `json:"draining,omitempty"`
+	Peers        []string `json:"peers,omitempty"`
+}
+
+// PongInfo is the optional JSON payload of a PONG: the peer servers
+// announced to this server via JOIN. Clients running the membership
+// layer dial peers they have not seen before — a new server announces
+// itself to any one existing server and the whole cluster learns of
+// it through heartbeats.
+type PongInfo struct {
+	Peers []string `json:"peers,omitempty"`
 }
 
 // WithChecksum fills in the checksum for the current Data and returns m.

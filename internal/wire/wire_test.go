@@ -92,7 +92,7 @@ func TestDecodeBadMagic(t *testing.T) {
 
 func TestDecodeBadVersion(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Encode(&buf, &Msg{Type: TPing()}); err != nil {
+	if err := Encode(&buf, &Msg{Type: anyType()}); err != nil {
 		t.Fatal(err)
 	}
 	raw := buf.Bytes()
@@ -102,8 +102,8 @@ func TestDecodeBadVersion(t *testing.T) {
 	}
 }
 
-// TPing returns an arbitrary valid type for framing tests.
-func TPing() Type { return TLoad }
+// anyType returns an arbitrary valid type for framing tests.
+func anyType() Type { return TLoad }
 
 func TestDecodeOversizedFrame(t *testing.T) {
 	var buf bytes.Buffer
@@ -265,5 +265,28 @@ func BenchmarkDecodePageOut(b *testing.B) {
 		if _, err := Decode(bytes.NewReader(raw)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestMembershipTypes: the membership additions keep the request/ack
+// pairing convention and survive the codec.
+func TestMembershipTypes(t *testing.T) {
+	pairs := map[Type]Type{TPing: TPong, TJoin: TJoinAck, TDrain: TDrainAck}
+	for req, ack := range pairs {
+		if req.Ack() != ack {
+			t.Fatalf("%v.Ack() = %v, want %v", req, req.Ack(), ack)
+		}
+		if strings.HasPrefix(req.String(), "Type(") || strings.HasPrefix(ack.String(), "Type(") {
+			t.Fatalf("missing type name for %d/%d", req, ack)
+		}
+	}
+	got := roundTrip(t, &Msg{Type: TJoin, Host: "10.1.2.3:7077"})
+	if got.Type != TJoin || got.Host != "10.1.2.3:7077" {
+		t.Fatalf("JOIN mangled: %+v", got)
+	}
+	got = roundTrip(t, &Msg{Type: TPong, N: 42, Flags: FlagDrain,
+		Data: []byte(`{"peers":["a:1","b:2"]}`)})
+	if got.N != 42 || got.Flags&FlagDrain == 0 || len(got.Data) == 0 {
+		t.Fatalf("PONG mangled: %+v", got)
 	}
 }
