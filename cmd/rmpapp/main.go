@@ -43,6 +43,12 @@ func main() {
 		nServers  = flag.Int("servers", 5, "in-process demo servers (when no -registry)")
 		token     = flag.String("token", "", "auth token")
 		readahead = flag.Int("readahead", 0, "sequential readahead pages (0 = off)")
+
+		reqTimeout  = flag.Duration("req-timeout", 0, "per-request deadline ceiling (0 = 5s default)")
+		reqFloor    = flag.Duration("req-floor", 0, "per-request deadline floor (0 = 50ms default)")
+		retryBudget = flag.Duration("retry-budget", 0, "total retry budget per page fault (0 = 2s default)")
+		brkThresh   = flag.Int("breaker-threshold", 0, "consecutive timeouts before a server's circuit breaker opens (0 = default 4)")
+		brkCooldown = flag.Duration("breaker-cooldown", 0, "how long an open breaker waits before half-opening (0 = 1s default)")
 	)
 	flag.Parse()
 
@@ -78,10 +84,15 @@ func main() {
 	}
 
 	pager, err := client.New(client.Config{
-		ClientName: "rmpapp",
-		Servers:    addrs,
-		Policy:     pol,
-		AuthToken:  *token,
+		ClientName:       "rmpapp",
+		Servers:          addrs,
+		Policy:           pol,
+		AuthToken:        *token,
+		ReqTimeout:       *reqTimeout,
+		ReqTimeoutFloor:  *reqFloor,
+		RetryBudget:      *retryBudget,
+		BreakerThreshold: *brkThresh,
+		BreakerCooldown:  *brkCooldown,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -111,6 +122,10 @@ func main() {
 		st.Faults, st.PageIns, st.PageOuts, st.Prefetch, st.PrefHits)
 	fmt.Printf("pager: %d net transfers, %d disk writes, %d disk reads, %d migrated, %d recovered, %d GC passes\n",
 		ps.NetTransfers, ps.DiskWrites, ps.DiskReads, ps.Migrated, ps.Recovered, ps.GCPasses)
+	if ps.Timeouts+ps.Retries+ps.BreakerOpens+ps.DeadlineFallbacks+ps.ChecksumFaults > 0 {
+		fmt.Printf("pager: %d timeouts, %d retries, %d breaker opens, %d budget exhaustions, %d checksum faults\n",
+			ps.Timeouts, ps.Retries, ps.BreakerOpens, ps.DeadlineFallbacks, ps.ChecksumFaults)
+	}
 }
 
 func mb(b int64) float64 { return float64(b) / (1 << 20) }

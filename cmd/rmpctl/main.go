@@ -36,6 +36,7 @@ func main() {
 		registry   = flag.String("registry", "", "registry file for the survey command")
 		name       = flag.String("name", "rmpctl", "client name (namespace on the server)")
 		token      = flag.String("token", "", "auth token")
+		reqTimeout = flag.Duration("req-timeout", 0, "per-request deadline ceiling (0 = client default)")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -45,13 +46,14 @@ func main() {
 
 	cmd := args[0]
 	if cmd == "survey" {
-		survey(*registry, *name, *token)
+		survey(*registry, *name, *token, *reqTimeout)
 		return
 	}
 	if *serverAddr == "" {
 		log.Fatal("rmpctl: -server required")
 	}
-	c, err := client.Dial(*serverAddr, *name, *token)
+	c, err := client.DialWithDeadlines(*serverAddr, *name, *token,
+		client.DialTimeout, client.Deadlines{Ceil: *reqTimeout})
 	if err != nil {
 		log.Fatalf("rmpctl: %v", err)
 	}
@@ -125,6 +127,12 @@ func main() {
 		}
 		fmt.Printf("%s: %s (%v), %d free pages\n", *serverAddr, state,
 			time.Since(start).Round(time.Microsecond), free)
+		// The adaptive-deadline view: srtt/rttvar are seeded by the
+		// HELLO round trip, the deadline is what a page-sized request
+		// would be granted right now.
+		fmt.Printf("  srtt %v  rttvar %v  deadline(page) %v\n",
+			c.RTT().Round(time.Microsecond), c.RTTVar().Round(time.Microsecond),
+			c.RequestDeadline(page.Size).Round(time.Millisecond))
 		for _, peer := range peers {
 			fmt.Printf("  peer %s\n", peer)
 		}
@@ -144,9 +152,10 @@ func main() {
 	}
 }
 
-// survey polls every registered server, like the pager's periodic
-// load check (§2.1).
-func survey(registry, name, token string) {
+// survey polls every registered server through a throwaway pager, so
+// the report shows exactly what the data path would see: liveness,
+// load, the adaptive request deadline, and circuit-breaker state.
+func survey(registry, name, token string, reqTimeout time.Duration) {
 	if registry == "" {
 		log.Fatal("rmpctl: survey needs -registry")
 	}
@@ -154,28 +163,51 @@ func survey(registry, name, token string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, addr := range servers {
-		c, err := client.Dial(addr, name, token)
-		if err != nil {
-			fmt.Printf("%-24s DOWN (%v)\n", addr, err)
-			continue
-		}
-		free, draining, _, err := c.Ping(5 * time.Second)
-		pressured := c.PressureAdvised()
-		c.Bye()
-		if err != nil {
-			fmt.Printf("%-24s ERROR (%v)\n", addr, err)
+	p, err := client.New(client.Config{
+		ClientName: name,
+		Servers:    servers,
+		Policy:     client.PolicyNone,
+		AuthToken:  token,
+		ReqTimeout: reqTimeout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Close()
+	for _, info := range p.Survey() {
+		if !info.Alive {
+			cause := info.DiedCause
+			if cause == "" {
+				cause = "unreachable"
+			}
+			fmt.Printf("%-24s DOWN (%s)\n", info.Addr, cause)
 			continue
 		}
 		state := "ok"
-		if pressured {
+		if info.Pressured {
 			state = "PRESSURED"
 		}
-		if draining {
+		if info.Suspect {
+			state = "SUSPECT"
+		}
+		if info.Draining {
 			state = "DRAINING"
 		}
-		fmt.Printf("%-24s %s  %6d free pages (%d MB)\n", addr, state, free, free*page.Size>>20)
+		free := info.Stat.FreePages
+		fmt.Printf("%-24s %-9s %6d free pages (%d MB)  srtt %-8v deadline %-8v breaker %s\n",
+			info.Addr, state, free, free*page.Size>>20,
+			info.RTT.Round(time.Microsecond), info.ReqDeadline.Round(time.Millisecond),
+			breakerTag(info))
 	}
+}
+
+// breakerTag renders the circuit-breaker column: the state, plus the
+// consecutive-timeout count while it is accumulating failures.
+func breakerTag(info client.ServerInfo) string {
+	if info.Breaker == "closed" && info.BreakerFails == 0 {
+		return "closed"
+	}
+	return fmt.Sprintf("%s (%d consecutive timeouts)", info.Breaker, info.BreakerFails)
 }
 
 func overflowTag(in bool) string {

@@ -7,6 +7,8 @@ package chaos
 
 import (
 	"io"
+	"math"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -30,6 +32,15 @@ type Proxy struct {
 	// dropAll makes new connections fail immediately (backend
 	// unreachable) without stopping existing ones.
 	dropAll atomic.Bool
+	// stallOn/stallRemaining implement Stall: once enabled, at most
+	// stallRemaining further bytes are forwarded (all connections and
+	// both directions combined); everything after is read and
+	// discarded while the TCP connections stay open.
+	stallOn        atomic.Bool
+	stallRemaining atomic.Int64
+	// corruptBits is the float64 probability (math.Float64bits) of
+	// flipping one payload byte in each server->client chunk.
+	corruptBits atomic.Uint64
 
 	wg sync.WaitGroup
 }
@@ -60,6 +71,35 @@ func (p *Proxy) CutAfterBytes(n int64) { p.cutAfter.Store(n) }
 // RefuseNew makes the proxy refuse new connections (accept + close),
 // emulating a crashed daemon whose host still answers TCP.
 func (p *Proxy) RefuseNew(on bool) { p.dropAll.Store(on) }
+
+// Stall forwards at most n more bytes (all connections and both
+// directions combined) and then black-holes the proxy: data keeps
+// being read from both sides and silently discarded, nothing is
+// forwarded, and every TCP connection — existing and newly accepted —
+// stays open. This is the wedged-process failure mode: the host still
+// ACKs at the TCP level but the daemon never answers, so only a
+// request deadline can unblock the client. n = 0 stalls immediately;
+// use Unstall to recover.
+func (p *Proxy) Stall(n int64) {
+	p.stallRemaining.Store(n)
+	p.stallOn.Store(true)
+}
+
+// Unstall lifts a Stall for subsequent traffic. Frames truncated
+// mid-stall have already desynchronized their connections; clients
+// are expected to reconnect.
+func (p *Proxy) Unstall() { p.stallOn.Store(false) }
+
+// CorruptResponses flips one payload byte per server->client chunk
+// with the given probability (0 disables, 1 corrupts every chunk).
+// The flip lands past the 12-byte frame header, so a data-bearing
+// response survives framing but fails checksum verification at the
+// client; chunks too short to carry payload (bare acks) pass through
+// untouched — smashing the fixed header models a torn connection,
+// which is CutAfterBytes' job, not silent corruption.
+func (p *Proxy) CorruptResponses(rate float64) {
+	p.corruptBits.Store(math.Float64bits(rate))
+}
 
 // CutAll severs every active connection immediately (network
 // partition / machine crash).
@@ -105,8 +145,8 @@ func (p *Proxy) acceptLoop() {
 		p.track(back)
 		budget := p.cutAfter.Load()
 		p.wg.Add(2)
-		go p.relay(conn, back, budget) // client -> server, budgeted
-		go p.relay(back, conn, 0)      // server -> client
+		go p.relay(conn, back, budget, false) // client -> server, budgeted
+		go p.relay(back, conn, 0, true)       // server -> client
 	}
 }
 
@@ -123,8 +163,9 @@ func (p *Proxy) untrack(c net.Conn) {
 }
 
 // relay copies src -> dst in chunks, applying the configured delay,
-// and severing both sides after budget bytes (0 = unlimited).
-func (p *Proxy) relay(src, dst net.Conn, budget int64) {
+// corruption (server->client only), stalling, and severing both sides
+// after budget bytes (0 = unlimited).
+func (p *Proxy) relay(src, dst net.Conn, budget int64, fromServer bool) {
 	defer p.wg.Done()
 	defer func() {
 		src.Close()
@@ -143,6 +184,26 @@ func (p *Proxy) relay(src, dst net.Conn, budget int64) {
 			chunk := buf[:n]
 			if budget > 0 && relayed+int64(n) > budget {
 				chunk = buf[:budget-relayed] // partial frame, then cut
+			}
+			if p.stallOn.Load() {
+				// Claim this chunk's bytes against the shared stall
+				// allowance; whatever does not fit is black-holed.
+				after := p.stallRemaining.Add(-int64(len(chunk)))
+				if after < 0 {
+					allowed := after + int64(len(chunk))
+					if allowed < 0 {
+						allowed = 0
+					}
+					chunk = chunk[:allowed]
+				}
+				if len(chunk) == 0 {
+					continue // discard; keep reading, keep TCP open
+				}
+			}
+			if fromServer && len(chunk) > 16 {
+				if rate := math.Float64frombits(p.corruptBits.Load()); rate > 0 && rand.Float64() < rate {
+					chunk[12+(len(chunk)-12)/2] ^= 0xFF
+				}
 			}
 			if _, werr := dst.Write(chunk); werr != nil {
 				return

@@ -1,6 +1,7 @@
 package chaos_test
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -8,6 +9,7 @@ import (
 	"rmp/internal/client"
 	"rmp/internal/page"
 	"rmp/internal/server"
+	"rmp/internal/wire"
 )
 
 func backend(t *testing.T) (*server.Server, string) {
@@ -262,6 +264,104 @@ func TestBasicParityFlakyLink(t *testing.T) {
 		if got.Checksum() != want.Checksum() {
 			t.Fatalf("page %d corrupted across flaky-link crash", i)
 		}
+	}
+}
+
+// TestProxyStall: a stalled proxy keeps TCP open but forwards nothing
+// — the black-holed-daemon failure mode. The request must end in a
+// bounded timeout (not hang), and lifting the stall must let a fresh
+// connection work again.
+func TestProxyStall(t *testing.T) {
+	_, px := proxied(t)
+	dl := client.Deadlines{Floor: 30 * time.Millisecond, Ceil: 150 * time.Millisecond}
+	c, err := client.DialWithDeadlines(px.Addr(), "chaos-client", "", time.Second, dl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.PageOut(1, mkPage(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	px.Stall(0) // black-hole everything from here on
+	start := time.Now()
+	_, err = c.PageIn(1)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("pagein succeeded through a black-holed proxy")
+	}
+	if !errors.Is(err, client.ErrReqTimeout) {
+		t.Fatalf("expected ErrReqTimeout through a stall, got %v", err)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("timeout took %v; deadline ceiling is 150ms", elapsed)
+	}
+
+	px.Unstall()
+	c2, err := client.DialWithDeadlines(px.Addr(), "chaos-client", "", time.Second, dl)
+	if err != nil {
+		t.Fatalf("reconnect after Unstall: %v", err)
+	}
+	defer c2.Close()
+	got, err := c2.PageIn(1)
+	if err != nil || got.Checksum() != mkPage(1).Checksum() {
+		t.Fatalf("pagein after Unstall: %v", err)
+	}
+}
+
+// TestProxyStallPartial: the stall allowance forwards a prefix — the
+// tiny PAGEIN request and the first half of the 8.3 KB response — and
+// black-holes the rest: a stall mid-frame rather than a clean cut.
+func TestProxyStallPartial(t *testing.T) {
+	_, px := proxied(t)
+	dl := client.Deadlines{Floor: 30 * time.Millisecond, Ceil: 150 * time.Millisecond}
+	c, err := client.DialWithDeadlines(px.Addr(), "chaos-client", "", time.Second, dl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.PageOut(1, mkPage(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	px.Stall(4096) // request passes; the response truncates mid-frame
+	start := time.Now()
+	_, err = c.PageIn(1)
+	if !errors.Is(err, client.ErrReqTimeout) {
+		t.Fatalf("expected ErrReqTimeout with the response black-holed, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("timeout took %v; deadline ceiling is 150ms", elapsed)
+	}
+}
+
+// TestProxyCorruptResponses: corrupted server->client payloads must
+// surface as BAD_CHECKSUM verdicts (framing intact), not as garbage
+// data silently handed to the application.
+func TestProxyCorruptResponses(t *testing.T) {
+	_, px := proxied(t)
+	c, err := client.Dial(px.Addr(), "chaos-client", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.PageOut(1, mkPage(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	px.CorruptResponses(1)
+	_, err = c.PageIn(1)
+	var se *wire.StatusError
+	if !errors.As(err, &se) || se.Status != wire.StatusBadChecksum {
+		t.Fatalf("expected BAD_CHECKSUM from corrupted response, got %v", err)
+	}
+
+	// The connection survived the corrupt frame: lifting the fault,
+	// the very same conn serves the page intact.
+	px.CorruptResponses(0)
+	got, err := c.PageIn(1)
+	if err != nil || got.Checksum() != mkPage(1).Checksum() {
+		t.Fatalf("pagein after lifting corruption: %v", err)
 	}
 }
 

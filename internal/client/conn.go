@@ -13,6 +13,7 @@ package client
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -30,6 +31,11 @@ type Conn struct {
 	conn net.Conn
 	addr string
 
+	// dl bounds every round trip with an adaptive deadline derived
+	// from the RTT estimator (see Deadlines). Set before first use;
+	// immutable afterwards.
+	dl Deadlines
+
 	// pressured is latched when any ack arrives with FlagPressure set;
 	// the pager polls and clears it to drive migration.
 	pressureMu sync.Mutex
@@ -44,18 +50,75 @@ type Conn struct {
 	// (HELLO_ACK and LOAD_ACK carry it).
 	serverFree uint32
 
-	// rttNanos is an EWMA of request round-trip time. The paper's §5
-	// network-load adaptation ("measuring the time it takes to
-	// satisfy a request and using a threshold") and its heterogeneous-
-	// network placement both key off this.
+	// rttNanos is an EWMA of request round-trip time (srtt). The
+	// paper's §5 network-load adaptation ("measuring the time it takes
+	// to satisfy a request and using a threshold") and its
+	// heterogeneous-network placement both key off this.
 	rttNanos atomic.Int64
+	// rttvarNanos is the smoothed mean RTT deviation (Jacobson): the
+	// request deadline is srtt + 4·rttvar, clamped and padded per byte.
+	rttvarNanos atomic.Int64
 }
 
 // rttAlpha is the EWMA weight of a new sample (1/8, classic TCP).
 const rttAlpha = 8
 
+// rttBeta is the deviation-EWMA weight of a new sample (1/4, classic
+// TCP/Jacobson).
+const rttBeta = 4
+
 // DialTimeout is how long Dial waits for TCP establishment.
 const DialTimeout = 5 * time.Second
+
+// Deadlines parametrizes the adaptive per-request deadline: every
+// round trip is bounded by
+//
+//	clamp(srtt + 4·rttvar, Floor, Ceil) + PerByte·payloadBytes
+//
+// so a wedged server (TCP alive, process black-holed) turns into a
+// bounded timeout error instead of an indefinitely hung page fault.
+// The per-byte allowance keeps large transfers (8 KB pages, pipelined
+// batches) from being strangled by an estimate learned on small
+// requests. Before the first sample the deadline is Ceil.
+type Deadlines struct {
+	// Floor is the minimum deadline; it absorbs scheduler noise and
+	// GC pauses that the EWMA has not seen. Default 50ms.
+	Floor time.Duration
+	// Ceil caps the adaptive deadline (and is the whole deadline while
+	// the connection has no RTT estimate yet). Default 5s.
+	Ceil time.Duration
+	// PerByte is added per payload byte on top of the clamped
+	// estimate. Default 1µs (≈8ms per 8 KB page, a 1996-class link).
+	PerByte time.Duration
+}
+
+// DefaultDeadlines returns the default deadline parameters.
+func DefaultDeadlines() Deadlines {
+	return Deadlines{Floor: 50 * time.Millisecond, Ceil: 5 * time.Second, PerByte: time.Microsecond}
+}
+
+func (d Deadlines) withDefaults() Deadlines {
+	def := DefaultDeadlines()
+	if d.Floor <= 0 {
+		d.Floor = def.Floor
+	}
+	if d.Ceil <= 0 {
+		d.Ceil = def.Ceil
+	}
+	if d.Ceil < d.Floor {
+		d.Ceil = d.Floor
+	}
+	if d.PerByte <= 0 {
+		d.PerByte = def.PerByte
+	}
+	return d
+}
+
+// ErrReqTimeout marks a round trip that missed its adaptive deadline.
+// The connection is poisoned (a late ack would desynchronize the
+// framing); callers must discard it. errors.Is(err, ErrReqTimeout)
+// identifies the case.
+var ErrReqTimeout = errors.New("client: request deadline exceeded")
 
 // Dial connects to a server, performs the HELLO handshake as
 // clientName with the given auth token, and returns the ready Conn.
@@ -67,11 +130,17 @@ func Dial(addr, clientName, token string) (*Conn, error) {
 // (the heartbeat prober uses the detector's probe timeout here, so a
 // black-holed re-dial cannot outlive the probe deadline).
 func DialWithTimeout(addr, clientName, token string, timeout time.Duration) (*Conn, error) {
+	return DialWithDeadlines(addr, clientName, token, timeout, DefaultDeadlines())
+}
+
+// DialWithDeadlines is DialWithTimeout with explicit request-deadline
+// parameters (the pager threads its configured floor/ceiling here).
+func DialWithDeadlines(addr, clientName, token string, timeout time.Duration, dl Deadlines) (*Conn, error) {
 	nc, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
 	}
-	c := &Conn{conn: nc, addr: addr}
+	c := &Conn{conn: nc, addr: addr, dl: dl.withDefaults()}
 	hello := &wire.Msg{Type: wire.THello, Host: clientName, Data: []byte(token)}
 	ack, err := c.roundTrip(hello)
 	if err != nil {
@@ -92,25 +161,90 @@ func (c *Conn) Addr() string { return c.addr }
 // Close tears the connection down without the BYE exchange.
 func (c *Conn) Close() error { return c.conn.Close() }
 
-// roundTrip sends req and reads one ack, latching pressure advisories
-// and folding the measured service time into the RTT estimate.
+// reqPayloadBytes estimates the wire payload a request moves in each
+// direction: its own data plus the expected response data (a PAGEIN
+// ack carries a full page back).
+func reqPayloadBytes(req *wire.Msg) int {
+	n := len(req.Data)
+	if req.Type == wire.TPageIn {
+		n += page.Size
+	}
+	return n
+}
+
+// requestDeadline computes the adaptive bound for a round trip moving
+// the given payload bytes: clamp(srtt + 4·rttvar, floor, ceil) plus
+// the per-byte allowance. With no RTT estimate yet, the ceiling.
+func (c *Conn) requestDeadline(payloadBytes int) time.Duration {
+	srtt := c.rttNanos.Load()
+	if srtt == 0 {
+		return c.dl.Ceil + time.Duration(payloadBytes)*c.dl.PerByte
+	}
+	d := time.Duration(srtt + 4*c.rttvarNanos.Load())
+	if d < c.dl.Floor {
+		d = c.dl.Floor
+	}
+	if d > c.dl.Ceil {
+		d = c.dl.Ceil
+	}
+	return d + time.Duration(payloadBytes)*c.dl.PerByte
+}
+
+// RequestDeadline is the adaptive deadline the connection would apply
+// to a round trip moving payloadBytes (diagnostics: rmpctl, Survey).
+func (c *Conn) RequestDeadline(payloadBytes int) time.Duration {
+	return c.requestDeadline(payloadBytes)
+}
+
+// observeRTT folds one round-trip sample into the Jacobson
+// srtt/rttvar estimators.
+func (c *Conn) observeRTT(sample int64) {
+	old := c.rttNanos.Load()
+	if old == 0 {
+		c.rttNanos.Store(sample)
+		c.rttvarNanos.Store(sample / 2)
+		return
+	}
+	dev := sample - old
+	if dev < 0 {
+		dev = -dev
+	}
+	oldVar := c.rttvarNanos.Load()
+	c.rttvarNanos.Store(oldVar + (dev-oldVar)/rttBeta)
+	c.rttNanos.Store(old + (sample-old)/rttAlpha)
+}
+
+// timeoutErr classifies an I/O failure: a miss of the adaptive
+// deadline is wrapped in ErrReqTimeout so the retry layer can count
+// it; everything else passes through.
+func timeoutErr(err error, addr string, d time.Duration) error {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return fmt.Errorf("%w: no ack from %s within %v", ErrReqTimeout, addr, d)
+	}
+	return err
+}
+
+// roundTrip sends req and reads one ack under the adaptive deadline,
+// latching pressure advisories and folding the measured service time
+// into the RTT estimate. A deadline miss poisons the connection (a
+// late ack would desynchronize the request/response framing) — the
+// caller must discard the Conn after any error.
 func (c *Conn) roundTrip(req *wire.Msg) (*wire.Msg, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	d := c.requestDeadline(reqPayloadBytes(req))
+	c.conn.SetDeadline(time.Now().Add(d))
+	defer c.conn.SetDeadline(time.Time{})
 	start := time.Now()
 	if err := wire.Encode(c.conn, req); err != nil {
-		return nil, err
+		return nil, timeoutErr(err, c.addr, d)
 	}
 	ack, err := wire.Decode(c.conn)
 	if err != nil {
-		return nil, err
+		return nil, timeoutErr(err, c.addr, d)
 	}
-	sample := time.Since(start).Nanoseconds()
-	if old := c.rttNanos.Load(); old == 0 {
-		c.rttNanos.Store(sample)
-	} else {
-		c.rttNanos.Store(old + (sample-old)/rttAlpha)
-	}
+	c.observeRTT(time.Since(start).Nanoseconds())
 	if ack.Type != req.Type.Ack() {
 		return nil, fmt.Errorf("client: got %v in reply to %v", ack.Type, req.Type)
 	}
@@ -136,6 +270,10 @@ func (c *Conn) latchFlags(flags uint8) {
 // RTT returns the smoothed request round-trip estimate (0 before the
 // first completed request).
 func (c *Conn) RTT() time.Duration { return time.Duration(c.rttNanos.Load()) }
+
+// RTTVar returns the smoothed mean deviation of the round-trip
+// estimate (0 before the first completed request).
+func (c *Conn) RTTVar() time.Duration { return time.Duration(c.rttvarNanos.Load()) }
 
 // Stat fetches the server's state snapshot.
 func (c *Conn) Stat() (wire.StatInfo, error) {
@@ -237,18 +375,23 @@ func (c *Conn) PageOutBatch(keys []uint64, pages []page.Buf) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// The whole batch shares one deadline: the per-request estimate
+	// plus the per-byte allowance over every page in flight.
+	d := c.requestDeadline(len(keys) * page.Size)
+	c.conn.SetDeadline(time.Now().Add(d))
+	defer c.conn.SetDeadline(time.Time{})
 	start := time.Now()
 	for i, key := range keys {
 		req := (&wire.Msg{Type: wire.TPageOut, Key: key, Data: pages[i]}).WithChecksum()
 		if err := wire.Encode(c.conn, req); err != nil {
-			return err
+			return timeoutErr(err, c.addr, d)
 		}
 	}
 	var firstErr error
 	for range keys {
 		ack, err := wire.Decode(c.conn)
 		if err != nil {
-			return err // stream broken; cannot drain further
+			return timeoutErr(err, c.addr, d) // stream broken; cannot drain further
 		}
 		c.latchFlags(ack.Flags)
 		if e := ack.Status.Err(); e != nil && firstErr == nil {
@@ -256,12 +399,7 @@ func (c *Conn) PageOutBatch(keys []uint64, pages []page.Buf) error {
 		}
 	}
 	// One batch = one latency sample per page on average.
-	sample := time.Since(start).Nanoseconds() / int64(len(keys))
-	if old := c.rttNanos.Load(); old == 0 {
-		c.rttNanos.Store(sample)
-	} else {
-		c.rttNanos.Store(old + (sample-old)/rttAlpha)
-	}
+	c.observeRTT(time.Since(start).Nanoseconds() / int64(len(keys)))
 	return firstErr
 }
 

@@ -118,6 +118,31 @@ type Config struct {
 	WatchRegistry string
 	// WatchEvery is the registry poll interval (default 2s).
 	WatchEvery time.Duration
+
+	// ReqTimeout caps the adaptive per-request deadline (the ceiling
+	// of srtt + 4·rttvar, and the deadline used before the first RTT
+	// sample). Default 5s.
+	ReqTimeout time.Duration
+	// ReqTimeoutFloor is the lower bound of the adaptive deadline, so
+	// a streak of fast round trips cannot shrink it into false
+	// timeouts. Default 50ms.
+	ReqTimeoutFloor time.Duration
+	// RetryBudget bounds the total time one request may spend on a
+	// single server across retries, backoffs, and reconnects before
+	// the pager degrades (reconstructing reads through the redundancy
+	// policy, sending writes to the local swap store). Default 2s.
+	RetryBudget time.Duration
+	// RetryBaseDelay and RetryMaxDelay shape the exponential backoff
+	// between retries (jittered doubling from base, capped at max).
+	// Defaults 5ms and 200ms.
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
+	// BreakerThreshold is how many consecutive request timeouts open a
+	// server's circuit breaker (default 4); BreakerCooldown is how
+	// long an open breaker waits before half-opening for a probe
+	// (default 1s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
 }
 
 // Stats counts pager activity.
@@ -146,6 +171,13 @@ type Stats struct {
 	// the completion of its re-protection pass — the time the data
 	// spent at reduced redundancy, which dominates loss probability.
 	Exposure time.Duration
+
+	// Bounded-data-path counters (retry layer, see retry.go).
+	Timeouts          uint64 // requests that missed their adaptive deadline
+	Retries           uint64 // request re-issues (after backoff)
+	BreakerOpens      uint64 // closed→open circuit-breaker transitions
+	DeadlineFallbacks uint64 // retry budgets exhausted; caller degraded
+	ChecksumFaults    uint64 // BAD_CHECKSUM verdicts handled as transient
 }
 
 // ErrPageLost is returned by PageIn when a page is unrecoverable
@@ -171,6 +203,9 @@ type remoteServer struct {
 	// draining is set when the server asked to leave gracefully; it
 	// takes no new placements and its pages are migrated out.
 	draining bool
+	// breaker fail-fasts requests once the server keeps timing out;
+	// its transitions run under p.mu (see breaker.go / retry.go).
+	breaker breaker
 	// everConnected distinguishes "never connected" from "died":
 	// false with diedCause set means the initial dial failed.
 	everConnected bool
@@ -271,8 +306,8 @@ func New(cfg Config) (*Pager, error) {
 		rebuildPending: make(map[int]time.Time),
 	}
 	for _, addr := range cfg.Servers {
-		rs := &remoteServer{addr: addr}
-		if conn, err := Dial(addr, cfg.ClientName, cfg.AuthToken); err == nil {
+		rs := &remoteServer{addr: addr, breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)}
+		if conn, err := DialWithDeadlines(addr, cfg.ClientName, cfg.AuthToken, DialTimeout, p.deadlines()); err == nil {
 			rs.conn = conn
 			rs.alive = true
 			rs.everConnected = true
@@ -436,7 +471,16 @@ type ServerInfo struct {
 	Suspect   bool // heartbeats missing, death not yet confirmed
 	Draining  bool // asked to leave; pages being migrated out
 	RTT       time.Duration
-	Stat      wire.StatInfo // zero when the server is unreachable
+	// RTTVar and ReqDeadline expose the adaptive-timeout state: the
+	// Jacobson variance estimate and the deadline the next page-sized
+	// request would get (srtt + 4·rttvar + per-byte allowance, clamped).
+	RTTVar      time.Duration
+	ReqDeadline time.Duration
+	// Breaker is the circuit-breaker state: closed, open, or half-open.
+	// BreakerFails is the current run of consecutive timeouts.
+	Breaker      string
+	BreakerFails int
+	Stat         wire.StatInfo // zero when the server is unreachable
 	// EverConnected false with DiedCause set means the server never
 	// answered at all (bad address, never started); true means it was
 	// up and died at DiedAt.
@@ -455,6 +499,7 @@ func (p *Pager) Survey() []ServerInfo {
 		info := ServerInfo{
 			Addr: rs.addr, Alive: rs.alive, Pressured: rs.pressured,
 			Suspect: rs.suspect, Draining: rs.draining,
+			Breaker: rs.breaker.describe(time.Now()), BreakerFails: rs.breaker.failures,
 			EverConnected: rs.everConnected, DiedAt: rs.diedAt,
 		}
 		if rs.diedCause != nil {
@@ -462,14 +507,25 @@ func (p *Pager) Survey() []ServerInfo {
 		}
 		if rs.alive {
 			info.RTT = rs.conn.RTT()
-			st, err := rs.conn.Stat()
-			if err != nil {
+			info.RTTVar = rs.conn.RTTVar()
+			info.ReqDeadline = rs.conn.RequestDeadline(page.Size)
+			var st wire.StatInfo
+			err := p.withConn(i, true, func(c *Conn) error {
+				var serr error
+				st, serr = c.Stat()
+				return serr
+			})
+			switch {
+			case err == nil:
+				info.Stat = st
+			case errors.Is(err, ErrBreakerOpen):
+				// The breaker is refusing requests but the server is not
+				// confirmed dead; report the view without a fresh Stat.
+			case isConnError(err):
 				p.serverDied(i, err)
 				info.Alive = false
 				info.DiedAt = rs.diedAt
 				info.DiedCause = rs.diedCause.Error()
-			} else {
-				info.Stat = st
 			}
 		}
 		out = append(out, info)
@@ -605,11 +661,20 @@ func (p *Pager) pickFrom(allowed []int, exclude ...int) int {
 }
 
 // topUp tries to reserve another chunk of swap space on server i.
+// ALLOC replay after a lost ack over-grants on the server side only
+// (reclaimed at BYE), so the request is treated as idempotent.
 func (p *Pager) topUp(i int) {
 	rs := p.servers[i]
-	n, err := rs.conn.Alloc(allocChunk)
+	var n int
+	err := p.withConn(i, true, func(c *Conn) error {
+		var aerr error
+		n, aerr = c.Alloc(allocChunk)
+		return aerr
+	})
 	if err != nil {
-		p.serverDied(i, err)
+		if isConnError(err) {
+			p.serverDied(i, err)
+		}
 		return
 	}
 	rs.granted += n
@@ -619,14 +684,17 @@ func (p *Pager) topUp(i int) {
 }
 
 // sendPage stores data under key on server srv, accounting transfers
-// and detecting death.
+// and detecting death. PAGEOUT is keyed by block, so the retry layer
+// may replay it safely: a duplicate lands the same bytes under the
+// same key.
 func (p *Pager) sendPage(srv int, key uint64, data page.Buf, fresh bool) error {
 	rs := p.servers[srv]
-	if !rs.alive {
-		return fmt.Errorf("client: server %s is down", rs.addr)
-	}
-	if err := rs.conn.PageOut(key, data); err != nil {
-		p.serverDied(srv, err)
+	if err := p.withConn(srv, true, func(c *Conn) error {
+		return c.PageOut(key, data)
+	}); err != nil {
+		if isConnError(err) {
+			p.serverDied(srv, err)
+		}
 		return err
 	}
 	p.stats.NetTransfers++
@@ -672,8 +740,21 @@ func (p *Pager) sendPages(reqs []sendReq) []error {
 		if !rs.alive {
 			continue
 		}
+		if errs[i] != nil && isConnError(errs[i]) {
+			// The concurrent attempt ran outside the retry layer; give
+			// the transfer its bounded retries now, serially. The conn
+			// is poisoned (a late response could alias a replay), so it
+			// is closed first and withConn re-dials.
+			p.noteTransportFailure(rs, errs[i])
+			rs.conn.Close()
+			errs[i] = p.withConn(r.srv, true, func(c *Conn) error {
+				return c.PageOut(r.key, r.data)
+			})
+		}
 		if errs[i] != nil {
-			p.serverDied(r.srv, errs[i])
+			if isConnError(errs[i]) {
+				p.serverDied(r.srv, errs[i])
+			}
 			continue
 		}
 		p.stats.NetTransfers++
@@ -687,13 +768,16 @@ func (p *Pager) sendPages(reqs []sendReq) []error {
 	return errs
 }
 
-// fetchPage reads the page stored under key on server srv.
+// fetchPage reads the page stored under key on server srv. PAGEIN is
+// read-only, so the retry layer replays it freely.
 func (p *Pager) fetchPage(srv int, key uint64) (page.Buf, error) {
 	rs := p.servers[srv]
-	if !rs.alive {
-		return nil, fmt.Errorf("client: server %s is down", rs.addr)
-	}
-	data, err := rs.conn.PageIn(key)
+	var data page.Buf
+	err := p.withConn(srv, true, func(c *Conn) error {
+		var ferr error
+		data, ferr = c.PageIn(key)
+		return ferr
+	})
 	if err != nil {
 		if isConnError(err) {
 			p.serverDied(srv, err)
@@ -708,14 +792,27 @@ func (p *Pager) fetchPage(srv int, key uint64) (page.Buf, error) {
 }
 
 // freeSlots releases keys on server srv; failures on dead servers are
-// ignored (their memory is gone anyway).
+// ignored (their memory is gone anyway). A replayed FREE whose first
+// ack was lost answers NOT_FOUND — that still means "freed", so the
+// status is tolerated.
 func (p *Pager) freeSlots(srv int, keys ...uint64) {
 	rs := p.servers[srv]
 	if !rs.alive || len(keys) == 0 {
 		return
 	}
-	if err := rs.conn.Free(keys...); err != nil {
-		p.serverDied(srv, err)
+	err := p.withConn(srv, true, func(c *Conn) error {
+		return c.Free(keys...)
+	})
+	if err != nil {
+		var se *wire.StatusError
+		if errors.As(err, &se) && se.Status == wire.StatusNotFound {
+			err = nil
+		}
+	}
+	if err != nil {
+		if isConnError(err) {
+			p.serverDied(srv, err)
+		}
 		return
 	}
 	rs.used -= len(keys)
@@ -863,7 +960,13 @@ func (p *Pager) Rebalance() error {
 			}
 			continue
 		}
-		if _, err := rs.conn.Load(); err != nil {
+		if err := p.withConn(i, true, func(c *Conn) error {
+			_, lerr := c.Load()
+			return lerr
+		}); err != nil {
+			if errors.Is(err, ErrBreakerOpen) {
+				continue // fail fast; the breaker's probe decides later
+			}
 			p.serverDied(i, err)
 			continue
 		}

@@ -44,7 +44,11 @@ func (h *hbProber) Probe(addr string, timeout time.Duration) (membership.Ack, er
 	c := h.conns[addr]
 	h.mu.Unlock()
 	if c == nil {
-		nc, err := DialWithTimeout(addr, h.clientName, h.token, timeout)
+		// The HELLO exchange must respect the probe timeout too: against
+		// a black-holed server the TCP connect succeeds and only the
+		// request deadline bounds the handshake.
+		nc, err := DialWithDeadlines(addr, h.clientName, h.token, timeout,
+			Deadlines{Floor: timeout, Ceil: timeout})
 		if err != nil {
 			return membership.Ack{}, err
 		}
@@ -213,7 +217,7 @@ func (p *Pager) AddServer(addr string) error {
 
 	// Dial outside p.mu: a slow join must not stall the data path.
 	// addMu keeps concurrent joins of the same address out.
-	conn, dialErr := DialWithTimeout(addr, p.cfg.ClientName, p.cfg.AuthToken, DialTimeout)
+	conn, dialErr := DialWithDeadlines(addr, p.cfg.ClientName, p.cfg.AuthToken, DialTimeout, p.deadlines())
 
 	p.mu.Lock()
 	if p.closed {
@@ -223,7 +227,8 @@ func (p *Pager) AddServer(addr string) error {
 		}
 		return errors.New("client: pager closed")
 	}
-	rs := &remoteServer{addr: addr, joinedAt: time.Now()}
+	rs := &remoteServer{addr: addr, joinedAt: time.Now(),
+		breaker: newBreaker(p.cfg.BreakerThreshold, p.cfg.BreakerCooldown)}
 	if dialErr == nil {
 		rs.conn = conn
 		rs.alive = true
@@ -256,11 +261,19 @@ func (p *Pager) reviveServer(srv int) bool {
 	if rs.alive || rs.draining {
 		return false
 	}
-	p.ensureRecovered(srv)
-	conn, err := Dial(rs.addr, p.cfg.ClientName, p.cfg.AuthToken)
-	if err != nil {
+	// A server whose breaker opened (it kept timing out) is readmitted
+	// only through the breaker's own schedule: wait out the cooldown,
+	// then let the re-dial + HELLO below act as the half-open probe.
+	if !rs.breaker.allow(time.Now()) {
 		return false
 	}
+	p.ensureRecovered(srv)
+	conn, err := DialWithDeadlines(rs.addr, p.cfg.ClientName, p.cfg.AuthToken, DialTimeout, p.deadlines())
+	if err != nil {
+		rs.breaker.failure(time.Now())
+		return false
+	}
+	rs.breaker.reset()
 	rs.conn = conn
 	rs.alive = true
 	rs.everConnected = true

@@ -91,22 +91,50 @@ func (m *mirrorPolicy) pageIn(id page.ID) (page.Buf, error) {
 		return nil, ErrNotPagedOut
 	}
 	// Try each replica; the first one wins. A failed fetch triggers
-	// the crash handler, which re-mirrors from the survivor.
-	for _, ref := range loc.replicas {
+	// the crash handler, which re-mirrors from the survivor. A replica
+	// that persistently fails checksum verification is remembered and
+	// repaired in place from whichever good copy is found.
+	var corrupt []slotRef
+	refs := append([]slotRef(nil), loc.replicas...)
+	for _, ref := range refs {
 		if !p.servers[ref.srv].alive {
 			continue
 		}
-		if data, err := p.fetchPage(ref.srv, ref.key); err == nil {
+		data, err := p.fetchPage(ref.srv, ref.key)
+		if err == nil {
+			m.repairReplicas(corrupt, data)
 			return data, nil
+		}
+		if isBadChecksum(err) {
+			corrupt = append(corrupt, ref)
 		}
 	}
 	if loc.onDisk {
-		return p.diskGet(id)
+		data, err := p.diskGet(id)
+		if err == nil {
+			m.repairReplicas(corrupt, data)
+		}
+		return data, err
 	}
 	if loc.lost {
 		return nil, fmt.Errorf("%w: %v", ErrPageLost, id)
 	}
 	return nil, fmt.Errorf("client: no replica of %v reachable", id)
+}
+
+// repairReplicas rewrites replicas whose reads failed checksum
+// verification with known-good contents, restoring the mirror without
+// surfacing the corruption to the faulting application.
+func (m *mirrorPolicy) repairReplicas(corrupt []slotRef, data page.Buf) {
+	p := m.p
+	for _, ref := range corrupt {
+		if !p.servers[ref.srv].alive {
+			continue
+		}
+		if err := p.sendPage(ref.srv, ref.key, data, false); err == nil {
+			p.stats.Rehomed++
+		}
+	}
 }
 
 func (m *mirrorPolicy) free(id page.ID) error {

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"errors"
 	"fmt"
 
 	"rmp/internal/page"
@@ -90,7 +91,12 @@ func (pp *parityPolicy) xorWrite(srv int, key uint64, data page.Buf, parityKey u
 	if !rs.alive {
 		return fmt.Errorf("client: server %s is down", rs.addr)
 	}
-	if err := rs.conn.XorWrite(key, data, pp.parityAddr(), parityKey); err != nil {
+	// XORWRITE is safe to replay: the home server stores the new
+	// contents and forwards old^new, so a duplicate of a completed
+	// write forwards a zero delta and the parity is unchanged.
+	if err := p.withConn(srv, true, func(c *Conn) error {
+		return c.XorWrite(key, data, pp.parityAddr(), parityKey)
+	}); err != nil {
 		if isConnError(err) {
 			p.serverDied(srv, err)
 		} else {
@@ -205,6 +211,24 @@ func (pp *parityPolicy) pageIn(id page.ID) (page.Buf, error) {
 		if err == nil {
 			return data, nil
 		}
+		// Persistent checksum failure: the transfer (or the stored
+		// copy) is corrupt but the server is up. Reconstruct through
+		// the parity group and rewrite the home copy in place — the
+		// reconstruction equals the stored contents, so the group's
+		// parity stays consistent.
+		if isBadChecksum(err) {
+			if g := pp.groups[home.slot]; g != nil {
+				if rec, rerr := pp.reconstruct(g, home.srv); rerr == nil {
+					p.stats.Recovered++
+					if p.servers[home.srv].alive {
+						if serr := p.sendPage(home.srv, home.key, rec, false); serr == nil {
+							p.stats.Rehomed++
+						}
+					}
+					return rec, nil
+				}
+			}
+		}
 		// Home crashed mid-fetch; handleCrash reconstructed and
 		// re-homed the page, so retry through the new home.
 		if home2, ok := pp.homes[id]; ok && home2 != home {
@@ -262,7 +286,11 @@ func (pp *parityPolicy) checkParityServer() {
 	if !rs.alive {
 		return
 	}
-	if _, err := rs.conn.Load(); err != nil {
+	err := p.withConn(pp.parityIdx, true, func(c *Conn) error {
+		_, lerr := c.Load()
+		return lerr
+	})
+	if err != nil && !errors.Is(err, ErrBreakerOpen) {
 		p.serverDied(pp.parityIdx, err)
 	}
 }
@@ -592,7 +620,12 @@ func (pp *parityPolicy) xorOutOfParity(g *parityGroup, data page.Buf) error {
 	if !rs.alive {
 		return fmt.Errorf("client: parity server %s is down", rs.addr)
 	}
-	if err := rs.conn.XorDelta(g.parityKey, data); err != nil {
+	// XORDELTA is NOT idempotent — a replay whose first attempt landed
+	// would fold the delta in twice and corrupt the parity — so it gets
+	// exactly one bounded attempt (withConn never replays it).
+	if err := p.withConn(pp.parityIdx, false, func(c *Conn) error {
+		return c.XorDelta(g.parityKey, data)
+	}); err != nil {
 		if isConnError(err) {
 			p.serverDied(pp.parityIdx, err)
 		}

@@ -182,6 +182,14 @@ func (pl *parityLogPolicy) pageIn(id page.ID) (page.Buf, error) {
 				return data, nil
 			}
 			if !isConnError(err) {
+				// Persistent checksum failure with the server up:
+				// reconstruct this one page through its group's parity
+				// and repair the stored copy in place.
+				if isBadChecksum(err) {
+					if rec, ok := pl.reconstructOne(id, ck); ok {
+						return rec, nil
+					}
+				}
 				return nil, err
 			}
 			continue // crash rebuild ran; retry through the new layout
@@ -195,6 +203,48 @@ func (pl *parityLogPolicy) pageIn(id page.ID) (page.Buf, error) {
 		return nil, ErrNotPagedOut
 	}
 	return nil, fmt.Errorf("client: pagein %v failed after crash recovery", id)
+}
+
+// reconstructOne rebuilds a single page whose read persistently fails
+// checksum verification, using its group's survivors (and the open
+// group's client-side buffer, for unsealed groups), then rewrites the
+// home slot in place. The reconstruction equals the stored contents,
+// so sealed parity stays valid. ok=false means the page has no
+// recoverable group state and the caller should surface the error.
+func (pl *parityLogPolicy) reconstructOne(id page.ID, ck parity.ColumnKey) (page.Buf, bool) {
+	p := pl.p
+	if ck.Column == parity.ParityColumn {
+		return nil, false
+	}
+	plan, err := pl.log.PlanRecovery(ck.Column)
+	if err != nil {
+		return nil, false
+	}
+	for _, lp := range plan.Lost {
+		if lp.Page != id {
+			continue
+		}
+		var pages []page.Buf
+		for _, sk := range lp.Survivors {
+			data, err := p.fetchPage(pl.srvForColumn(sk.Column), sk.Key)
+			if err != nil {
+				return nil, false
+			}
+			pages = append(pages, data)
+		}
+		rec, err := pl.log.Reconstruct(lp, pages)
+		if err != nil {
+			return nil, false
+		}
+		p.stats.Recovered++
+		if srv := pl.srvForColumn(ck.Column); p.servers[srv].alive {
+			if serr := p.sendPage(srv, ck.Key, rec, false); serr == nil {
+				p.stats.Rehomed++
+			}
+		}
+		return rec, true
+	}
+	return nil, false
 }
 
 func (pl *parityLogPolicy) free(id page.ID) error {

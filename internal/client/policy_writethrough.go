@@ -68,8 +68,23 @@ func (w *writeThroughPolicy) pageIn(id page.ID) (page.Buf, error) {
 		return nil, ErrNotPagedOut
 	}
 	if len(loc.replicas) == 1 && p.servers[loc.replicas[0].srv].alive {
-		if data, err := p.fetchPage(loc.replicas[0].srv, loc.replicas[0].key); err == nil {
+		ref := loc.replicas[0]
+		data, err := p.fetchPage(ref.srv, ref.key)
+		if err == nil {
 			return data, nil
+		}
+		// A corrupt remote read falls back to the authoritative disk
+		// copy, which also repairs the remote cache in place.
+		if isBadChecksum(err) && loc.onDisk {
+			data, derr := p.diskGet(id)
+			if derr == nil {
+				if p.servers[ref.srv].alive {
+					if serr := p.sendPage(ref.srv, ref.key, data, false); serr == nil {
+						p.stats.Rehomed++
+					}
+				}
+				return data, nil
+			}
 		}
 	}
 	return p.diskGet(id)

@@ -1,0 +1,240 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"rmp/internal/wire"
+)
+
+// --- backoff schedule ---------------------------------------------------
+
+func TestBackoffDelaySchedule(t *testing.T) {
+	base := 5 * time.Millisecond
+	cap := 200 * time.Millisecond
+	for attempt := 0; attempt <= 10; attempt++ {
+		d := base << uint(attempt)
+		if d > cap {
+			d = cap
+		}
+		lo := backoffDelay(attempt, base, cap, 0)
+		hi := backoffDelay(attempt, base, cap, 0.999999)
+		if lo != d/2 {
+			t.Errorf("attempt %d rnd=0: got %v, want exactly d/2 = %v", attempt, lo, d/2)
+		}
+		if hi < d/2 || hi > d {
+			t.Errorf("attempt %d rnd→1: got %v, want in [%v, %v]", attempt, hi, d/2, d)
+		}
+		// Equal jitter never collapses to zero: at least half the
+		// deterministic delay is always slept.
+		if lo <= 0 {
+			t.Errorf("attempt %d: non-positive delay %v", attempt, lo)
+		}
+	}
+}
+
+func TestBackoffDelayDoubles(t *testing.T) {
+	base := 5 * time.Millisecond
+	cap := time.Hour // out of the way
+	for attempt := 1; attempt < 8; attempt++ {
+		prev := backoffDelay(attempt-1, base, cap, 0)
+		cur := backoffDelay(attempt, base, cap, 0)
+		if cur != 2*prev {
+			t.Fatalf("attempt %d: %v is not double of %v", attempt, cur, prev)
+		}
+	}
+}
+
+func TestBackoffDelayCapAndOverflow(t *testing.T) {
+	base := 5 * time.Millisecond
+	cap := 200 * time.Millisecond
+	// Far past the cap, and far past any shift that could overflow.
+	for _, attempt := range []int{6, 10, 16, 63, 1 << 20} {
+		got := backoffDelay(attempt, base, cap, 0.999999)
+		if got < cap/2 || got > cap {
+			t.Errorf("attempt %d: got %v, want within [%v, %v]", attempt, got, cap/2, cap)
+		}
+	}
+}
+
+func TestBackoffDelayDefaults(t *testing.T) {
+	// Zero/negative knobs fall back to the package defaults.
+	got := backoffDelay(0, 0, 0, 0)
+	if got != defaultRetryBase/2 {
+		t.Errorf("zero knobs: got %v, want %v", got, defaultRetryBase/2)
+	}
+	// A cap below the base is raised to the base, not the other way
+	// around.
+	got = backoffDelay(4, 50*time.Millisecond, time.Millisecond, 0.999999)
+	if got > 50*time.Millisecond {
+		t.Errorf("cap<base: got %v, want <= base", got)
+	}
+}
+
+// --- budget -------------------------------------------------------------
+
+func TestSleepBackoffBudgetExhaustion(t *testing.T) {
+	p := &Pager{}
+	// Budget already in the past: no attempt may be admitted, and the
+	// call must not sleep for the backoff it cannot afford.
+	start := time.Now()
+	if p.sleepBackoff(5, time.Now().Add(-time.Millisecond)) {
+		t.Fatal("sleepBackoff admitted a retry past the budget")
+	}
+	if el := time.Since(start); el > 50*time.Millisecond {
+		t.Fatalf("sleepBackoff slept %v although the budget was exhausted", el)
+	}
+	// Generous budget: the retry is admitted after the jittered delay.
+	if !p.sleepBackoff(0, time.Now().Add(time.Second)) {
+		t.Fatal("sleepBackoff refused a retry well inside the budget")
+	}
+}
+
+// --- error classification ----------------------------------------------
+
+type fakeNetTimeout struct{ timeout bool }
+
+func (f fakeNetTimeout) Error() string   { return "fake net error" }
+func (f fakeNetTimeout) Timeout() bool   { return f.timeout }
+func (f fakeNetTimeout) Temporary() bool { return false }
+
+func TestIsTimeoutErr(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{ErrReqTimeout, true},
+		{fmt.Errorf("client: pagein: %w", ErrReqTimeout), true},
+		{fakeNetTimeout{timeout: true}, true},
+		{fmt.Errorf("dial: %w", fakeNetTimeout{timeout: true}), true},
+		{fakeNetTimeout{timeout: false}, false},
+		{io.EOF, false},
+		{errors.New("connection refused"), false},
+	}
+	for _, c := range cases {
+		if got := isTimeoutErr(c.err); got != c.want {
+			t.Errorf("isTimeoutErr(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestIsBadChecksum(t *testing.T) {
+	bad := &wire.StatusError{Status: wire.StatusBadChecksum}
+	if !isBadChecksum(bad) {
+		t.Error("bare StatusBadChecksum not recognized")
+	}
+	if !isBadChecksum(fmt.Errorf("client: pagein 7: %w", bad)) {
+		t.Error("wrapped StatusBadChecksum not recognized")
+	}
+	if isBadChecksum(&wire.StatusError{Status: wire.StatusNotFound}) {
+		t.Error("NOT_FOUND misclassified as checksum failure")
+	}
+	if isBadChecksum(io.EOF) {
+		t.Error("EOF misclassified as checksum failure")
+	}
+}
+
+// --- circuit breaker ----------------------------------------------------
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	now := time.Now()
+	b := newBreaker(3, time.Second)
+	if !b.allow(now) {
+		t.Fatal("fresh breaker must be closed")
+	}
+	if b.failure(now) {
+		t.Fatal("failure 1/3 must not open")
+	}
+	if b.failure(now) {
+		t.Fatal("failure 2/3 must not open")
+	}
+	if !b.failure(now) {
+		t.Fatal("failure 3/3 must report the closed->open transition")
+	}
+	if b.failure(now) {
+		t.Fatal("further failures must not re-report the opening")
+	}
+	if b.allow(now.Add(500 * time.Millisecond)) {
+		t.Fatal("open breaker admitted a request inside the cooldown")
+	}
+	if b.describe(now.Add(500*time.Millisecond)) != "open" {
+		t.Fatalf("describe = %q, want open", b.describe(now.Add(500*time.Millisecond)))
+	}
+}
+
+func TestBreakerSuccessResetsRun(t *testing.T) {
+	now := time.Now()
+	b := newBreaker(3, time.Second)
+	b.failure(now)
+	b.failure(now)
+	b.success()
+	// The run restarts: three more failures are needed to open.
+	if b.failure(now) || b.failure(now) {
+		t.Fatal("breaker opened before a fresh run of threshold failures")
+	}
+	if !b.failure(now) {
+		t.Fatal("breaker failed to open after a fresh run of threshold failures")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	now := time.Now()
+	b := newBreaker(1, time.Second)
+	if !b.failure(now) {
+		t.Fatal("threshold-1 breaker must open on the first failure")
+	}
+
+	// Cooldown elapsed: exactly one trial is admitted.
+	later := now.Add(time.Second)
+	if b.describe(later) != "half-open" {
+		t.Fatalf("describe after cooldown = %q, want half-open", b.describe(later))
+	}
+	if !b.allow(later) {
+		t.Fatal("cooled-down breaker must admit the trial probe")
+	}
+
+	// Trial fails: back to open, cooldown restarts from the failure.
+	if b.failure(later) {
+		t.Fatal("a failed trial is a re-opening, not a fresh closed->open transition")
+	}
+	if b.allow(later.Add(500 * time.Millisecond)) {
+		t.Fatal("re-opened breaker admitted a request inside the restarted cooldown")
+	}
+
+	// Second trial succeeds: closed, clean slate.
+	again := later.Add(time.Second)
+	if !b.allow(again) {
+		t.Fatal("second trial refused")
+	}
+	b.success()
+	if b.state != breakerClosed || b.failures != 0 {
+		t.Fatalf("after successful trial: state=%v failures=%d, want closed/0", b.state, b.failures)
+	}
+	if !b.allow(again) {
+		t.Fatal("closed breaker refused a request")
+	}
+}
+
+func TestBreakerReset(t *testing.T) {
+	now := time.Now()
+	b := newBreaker(1, time.Hour)
+	b.failure(now)
+	if b.allow(now) {
+		t.Fatal("open breaker with hour-long cooldown admitted a request")
+	}
+	b.reset()
+	if !b.allow(now) || b.failures != 0 {
+		t.Fatal("reset did not return the breaker to a clean closed state")
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	b := newBreaker(0, 0)
+	if b.threshold != defaultBreakerThreshold || b.cooldown != defaultBreakerCooldown {
+		t.Fatalf("defaults: got threshold=%d cooldown=%v", b.threshold, b.cooldown)
+	}
+}

@@ -173,6 +173,37 @@ func (d *Detector) Track(addr string) {
 	d.members[addr] = &member{addr: addr, state: StateSuspect, since: time.Now()}
 }
 
+// Suspect reports out-of-band evidence that addr is failing — e.g.
+// the pager's circuit breaker opening after consecutive data-path
+// timeouts. An alive member transitions to suspect immediately
+// instead of waiting for the next heartbeat miss; the regular probe
+// schedule then confirms the death or clears the suspicion. The
+// report counts as one miss, so confirmation needs Misses-1 further
+// failed probes. No-op for members already suspect or dead.
+func (d *Detector) Suspect(addr string, cause error) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	m, ok := d.members[addr]
+	if !ok || m.state != StateAlive {
+		d.mu.Unlock()
+		return
+	}
+	m.state = StateSuspect
+	m.since = time.Now()
+	if m.misses == 0 {
+		m.misses = 1
+	}
+	m.cause = cause
+	ev := Event{Addr: addr, From: StateAlive, To: StateSuspect, Cause: cause}
+	d.mu.Unlock()
+	if d.onEvent != nil {
+		d.onEvent(ev)
+	}
+}
+
 // Forget removes addr from the probed set (a member that drained away
 // for good).
 func (d *Detector) Forget(addr string) {

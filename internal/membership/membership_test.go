@@ -350,3 +350,88 @@ func TestReprotectorClose(t *testing.T) {
 	// Closing twice is fine.
 	r.Close()
 }
+
+// TestDetectorOutOfBandSuspect: the pager's circuit breaker reports a
+// server suspect without waiting for a heartbeat miss; the regular
+// probe schedule then clears the suspicion (here) or confirms death.
+func TestDetectorOutOfBandSuspect(t *testing.T) {
+	pr := newFakeProber()
+	var log eventLog
+	d := NewDetector(testConfig(), pr, log.add, nil)
+	defer d.Close()
+
+	d.Track("a")
+	waitFor(t, "a alive", func() bool {
+		mi, ok := d.Lookup("a")
+		return ok && mi.State == StateAlive
+	})
+
+	cause := errors.New("circuit breaker open")
+	d.Suspect("a", cause)
+	mi, ok := d.Lookup("a")
+	if !ok {
+		t.Fatal("a vanished")
+	}
+	if mi.State != StateSuspect {
+		t.Fatalf("state after Suspect = %v, want suspect", mi.State)
+	}
+	if mi.Misses < 1 {
+		t.Fatalf("misses after Suspect = %d, want >= 1 (report counts as a miss)", mi.Misses)
+	}
+	var reported bool
+	for _, e := range log.all() {
+		if e.Addr == "a" && e.From == StateAlive && e.To == StateSuspect && errors.Is(e.Cause, cause) {
+			reported = true
+		}
+	}
+	if !reported {
+		t.Fatal("no alive->suspect event dispatched for the out-of-band report")
+	}
+
+	// Probes keep succeeding, so the suspicion clears on its own.
+	waitFor(t, "a alive again", func() bool {
+		mi, ok := d.Lookup("a")
+		return ok && mi.State == StateAlive
+	})
+
+	// Reports about unknown members are ignored.
+	d.Suspect("unknown", cause)
+	if _, ok := d.Lookup("unknown"); ok {
+		t.Fatal("Suspect must not create members")
+	}
+}
+
+// TestDetectorSuspectAcceleratesDeath: an out-of-band report counts as
+// one miss, so a wedged server is confirmed dead after Misses-1
+// further failed probes — strictly sooner than by heartbeats alone.
+func TestDetectorSuspectAcceleratesDeath(t *testing.T) {
+	pr := newFakeProber()
+	var log eventLog
+	d := NewDetector(testConfig(), pr, log.add, nil)
+	defer d.Close()
+
+	d.Track("a")
+	waitFor(t, "a alive", func() bool {
+		mi, ok := d.Lookup("a")
+		return ok && mi.State == StateAlive
+	})
+
+	pr.set("a", errors.New("black hole"))
+	d.Suspect("a", errors.New("circuit breaker open"))
+	waitFor(t, "a dead", func() bool {
+		mi, ok := d.Lookup("a")
+		return ok && mi.State == StateDead
+	})
+
+	// A suspect member must not re-fire the alive->suspect edge when
+	// the next probe also misses.
+	transitions := 0
+	for _, e := range log.all() {
+		if e.Addr == "a" && e.From == StateAlive && e.To == StateSuspect {
+			transitions++
+		}
+	}
+	if transitions != 1 {
+		t.Fatalf("alive->suspect fired %d times, want exactly 1", transitions)
+	}
+}
