@@ -1,0 +1,41 @@
+GO ?= go
+
+.PHONY: all build test race vet lint fuzz-smoke clean
+
+all: build vet lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -timeout 30m ./...
+
+# vet: the stock toolchain vet pass. Kept separate from lint so CI can
+# report them as distinct gates.
+vet:
+	$(GO) vet ./...
+
+# lint: the project-specific rmpvet multichecker, plus staticcheck when
+# it is on PATH. staticcheck is optional tooling — we never install it
+# here, we only use it if the environment already provides it — but
+# rmpvet is a hard gate and runs everywhere the go toolchain runs.
+lint:
+	$(GO) run ./cmd/rmpvet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "staticcheck ./..."; \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (rmpvet still enforced)"; \
+	fi
+
+# fuzz-smoke: a short deterministic pass over every fuzz target's seed
+# corpus plus a brief mutation run, mirroring the CI fuzz step.
+fuzz-smoke:
+	$(GO) test ./internal/wire/ -run 'Fuzz' -fuzz FuzzDecode -fuzztime 20s
+	$(GO) test ./internal/wire/ -run 'Fuzz' -fuzz FuzzRoundTrip -fuzztime 20s
+
+clean:
+	$(GO) clean ./...

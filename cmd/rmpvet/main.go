@@ -1,0 +1,90 @@
+// Command rmpvet runs the repository's project-specific static
+// analyzers over Go package patterns and exits non-zero when any
+// invariant is violated. It is the mechanical enforcement of the
+// pager's concurrency and protocol rules:
+//
+//	lockcheck  — "guarded by" fields only touched under their mutex;
+//	             no undeadlined network I/O while a lock is held
+//	wireswitch — switches over wire.Type are exhaustive or defaulted
+//	errwrap    — errors cross boundaries with %w, never %v/%s
+//	lifecycle  — looping goroutines always have a cancellation path
+//
+// Usage:
+//
+//	rmpvet [-strict-lifecycle] [packages]
+//
+// Patterns default to ./... relative to the current directory.
+// Diagnostics print in the go vet file:line:col style so editors and
+// CI annotate them directly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rmp/internal/analysis"
+	"rmp/internal/analysis/errwrap"
+	"rmp/internal/analysis/lifecycle"
+	"rmp/internal/analysis/load"
+	"rmp/internal/analysis/lockcheck"
+	"rmp/internal/analysis/wireswitch"
+)
+
+func main() {
+	strictLifecycle := flag.Bool("strict-lifecycle", false,
+		"additionally require a deferred recover handler in every goroutine")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: rmpvet [flags] [packages]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := []*analysis.Analyzer{
+		lockcheck.Analyzer,
+		wireswitch.Analyzer,
+		errwrap.Analyzer,
+		lifecycle.NewAnalyzer(*strictLifecycle),
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rmpvet:", err)
+		os.Exit(2)
+	}
+
+	pkgs, fset, err := load.Packages(dir, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rmpvet:", err)
+		os.Exit(2)
+	}
+	if len(pkgs) == 0 {
+		fmt.Fprintln(os.Stderr, "rmpvet: no packages matched", patterns)
+		os.Exit(2)
+	}
+
+	exit := 0
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(analyzers, fset, pkg.Files, pkg.Pkg, pkg.Info)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rmpvet:", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}

@@ -1,0 +1,295 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against "// want" comments — a stdlib-only
+// miniature of golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixture layout, relative to the analyzer's package directory:
+//
+//	testdata/src/<pkg>/*.go
+//
+// A fixture file marks expected diagnostics on the line they occur:
+//
+//	p.count++ // want "without holding the lock"
+//
+// The quoted string is a regular expression matched against the
+// diagnostic message. Every want must be matched by a diagnostic on
+// its line, and every diagnostic must be claimed by a want; anything
+// else fails the test. Fixture packages may import other fixture
+// packages by bare name (e.g. a fake "wire") and standard-library
+// packages, which are resolved from the real build cache.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"testing"
+
+	"rmp/internal/analysis"
+	"rmp/internal/analysis/load"
+)
+
+// Run analyzes the fixture package at testdata/src/<pkg> under dir
+// and compares diagnostics with the fixture's want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	root := filepath.Join(dir, "testdata", "src")
+
+	target, deps, err := loadFixtures(fset, root, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	imp, err := newFixtureImporter(fset, root, deps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := load.NewInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkg, fset, target, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", pkg, err)
+	}
+
+	diags, err := analysis.Run([]*analysis.Analyzer{a}, fset, target, tpkg, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wants := collectWants(t, fset, target)
+	checkDiagnostics(t, diags, wants)
+}
+
+// loadFixtures parses the target fixture package and records which
+// sibling fixture packages it imports.
+func loadFixtures(fset *token.FileSet, root, pkg string) (files []*ast.File, deps []string, err error) {
+	dir := filepath.Join(root, pkg)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fixture package %s: %w", pkg, err)
+	}
+	seen := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, err
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			path, _ := strconv.Unquote(imp.Path.Value)
+			if !seen[path] {
+				seen[path] = true
+				if _, statErr := os.Stat(filepath.Join(root, path)); statErr == nil {
+					deps = append(deps, path)
+				}
+			}
+		}
+	}
+	if len(files) == 0 {
+		return nil, nil, fmt.Errorf("fixture package %s has no Go files", pkg)
+	}
+	sort.Strings(deps)
+	return files, deps, nil
+}
+
+// fixtureImporter resolves sibling fixture packages from source and
+// everything else from the real build cache's export data.
+type fixtureImporter struct {
+	fset  *token.FileSet
+	root  string
+	local map[string]*types.Package
+	std   types.Importer
+}
+
+func newFixtureImporter(fset *token.FileSet, root string, deps []string) (*fixtureImporter, error) {
+	i := &fixtureImporter{fset: fset, root: root, local: map[string]*types.Package{}}
+
+	// Pre-check the sibling fixtures so their own stdlib imports are
+	// known before building the fallback importer.
+	var stdPaths []string
+	collect := func(files []*ast.File) {
+		for _, f := range files {
+			for _, imp := range f.Imports {
+				p, _ := strconv.Unquote(imp.Path.Value)
+				if _, err := os.Stat(filepath.Join(root, p)); err != nil {
+					stdPaths = append(stdPaths, p)
+				}
+			}
+		}
+	}
+	parsed := map[string][]*ast.File{}
+	for _, dep := range deps {
+		files, _, err := loadFixtures(fset, root, dep)
+		if err != nil {
+			return nil, err
+		}
+		parsed[dep] = files
+		collect(files)
+	}
+
+	// The target package's stdlib imports also need export data; the
+	// cheap superset is "everything the fixtures could use" — list the
+	// whole fixture tree.
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || filepath.Ext(path) != ".go" {
+			return err
+		}
+		f, perr := parser.ParseFile(token.NewFileSet(), path, nil, parser.ImportsOnly)
+		if perr != nil {
+			return perr
+		}
+		for _, imp := range f.Imports {
+			p, _ := strconv.Unquote(imp.Path.Value)
+			if _, serr := os.Stat(filepath.Join(root, p)); serr != nil {
+				stdPaths = append(stdPaths, p)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	repoRoot, err := moduleRoot()
+	if err != nil {
+		return nil, err
+	}
+	exports, err := load.ExportLookup(repoRoot, dedup(stdPaths))
+	if err != nil {
+		return nil, err
+	}
+	i.std = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	})
+
+	// Type-check sibling fixtures (they may import each other; deps is
+	// sorted, and fixtures are kept simple enough for one pass each).
+	for _, dep := range deps {
+		info := load.NewInfo()
+		conf := types.Config{Importer: i}
+		pkg, err := conf.Check(dep, fset, parsed[dep], info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking fixture dep %s: %w", dep, err)
+		}
+		i.local[dep] = pkg
+	}
+	return i, nil
+}
+
+func (i *fixtureImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := i.local[path]; ok {
+		return pkg, nil
+	}
+	return i.std.Import(path)
+}
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func dedup(in []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// want is one expected diagnostic.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantComment matches `// want "regex"`.
+var wantComment = regexp.MustCompile(`//\s*want\s+("(?:[^"\\]|\\.)*")`)
+
+// collectWants extracts want expectations from fixture comments.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantComment.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pattern, err := strconv.Unquote(m[1])
+				if err != nil {
+					t.Fatalf("bad want string %s: %v", m[1], err)
+				}
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					t.Fatalf("bad want regexp %q: %v", pattern, err)
+				}
+				pos := fset.Position(c.Pos())
+				wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+// checkDiagnostics matches diagnostics against wants 1:1 by line.
+func checkDiagnostics(t *testing.T, diags []analysis.Diagnostic, wants []*want) {
+	t.Helper()
+	for _, d := range diags {
+		claimed := false
+		for _, w := range wants {
+			if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}

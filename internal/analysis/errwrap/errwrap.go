@@ -1,0 +1,159 @@
+// Package errwrap checks that error values are never flattened by
+// fmt.Errorf's %v/%s verbs: an error argument must be wrapped with %w
+// so sentinel classification survives across API boundaries.
+//
+// The pager's whole fault-handling stack depends on this: the retry
+// layer asks errors.Is(err, ErrReqTimeout) to decide what feeds the
+// circuit breaker, policies ask errors.As(&wire.StatusError{}) to
+// separate server verdicts from transport failures, and callers ask
+// errors.Is(err, ErrPageLost). One fmt.Errorf("...: %v", err) on the
+// path silently severs the chain and turns a classified fault into an
+// unclassifiable string.
+package errwrap
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strconv"
+
+	"rmp/internal/analysis"
+)
+
+// Analyzer is the errwrap check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errwrap",
+	Doc:  "error values passed to fmt.Errorf must use %w, not %v/%s, so errors.Is/As keep working",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	errorIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isErrorf(pass, call.Fun) || len(call.Args) < 2 {
+				return true
+			}
+			format, ok := constFormat(pass, call.Args[0])
+			if !ok {
+				return true
+			}
+			verbs := parseVerbs(format)
+			args := call.Args[1:]
+			for _, v := range verbs {
+				if v.argIndex < 0 || v.argIndex >= len(args) {
+					continue // malformed format; go vet's department
+				}
+				if v.verb != 'v' && v.verb != 's' {
+					continue
+				}
+				arg := args[v.argIndex]
+				tv, ok := pass.Info.Types[arg]
+				if !ok || tv.Type == nil {
+					continue
+				}
+				if types.Implements(tv.Type, errorIface) {
+					pass.Reportf(arg.Pos(),
+						"error value formatted with %%%c loses its identity; use %%w so errors.Is/As can classify it", v.verb)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isErrorf recognizes fmt.Errorf (by import path, so fixture fakes
+// named fmt do not count unless they really are the fmt package).
+func isErrorf(pass *analysis.Pass, fun ast.Expr) bool {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return false
+	}
+	obj, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == "fmt"
+}
+
+// constFormat extracts the constant format string, if any.
+func constFormat(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	s, err := strconv.Unquote(tv.Value.ExactString())
+	if err != nil {
+		return constant.StringVal(tv.Value), true
+	}
+	return s, true
+}
+
+// verb is one conversion in a format string, mapped to the argument
+// it consumes.
+type verb struct {
+	verb     rune
+	argIndex int
+}
+
+// parseVerbs walks a Printf-style format string tracking which
+// argument each verb consumes, including '*' width/precision
+// arguments and explicit [n] argument indexes.
+func parseVerbs(format string) []verb {
+	var out []verb
+	arg := 0
+	rs := []rune(format)
+	for i := 0; i < len(rs); i++ {
+		if rs[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(rs) {
+			break
+		}
+		if rs[i] == '%' {
+			continue
+		}
+		// Flags, width, precision, argument index.
+		explicit := -1
+		for i < len(rs) {
+			r := rs[i]
+			switch {
+			case r == '+' || r == '-' || r == '#' || r == ' ' || r == '0' || (r >= '1' && r <= '9') || r == '.':
+				i++
+			case r == '*':
+				arg++ // '*' consumes one argument
+				i++
+			case r == '[':
+				j := i + 1
+				num := 0
+				for j < len(rs) && rs[j] >= '0' && rs[j] <= '9' {
+					num = num*10 + int(rs[j]-'0')
+					j++
+				}
+				if j < len(rs) && rs[j] == ']' {
+					explicit = num - 1 // 1-based in the format string
+					i = j + 1
+				} else {
+					i = j
+				}
+			default:
+				goto verbRune
+			}
+		}
+	verbRune:
+		if i >= len(rs) {
+			break
+		}
+		idx := arg
+		if explicit >= 0 {
+			idx = explicit
+			arg = explicit
+		}
+		out = append(out, verb{verb: rs[i], argIndex: idx})
+		arg++
+	}
+	return out
+}

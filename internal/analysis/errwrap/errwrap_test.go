@@ -1,0 +1,12 @@
+package errwrap_test
+
+import (
+	"testing"
+
+	"rmp/internal/analysis/analysistest"
+	"rmp/internal/analysis/errwrap"
+)
+
+func TestErrwrap(t *testing.T) {
+	analysistest.Run(t, ".", errwrap.Analyzer, "a")
+}

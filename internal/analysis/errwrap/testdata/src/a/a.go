@@ -1,0 +1,41 @@
+// Package a is the errwrap fixture.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errSentinel = errors.New("sentinel")
+
+func flattenV(err error) error {
+	return fmt.Errorf("op failed: %v", err) // want "use %w so errors.Is/As can classify it"
+}
+
+func flattenS(err error) error {
+	return fmt.Errorf("op failed: %s", err) // want "use %w"
+}
+
+func wrapped(err error) error {
+	return fmt.Errorf("op failed: %w", err)
+}
+
+func nonError(name string) error {
+	return fmt.Errorf("no such host: %v", name)
+}
+
+func mixed(name string, err error) error {
+	return fmt.Errorf("host %s: %v", name, err) // want "use %w"
+}
+
+func indexed(err error) error {
+	return fmt.Errorf("second arg: %[2]v", 0, err) // want "use %w"
+}
+
+func starWidth(pad int, err error) error {
+	return fmt.Errorf("padded %*d then %v", pad, 7, err) // want "use %w"
+}
+
+func sprintfIsFine(err error) string {
+	return fmt.Sprintf("display only: %v", err)
+}

@@ -1,0 +1,16 @@
+package lifecycle_test
+
+import (
+	"testing"
+
+	"rmp/internal/analysis/analysistest"
+	"rmp/internal/analysis/lifecycle"
+)
+
+func TestLifecycle(t *testing.T) {
+	analysistest.Run(t, ".", lifecycle.Analyzer, "a")
+}
+
+func TestLifecycleStrict(t *testing.T) {
+	analysistest.Run(t, ".", lifecycle.NewAnalyzer(true), "strict")
+}

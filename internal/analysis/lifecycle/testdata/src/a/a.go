@@ -1,0 +1,97 @@
+// Package a is the lifecycle fixture.
+package a
+
+import (
+	"context"
+	"net"
+	"time"
+)
+
+type worker struct {
+	stop chan struct{}
+	kick chan struct{}
+}
+
+func (w *worker) leak() {
+	go func() { // want "unbounded loop with no cancellation path"
+		for {
+			time.Sleep(time.Millisecond)
+		}
+	}()
+}
+
+func (w *worker) tickerOnly() {
+	go func() { // want "unbounded loop"
+		t := time.NewTicker(time.Second)
+		for range t.C {
+			work()
+		}
+	}()
+}
+
+func (w *worker) stopChannel() {
+	go func() {
+		for {
+			select {
+			case <-w.stop:
+				return
+			case <-w.kick:
+				work()
+			}
+		}
+	}()
+}
+
+func (w *worker) contextual(ctx context.Context) {
+	go func() {
+		for {
+			if ctx.Err() != nil {
+				return
+			}
+			work()
+		}
+	}()
+}
+
+func relay(c net.Conn) {
+	go func() {
+		buf := make([]byte, 16)
+		for {
+			if _, err := c.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+}
+
+func straightLine(f func()) {
+	go func() {
+		f()
+	}()
+}
+
+func (w *worker) spawnNamedGood() {
+	go w.loop()
+}
+
+func (w *worker) loop() {
+	for {
+		select {
+		case <-w.stop:
+			return
+		}
+	}
+}
+
+func (w *worker) spawnNamedBad() {
+	go w.spin() // want "unbounded loop"
+}
+
+func (w *worker) spin() {
+	n := 0
+	for {
+		n++
+	}
+}
+
+func work() {}

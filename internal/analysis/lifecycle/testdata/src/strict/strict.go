@@ -1,0 +1,17 @@
+// Package strict exercises the -strict-lifecycle recover rule.
+package strict
+
+func fire(f func()) {
+	go func() { // want "no deferred recover handler"
+		f()
+	}()
+}
+
+func guarded(f func()) {
+	go func() {
+		defer func() {
+			_ = recover()
+		}()
+		f()
+	}()
+}

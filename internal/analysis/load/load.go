@@ -1,0 +1,174 @@
+// Package load turns Go package patterns into type-checked syntax
+// trees using only the standard library and the go command — a
+// miniature go/packages for rmpvet.
+//
+// Strategy: `go list -export -deps -json` enumerates the target
+// packages and compiles export data for every dependency into the
+// build cache; each target package is then parsed from source and
+// type-checked with the gc importer reading dependencies straight
+// from those export files. This keeps analysis fast (no transitive
+// source type-checking) while staying dependency-free.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one type-checked target package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output we consume.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Packages loads and type-checks the packages matching patterns,
+// resolved relative to dir (the module root). Test files are not
+// included — `go list` GoFiles excludes them — which is what rmpvet
+// wants: the invariants guard production code.
+func Packages(dir string, patterns []string) ([]*Package, *token.FileSet, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	exportFor := make(map[string]string, len(listed))
+	for _, lp := range listed {
+		if lp.Export != "" {
+			exportFor[lp.ImportPath] = lp.Export
+		}
+	}
+
+	fset := token.NewFileSet()
+	// One shared gc importer: dependency packages are materialized
+	// once and shared by every target's type-check, so cross-package
+	// object identity holds within a run.
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		exp, ok := exportFor[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	})
+
+	var out []*Package
+	for _, lp := range listed {
+		if lp.DepOnly || lp.Standard || len(lp.GoFiles) == 0 {
+			continue
+		}
+		if len(lp.CgoFiles) > 0 {
+			return nil, nil, fmt.Errorf("load: %s uses cgo, unsupported", lp.ImportPath)
+		}
+		if lp.Error != nil {
+			return nil, nil, fmt.Errorf("load: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		var files []*ast.File
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, nil, fmt.Errorf("load: %w", err)
+			}
+			files = append(files, f)
+		}
+		info := NewInfo()
+		conf := types.Config{Importer: imp}
+		pkg, err := conf.Check(lp.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, nil, fmt.Errorf("load: type-checking %s: %w", lp.ImportPath, err)
+		}
+		out = append(out, &Package{
+			ImportPath: lp.ImportPath,
+			Dir:        lp.Dir,
+			Files:      files,
+			Pkg:        pkg,
+			Info:       info,
+		})
+	}
+	return out, fset, nil
+}
+
+// NewInfo allocates a types.Info with every map analyzers consume.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// goList runs `go list -export -deps -json` and decodes the stream.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("load: go list: %w\n%s", err, strings.TrimSpace(stderr.String()))
+	}
+	dec := json.NewDecoder(&stdout)
+	var out []*listedPackage
+	for {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %w", err)
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}
+
+// ExportLookup compiles the named import paths (plus dependencies)
+// and returns a map from import path to export-data file. The
+// analysistest loader uses it to resolve fixture imports of standard
+// library packages.
+func ExportLookup(dir string, paths []string) (map[string]string, error) {
+	if len(paths) == 0 {
+		return map[string]string{}, nil
+	}
+	listed, err := goList(dir, paths)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]string, len(listed))
+	for _, lp := range listed {
+		if lp.Export != "" {
+			out[lp.ImportPath] = lp.Export
+		}
+	}
+	return out, nil
+}

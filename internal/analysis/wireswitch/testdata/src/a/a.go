@@ -1,0 +1,41 @@
+// Package a is the wireswitch fixture.
+package a
+
+import "wire"
+
+func missing(t wire.Type) string {
+	switch t { // want "not exhaustive and has no default: missing THello"
+	case wire.TPageOut:
+		return "out"
+	case wire.TPageIn:
+		return "in"
+	}
+	return ""
+}
+
+func defaulted(t wire.Type) string {
+	switch t {
+	case wire.TPageOut:
+		return "out"
+	default:
+		return "?"
+	}
+}
+
+func exhaustive(t wire.Type) string {
+	switch t {
+	case wire.THello, wire.TPageOut:
+		return "a"
+	case wire.TPageIn:
+		return "b"
+	}
+	return ""
+}
+
+func unrelated(n int) int {
+	switch n {
+	case 1:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,16 @@
+// Package wire is a miniature stand-in for the real protocol package:
+// the analyzer matches any package named wire with a Type enum.
+package wire
+
+// Type is the message opcode.
+type Type uint8
+
+// Opcodes.
+const (
+	THello   Type = 1
+	TPageOut Type = 2
+	TPageIn  Type = 3
+)
+
+// notAnOpcode has a different type and must not count.
+const notAnOpcode uint8 = 9

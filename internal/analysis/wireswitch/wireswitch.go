@@ -1,0 +1,139 @@
+// Package wireswitch checks that every switch over the protocol
+// opcode type (a type named Type declared in a package named wire) is
+// exhaustive over all of that package's opcode constants or carries
+// an explicit default clause.
+//
+// Why this matters here: both membership (PING/PONG/JOIN/DRAIN) and
+// the bounded data path added opcodes after the seed. A server or
+// trace decoder whose switch silently falls through for a new opcode
+// drops messages without any error — the exact failure mode the
+// paper's request/response framing cannot tolerate. The compiler does
+// not check switch exhaustiveness; this analyzer does.
+package wireswitch
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"rmp/internal/analysis"
+)
+
+// Analyzer is the wireswitch check.
+var Analyzer = &analysis.Analyzer{
+	Name: "wireswitch",
+	Doc:  "switches over wire.Type must cover every opcode or have a default clause",
+	Run:  run,
+}
+
+// opcodePkgName and opcodeTypeName identify the protocol enum. The
+// match is by package name rather than full import path so the
+// analyzer also fires on the analysistest fixtures' fake wire
+// package.
+const (
+	opcodePkgName  = "wire"
+	opcodeTypeName = "Type"
+)
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tv, ok := pass.Info.Types[sw.Tag]
+			if !ok {
+				return true
+			}
+			named := analysis.NamedType(tv.Type)
+			if named == nil || named.Obj().Name() != opcodeTypeName {
+				return true
+			}
+			declPkg := named.Obj().Pkg()
+			if declPkg == nil || declPkg.Name() != opcodePkgName {
+				return true
+			}
+
+			all := opcodeConstants(declPkg, named)
+			if len(all) == 0 {
+				return true
+			}
+			covered := make(map[string]bool)
+			hasDefault := false
+			for _, clause := range sw.Body.List {
+				cc, ok := clause.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				if cc.List == nil {
+					hasDefault = true
+					continue
+				}
+				for _, e := range cc.List {
+					if obj := constObj(pass, e); obj != nil {
+						covered[obj.Name()] = true
+					}
+				}
+			}
+			if hasDefault {
+				return true
+			}
+			var missing []string
+			for _, name := range all {
+				if !covered[name] {
+					missing = append(missing, name)
+				}
+			}
+			if len(missing) > 0 {
+				pass.Reportf(sw.Pos(), "switch over %s.%s is not exhaustive and has no default: missing %s",
+					opcodePkgName, opcodeTypeName, strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// opcodeConstants lists the exported constants of exactly type named
+// declared in pkg, sorted by constant value so diagnostics read in
+// protocol order.
+func opcodeConstants(pkg *types.Package, named *types.Named) []string {
+	type c struct {
+		name  string
+		order string
+	}
+	var consts []c
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		obj, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(obj.Type(), named) {
+			continue
+		}
+		consts = append(consts, c{name: name, order: fmt.Sprintf("%020s", obj.Val().ExactString())})
+	}
+	sort.Slice(consts, func(i, j int) bool { return consts[i].order < consts[j].order })
+	out := make([]string, len(consts))
+	for i, cc := range consts {
+		out[i] = cc.name
+	}
+	return out
+}
+
+// constObj resolves a case expression to the constant object it
+// names, through plain identifiers and pkg.Name selectors.
+func constObj(pass *analysis.Pass, e ast.Expr) *types.Const {
+	switch v := e.(type) {
+	case *ast.Ident:
+		if obj, ok := pass.Info.Uses[v].(*types.Const); ok {
+			return obj
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := pass.Info.Uses[v.Sel].(*types.Const); ok {
+			return obj
+		}
+	}
+	return nil
+}

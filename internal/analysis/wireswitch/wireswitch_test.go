@@ -1,0 +1,12 @@
+package wireswitch_test
+
+import (
+	"testing"
+
+	"rmp/internal/analysis/analysistest"
+	"rmp/internal/analysis/wireswitch"
+)
+
+func TestWireswitch(t *testing.T) {
+	analysistest.Run(t, ".", wireswitch.Analyzer, "a")
+}

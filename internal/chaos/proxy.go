@@ -20,8 +20,11 @@ type Proxy struct {
 	backend string
 	ln      net.Listener
 
-	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
+	mu sync.Mutex
+	// conns tracks both sides of every live relay so CutAll can sever
+	// them. Guarded by mu.
+	conns map[net.Conn]struct{}
+	// closed latches Close. Guarded by mu.
 	closed bool
 
 	// delayNanos is added before relaying each chunk (per direction).

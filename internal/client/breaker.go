@@ -56,12 +56,18 @@ const (
 // connections) to one server. Checksum faults and server-reported
 // statuses do not count: a server that answers, even with an error, is
 // not wedged.
+//rmpvet:holds Pager.mu
 type breaker struct {
 	threshold int           // consecutive failures before opening
 	cooldown  time.Duration // open → half-open delay
 
-	state    breakerState
-	failures int // consecutive transport failures
+	// state is the current position in the three-state machine.
+	// Guarded by Pager.mu.
+	state breakerState
+	// failures counts consecutive transport failures. Guarded by
+	// Pager.mu.
+	failures int
+	// openedAt is when the breaker last opened. Guarded by Pager.mu.
 	openedAt time.Time
 }
 

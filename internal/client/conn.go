@@ -36,18 +36,22 @@ type Conn struct {
 	// immutable afterwards.
 	dl Deadlines
 
-	// pressured is latched when any ack arrives with FlagPressure set;
-	// the pager polls and clears it to drive migration.
+	// pressureMu protects the advisory state latched off acks; it is
+	// separate from mu so the pager can poll advisories without
+	// contending with an in-flight round trip.
 	pressureMu sync.Mutex
-	pressured  bool
+	// pressured is latched when any ack arrives with FlagPressure set;
+	// the pager polls and clears it to drive migration. Guarded by
+	// pressureMu.
+	pressured bool
 	// draining is latched when any ack arrives with FlagDrain set: the
 	// server asked to leave and wants its pages migrated out. Unlike
 	// pressure it is not cleared on read — a draining server stays
-	// draining until the pager finishes evacuating it.
+	// draining until the pager finishes evacuating it. Guarded by
+	// pressureMu.
 	draining bool
-
 	// serverFree is the last free-page count reported by the server
-	// (HELLO_ACK and LOAD_ACK carry it).
+	// (HELLO_ACK and LOAD_ACK carry it). Guarded by pressureMu.
 	serverFree uint32
 
 	// rttNanos is an EWMA of request round-trip time (srtt). The
@@ -421,8 +425,18 @@ func (c *Conn) Load() (free int, err error) {
 	if err != nil {
 		return 0, err
 	}
+	c.pressureMu.Lock()
 	c.serverFree = ack.N
+	c.pressureMu.Unlock()
 	return int(ack.N), ack.Status.Err()
+}
+
+// ServerFree returns the last free-page count the server reported
+// (via HELLO_ACK or LOAD_ACK).
+func (c *Conn) ServerFree() int {
+	c.pressureMu.Lock()
+	defer c.pressureMu.Unlock()
+	return int(c.serverFree)
 }
 
 // XorWrite stores data under key and has the server forward

@@ -188,33 +188,55 @@ var ErrPageLost = errors.New("client: page lost in server crash")
 var ErrNotPagedOut = errors.New("client: page was never paged out")
 
 // remoteServer is the pager's view of one server.
+// remoteServer is the pager's view of one server. addr is immutable;
+// every mutable field is guarded by Pager.mu — the pager is the
+// paper's single paging daemon, and all server-state transitions
+// (death, revival, drain, pressure, accounting) happen under its one
+// lock.
 type remoteServer struct {
-	addr    string
-	conn    *Conn
-	alive   bool
-	granted int // swap space reserved there
-	used    int // pages currently stored there
+	addr string
+	// conn is replaced on revival and cleared on death. Guarded by
+	// Pager.mu — callers snapshot it under the lock, then do I/O on
+	// the snapshot after unlocking.
+	conn *Conn
+	// alive flips on confirmed death/revival. Guarded by Pager.mu.
+	alive bool
+	// granted is the swap space reserved there. Guarded by Pager.mu.
+	granted int
+	// used is the pages currently stored there. Guarded by Pager.mu.
+	used int
 	// pressured is set when the server advises migration; cleared
-	// when migration away from it completes.
+	// when migration away from it completes. Guarded by Pager.mu.
 	pressured bool
 	// suspect is set while the failure detector has missed heartbeats
 	// but not yet confirmed death; no new placements go there.
+	// Guarded by Pager.mu.
 	suspect bool
 	// draining is set when the server asked to leave gracefully; it
 	// takes no new placements and its pages are migrated out.
+	// Guarded by Pager.mu.
 	draining bool
 	// breaker fail-fasts requests once the server keeps timing out;
 	// its transitions run under p.mu (see breaker.go / retry.go).
 	breaker breaker
 	// everConnected distinguishes "never connected" from "died":
 	// false with diedCause set means the initial dial failed.
+	// Guarded by Pager.mu.
 	everConnected bool
-	joinedAt      time.Time // when added to the view (zero for config-time servers)
-	diedAt        time.Time // when the most recent death was observed
-	diedCause     error     // what killed it (or the failed dial)
+	// joinedAt is when the server was added to the view (zero for
+	// config-time servers). Guarded by Pager.mu.
+	joinedAt time.Time
+	// diedAt is when the most recent death was observed. Guarded by
+	// Pager.mu.
+	diedAt time.Time
+	// diedCause is what killed it (or the failed dial). Guarded by
+	// Pager.mu.
+	diedCause error
 }
 
 // headroom is how many more pages the server has promised to take.
+//
+//rmpvet:holds Pager.mu
 func (rs *remoteServer) headroom() int { return rs.granted - rs.used }
 
 // slotRef names a stored copy: server index + storage key.
@@ -242,15 +264,24 @@ type Pager struct {
 	mu  sync.Mutex
 	cfg Config
 
+	// servers is the membership view; the slice grows under mu
+	// (AddServer) and its entries' mutable fields are likewise
+	// guarded by mu.
 	servers []*remoteServer
 	swap    *disk.Store
 
-	table   map[page.ID]*location
+	// table maps logical pages to their stored copies. Guarded by mu.
+	table map[page.ID]*location
+	// nextKey feeds allocKey. Guarded by mu.
 	nextKey uint64
 
+	// pol is the active policy strategy; replaced only when a policy
+	// switch is requested. Guarded by mu.
 	pol policyImpl
 
-	stats  Stats
+	// stats counts operations and faults. Guarded by mu.
+	stats Stats
+	// closed latches Close. Guarded by mu.
 	closed bool
 
 	stopRebalance chan struct{}
@@ -268,6 +299,7 @@ type Pager struct {
 	// time while its re-protection pass has not run yet. Entries are
 	// consumed by ensureRecovered (background job or synchronous
 	// barrier at a policy entry point, whichever comes first).
+	// Guarded by mu.
 	rebuildPending map[int]time.Time
 }
 
@@ -391,6 +423,7 @@ func (p *Pager) logf(format string, args ...any) {
 	}
 }
 
+//rmpvet:holds Pager.mu
 func (p *Pager) closeConns() {
 	for _, rs := range p.servers {
 		if rs.conn != nil {
@@ -400,6 +433,7 @@ func (p *Pager) closeConns() {
 }
 
 // aliveServers returns the indexes of servers currently reachable.
+//rmpvet:holds Pager.mu
 func (p *Pager) aliveServers() []int {
 	var out []int
 	for i, rs := range p.servers {
@@ -411,6 +445,7 @@ func (p *Pager) aliveServers() []int {
 }
 
 // allocKey issues a fresh storage key (< 2^48, see server package).
+//rmpvet:holds Pager.mu
 func (p *Pager) allocKey() uint64 {
 	k := p.nextKey
 	p.nextKey++
@@ -576,6 +611,7 @@ func (p *Pager) Free(ids ...page.ID) error {
 // pickServer returns the most promising server for a new placement;
 // exclude lists server indexes to skip. Returns -1 if no server can
 // take a page (the caller then falls back to the local disk).
+//rmpvet:holds Pager.mu
 func (p *Pager) pickServer(exclude ...int) int {
 	allowed := make([]int, len(p.servers))
 	for i := range p.servers {
@@ -594,6 +630,7 @@ func (p *Pager) pickServer(exclude ...int) int {
 //     preferred over far ones — the §5 heterogeneous hierarchy;
 //  4. ties break to the most free headroom ("the most promising
 //     server").
+//rmpvet:holds Pager.mu
 func (p *Pager) pickFrom(allowed []int, exclude ...int) int {
 	skip := make(map[int]bool, len(exclude))
 	for _, e := range exclude {
@@ -663,6 +700,7 @@ func (p *Pager) pickFrom(allowed []int, exclude ...int) int {
 // topUp tries to reserve another chunk of swap space on server i.
 // ALLOC replay after a lost ack over-grants on the server side only
 // (reclaimed at BYE), so the request is treated as idempotent.
+//rmpvet:holds Pager.mu
 func (p *Pager) topUp(i int) {
 	rs := p.servers[i]
 	var n int
@@ -687,6 +725,7 @@ func (p *Pager) topUp(i int) {
 // and detecting death. PAGEOUT is keyed by block, so the retry layer
 // may replay it safely: a duplicate lands the same bytes under the
 // same key.
+//rmpvet:holds Pager.mu
 func (p *Pager) sendPage(srv int, key uint64, data page.Buf, fresh bool) error {
 	rs := p.servers[srv]
 	if err := p.withConn(srv, true, func(c *Conn) error {
@@ -719,6 +758,7 @@ type sendReq struct {
 // I/O overlaps (each Conn serializes itself), while all shared pager
 // state is updated single-threaded after the joins. Mirroring uses it
 // so a pageout costs one round trip instead of two.
+//rmpvet:holds Pager.mu
 func (p *Pager) sendPages(reqs []sendReq) []error {
 	errs := make([]error, len(reqs))
 	var wg sync.WaitGroup
@@ -770,6 +810,7 @@ func (p *Pager) sendPages(reqs []sendReq) []error {
 
 // fetchPage reads the page stored under key on server srv. PAGEIN is
 // read-only, so the retry layer replays it freely.
+//rmpvet:holds Pager.mu
 func (p *Pager) fetchPage(srv int, key uint64) (page.Buf, error) {
 	rs := p.servers[srv]
 	var data page.Buf
@@ -795,6 +836,7 @@ func (p *Pager) fetchPage(srv int, key uint64) (page.Buf, error) {
 // ignored (their memory is gone anyway). A replayed FREE whose first
 // ack was lost answers NOT_FOUND — that still means "freed", so the
 // status is tolerated.
+//rmpvet:holds Pager.mu
 func (p *Pager) freeSlots(srv int, keys ...uint64) {
 	rs := p.servers[srv]
 	if !rs.alive || len(keys) == 0 {
@@ -832,6 +874,7 @@ func isConnError(err error) bool {
 // synchronously (no membership layer — the paper's behaviour) or by
 // queueing a background re-protection job, so the failing request
 // returns promptly and redundancy is restored off the data path.
+//rmpvet:holds Pager.mu
 func (p *Pager) serverDied(srv int, cause error) {
 	rs := p.servers[srv]
 	if !rs.alive {
@@ -871,6 +914,7 @@ func (p *Pager) serverDied(srv int, cause error) {
 // pending entry is consumed by whoever gets here first — the
 // background job, a policy entry point that needs consistent state,
 // or a revival.
+//rmpvet:holds Pager.mu
 func (p *Pager) ensureRecovered(srv int) {
 	diedAt, ok := p.rebuildPending[srv]
 	if !ok {
@@ -891,6 +935,7 @@ func (p *Pager) ensureRecovered(srv int) {
 // held). The parity policies call this before touching group
 // bookkeeping: their invariants assume crash recovery ran before any
 // other mutation, so the asynchronous gap must close here.
+//rmpvet:holds Pager.mu
 func (p *Pager) ensureAllRecovered() {
 	for len(p.rebuildPending) > 0 {
 		for srv := range p.rebuildPending {
@@ -901,6 +946,7 @@ func (p *Pager) ensureAllRecovered() {
 }
 
 // diskPut stores a page in the local swap file under the page id.
+//rmpvet:holds Pager.mu
 func (p *Pager) diskPut(id page.ID, data page.Buf) error {
 	if err := p.swap.Put(uint64(id), data); err != nil {
 		return err
@@ -910,6 +956,7 @@ func (p *Pager) diskPut(id page.ID, data page.Buf) error {
 }
 
 // diskGet reads a page from the local swap file.
+//rmpvet:holds Pager.mu
 func (p *Pager) diskGet(id page.ID) (page.Buf, error) {
 	data, err := p.swap.Get(uint64(id))
 	if err != nil {
@@ -1005,6 +1052,7 @@ func (p *Pager) Rebalance() error {
 // promoteDiskPages re-pages disk-fallback pages out through the
 // policy now that remote space may exist. (The paper replicates them
 // and prefers the remote copy; we move them, freeing the disk slot.)
+//rmpvet:holds Pager.mu
 func (p *Pager) promoteDiskPages() error {
 	if p.cfg.Policy == PolicyWriteThrough {
 		return nil // every page has a disk copy by design

@@ -20,8 +20,12 @@ import (
 type hbProber struct {
 	clientName, token string
 
-	mu     sync.Mutex
-	conns  map[string]*Conn
+	mu sync.Mutex
+	// conns caches one heartbeat connection per server address.
+	// Guarded by mu.
+	conns map[string]*Conn
+	// closed latches Close so in-flight probes stop caching
+	// connections. Guarded by mu.
 	closed bool
 }
 
@@ -86,6 +90,7 @@ func (h *hbProber) Close() {
 }
 
 // serverIdx finds the index of addr in the server table (p.mu held).
+//rmpvet:holds Pager.mu
 func (p *Pager) serverIdx(addr string) int {
 	for i, rs := range p.servers {
 		if rs.addr == addr {
@@ -256,6 +261,7 @@ func (p *Pager) AddServer(addr string) error {
 // pre-revival layout — mixing a rebuild with a rejoin would let the
 // policy hand reconstruction reads to the server that just lost
 // everything.
+//rmpvet:holds Pager.mu
 func (p *Pager) reviveServer(srv int) bool {
 	rs := p.servers[srv]
 	if rs.alive || rs.draining {
@@ -293,6 +299,7 @@ func (p *Pager) reviveServer(srv int) bool {
 // retire it from the live view. The draining flag stays set so the
 // server is neither picked nor re-dialed; a cancelled drain revives
 // it via the heartbeat path.
+//rmpvet:holds Pager.mu
 func (p *Pager) finishDrain(srv int) error {
 	rs := p.servers[srv]
 	if !rs.alive {

@@ -15,6 +15,7 @@ import (
 // forwards the delta to the parity server (two page transfers per
 // pageout). Memory overhead is only 1/S, but the runtime overhead is
 // what motivated the paper to invent parity logging.
+//rmpvet:holds Pager.mu
 type parityPolicy struct {
 	p *Pager
 

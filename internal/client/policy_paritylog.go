@@ -25,6 +25,7 @@ import (
 // every live page into client memory, then replay them into a fresh
 // log over the surviving servers. The paper accepts recovery being
 // "a few more seconds" — simplicity and correctness win here.
+//rmpvet:holds Pager.mu
 type parityLogPolicy struct {
 	p *Pager
 
@@ -120,42 +121,62 @@ func (pl *parityLogPolicy) appendAndSend(id page.ID, data page.Buf) error {
 	return nil
 }
 
+// maxRedispatch bounds how many times a pageout is re-dispatched
+// through a rebuilt layout after a mid-transfer failure. A connection
+// can keep failing without its server ever being declared dead (e.g.
+// repeated timeouts on a flapping link), so the re-dispatch must not
+// loop unboundedly; past the bound the page goes to the local disk.
+const maxRedispatch = 3
+
 func (pl *parityLogPolicy) pageOut(id page.ID, data page.Buf) error {
 	p := pl.p
-	// Close the asynchronous-recovery gap before touching the log:
-	// appending through a layout with a dead column corrupts groups.
-	p.ensureAllRecovered()
+	var lastErr error
+	for attempt := 0; attempt <= maxRedispatch; attempt++ {
+		// Close the asynchronous-recovery gap before touching the log:
+		// appending through a layout with a dead column corrupts groups.
+		p.ensureAllRecovered()
 
-	// Promote a disk-fallback page back through the log if possible.
-	if loc := p.table[id]; loc != nil && loc.onDisk {
+		// Promote a disk-fallback page back through the log if possible.
+		if loc := p.table[id]; loc != nil && loc.onDisk {
+			if !pl.columnsAlive() {
+				p.stats.FallbackPageOuts++
+				return p.diskPut(id, data)
+			}
+			p.swap.Delete(uint64(id))
+			delete(p.table, id)
+		}
 		if !pl.columnsAlive() {
-			p.stats.FallbackPageOuts++
-			return p.diskPut(id, data)
+			return pl.diskFallback(id, data)
 		}
-		p.swap.Delete(uint64(id))
-		delete(p.table, id)
-	}
-	if !pl.columnsAlive() {
-		p.stats.FallbackPageOuts++
-		loc := p.table[id]
-		if loc == nil {
-			loc = &location{}
-			p.table[id] = loc
-		}
-		loc.onDisk = true
-		return p.diskPut(id, data)
-	}
 
-	if err := pl.appendAndSend(id, data); err != nil {
 		// A server died mid-transfer and the rebuild already ran
-		// (using the in-memory inflight copy); one re-dispatch settles
-		// the new layout. If even that fails, fall back to disk.
-		if err2 := pl.pageOut(id, data); err2 != nil {
-			return err2
+		// (using the in-memory inflight copy); the next iteration
+		// re-dispatches through the new layout.
+		if lastErr = pl.appendAndSend(id, data); lastErr == nil {
+			pl.maybeGC()
+			return nil
 		}
 	}
-	pl.maybeGC()
+	// Every layout we were handed failed mid-transfer; keep the page
+	// safe on the local disk instead.
+	if err := pl.diskFallback(id, data); err != nil {
+		return lastErr
+	}
 	return nil
+}
+
+// diskFallback records id as living on the local swap device and
+// writes it there.
+func (pl *parityLogPolicy) diskFallback(id page.ID, data page.Buf) error {
+	p := pl.p
+	p.stats.FallbackPageOuts++
+	loc := p.table[id]
+	if loc == nil {
+		loc = &location{}
+		p.table[id] = loc
+	}
+	loc.onDisk = true
+	return p.diskPut(id, data)
 }
 
 // columnsAlive reports whether the current layout can accept pageouts.

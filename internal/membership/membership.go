@@ -114,12 +114,20 @@ type MemberInfo struct {
 	Cause  error     // last probe error (nil while alive)
 }
 
+// member is one tracked server. addr is immutable; every other field
+// is guarded by Detector.mu.
 type member struct {
-	addr    string
-	state   State
-	since   time.Time
-	misses  int
-	cause   error
+	addr string
+	// state is the current lifecycle state. Guarded by Detector.mu.
+	state State
+	// since is when state was entered. Guarded by Detector.mu.
+	since time.Time
+	// misses counts consecutive failed probes. Guarded by Detector.mu.
+	misses int
+	// cause is the last probe error. Guarded by Detector.mu.
+	cause error
+	// probing marks an in-flight probe so ticks cannot stack probes on
+	// a slow member. Guarded by Detector.mu.
 	probing bool
 }
 
@@ -133,9 +141,11 @@ type Detector struct {
 	onEvent func(Event)
 	onAck   func(addr string, ack Ack)
 
-	mu      sync.Mutex
+	mu sync.Mutex
+	// members is the tracked set. Guarded by mu.
 	members map[string]*member
-	closed  bool
+	// closed latches Close. Guarded by mu.
+	closed bool
 
 	stop chan struct{}
 	wg   sync.WaitGroup

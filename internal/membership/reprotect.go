@@ -51,10 +51,14 @@ type ReprotectStats struct {
 // purpose: recovery jobs copy pages over the same connections the data
 // path uses, and running them serially keeps the interference bounded.
 type Reprotector struct {
-	mu     sync.Mutex
-	queue  []Job
-	done   uint64
+	mu sync.Mutex
+	// queue is the pending work, oldest first. Guarded by mu.
+	queue []Job
+	// done counts jobs completed successfully. Guarded by mu.
+	done uint64
+	// failed counts jobs whose Run errored. Guarded by mu.
 	failed uint64
+	// closed latches Close. Guarded by mu.
 	closed bool
 	kick   chan struct{}
 	wg     sync.WaitGroup

@@ -38,12 +38,17 @@ type Store struct {
 	mu sync.RWMutex
 
 	capacity     int     // hard page limit including overflow
-	reserved     int     // pages promised via Reserve (the ALLOC path)
 	overflowFrac float64 // headroom fraction kept out of Reserve's reach
 
+	// reserved is the pages promised via Reserve (the ALLOC path).
+	// Guarded by mu.
+	reserved int
+
+	// pages is the stored data. Guarded by mu.
 	pages map[uint64]page.Buf
 
-	// Statistics, monotonically increasing.
+	// stats is the monotonically increasing activity counters.
+	// Guarded by mu.
 	stats Stats
 }
 
@@ -108,6 +113,8 @@ func (s *Store) Release(n int) {
 
 // reservable is the quota Reserve may promise: capacity shrunk by the
 // overflow fraction. Caller holds mu.
+//
+//rmpvet:holds Store.mu
 func (s *Store) reservable() int {
 	return int(float64(s.capacity)/(1+s.overflowFrac) + 0.5)
 }

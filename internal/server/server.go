@@ -84,12 +84,19 @@ type Server struct {
 	cfg   Config
 	store *pagestore.Store
 
-	mu      sync.Mutex
-	ln      net.Listener
-	conns   map[net.Conn]struct{}
+	mu sync.Mutex
+	// ln is the accept listener; set by Serve, closed by Close.
+	// Guarded by mu.
+	ln net.Listener
+	// conns tracks live sessions so Close can sever them. Guarded by
+	// mu.
+	conns map[net.Conn]struct{}
+	// clients maps client name to its namespace. Guarded by mu.
 	clients map[string]*clientNS
+	// nextTag allocates namespace tags. Guarded by mu.
 	nextTag uint16
-	closed  bool
+	// closed latches Close. Guarded by mu.
+	closed bool
 
 	pressure atomic.Bool
 	// draining is the graceful-leave flag: every ack carries
@@ -103,11 +110,12 @@ type Server struct {
 	// host or network load).
 	extraDelay atomic.Int64
 
+	peersMu sync.Mutex
 	// peers are other servers' addresses learned from JOIN announces;
 	// gossiped back to clients in every PONG so pagers discover
-	// newly-joined servers without re-reading the registry.
-	peersMu sync.Mutex
-	peers   []string
+	// newly-joined servers without re-reading the registry. Guarded by
+	// peersMu.
+	peers []string
 
 	// spill backs pressure-evicted pages on the local disk (nil when
 	// Config.Spill is off). spillMu serializes compound
@@ -121,7 +129,9 @@ type Server struct {
 	// parityConns caches outbound connections for XORWRITE forwarding,
 	// keyed by "addr|clientName" because the forwarded HELLO must
 	// impersonate the originating client to hit its namespace.
-	parityMu    sync.Mutex
+	parityMu sync.Mutex
+	// parityConns is the forwarding-connection cache. Guarded by
+	// parityMu.
 	parityConns map[string]*parityConn
 }
 
@@ -137,10 +147,15 @@ type parityConn struct {
 // client's swap space); they are torn down when the last session of a
 // client that said BYE closes, or via DropClient.
 type clientNS struct {
-	tag      uint16
-	refs     int
+	tag uint16
+	// refs counts live sessions of this client. Guarded by Server.mu.
+	refs int
+	// reserved is the client's granted swap-space reservation in
+	// pages. Guarded by Server.mu.
 	reserved int
-	saidBye  bool
+	// saidBye marks a graceful goodbye in progress. Guarded by
+	// Server.mu.
+	saidBye bool
 }
 
 type session struct {
@@ -238,6 +253,10 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // is the right tool.
 const maxPeers = 64
 
+// parityIOTimeout bounds the XORDELTA round trip to the parity
+// server, which runs while the parity connection's mutex is held.
+const parityIOTimeout = 5 * time.Second
+
 // AddPeer records another server's address for gossip to clients.
 // Duplicates are ignored; returns the resulting peer count.
 func (s *Server) AddPeer(addr string) int {
@@ -310,9 +329,16 @@ func (s *Server) DropClient(name string) {
 }
 
 func (s *Server) purgeNamespace(ns *clientNS) {
-	if ns.reserved > 0 {
-		s.store.Release(ns.reserved)
-		ns.reserved = 0
+	// The namespace is already unlinked from s.clients, but a session
+	// that attached before DropClient may still hold a pointer and
+	// mutate the reservation under s.mu — so the handoff to zero must
+	// happen under the same lock.
+	s.mu.Lock()
+	reserved := ns.reserved
+	ns.reserved = 0
+	s.mu.Unlock()
+	if reserved > 0 {
+		s.store.Release(reserved)
 	}
 	var doomed []uint64
 	for _, k := range s.store.Keys() {
@@ -641,6 +667,11 @@ func (s *Server) forwardDelta(addr, clientName string, parityKey uint64, delta p
 	}
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
+	// The peer round trip runs under pc.mu: a wedged parity server must
+	// surface as a timeout here, never park the session goroutine
+	// inside the critical section.
+	pc.conn.SetDeadline(time.Now().Add(parityIOTimeout))
+	defer pc.conn.SetDeadline(time.Time{})
 	req := (&wire.Msg{Type: wire.TXorDelta, Key: parityKey, Data: delta}).WithChecksum()
 	if err := wire.Encode(pc.conn, req); err != nil {
 		s.invalidateParityConn(cacheKey, pc)

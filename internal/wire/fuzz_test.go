@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 
 	"rmp/internal/page"
@@ -32,6 +33,44 @@ func FuzzDecode(f *testing.F) {
 	seed(&Msg{Type: TDrainAck, Flags: FlagDrain})
 	f.Add([]byte{})
 	f.Add([]byte{0x52, 0x4D, 1, 1, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF})
+
+	// Adversarial corpus: the frames a broken or hostile peer actually
+	// produces. Each must decode to an error, never a panic or an
+	// unbounded allocation.
+	//
+	// Truncated headers — every prefix of a valid frame shorter than
+	// the 12-byte header.
+	var whole bytes.Buffer
+	if err := Encode(&whole, &Msg{Type: TLoad}); err != nil {
+		f.Fatal(err)
+	}
+	for i := 1; i < headerLen; i++ {
+		f.Add(whole.Bytes()[:i])
+	}
+	// Header intact, payload cut off mid-field.
+	f.Add(whole.Bytes()[:headerLen+3])
+	// Declared payload of exactly MaxPayload+1: must be refused before
+	// any allocation of that size.
+	over := make([]byte, headerLen)
+	over[0], over[1], over[2] = 0x52, 0x4D, Version
+	over[3] = uint8(TPageOut)
+	binary.BigEndian.PutUint32(over[8:], uint32(MaxPayload+1))
+	f.Add(over)
+	// Unknown opcode with a well-formed empty payload: framing accepts
+	// it (forward compatibility); the dispatch layer must answer
+	// StatusBadRequest rather than hang.
+	var unk bytes.Buffer
+	if err := Encode(&unk, &Msg{Type: Type(0xEE)}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(unk.Bytes())
+	// Bad magic and bad version ahead of a valid remainder.
+	bm := append([]byte(nil), whole.Bytes()...)
+	bm[0] = 'X'
+	f.Add(bm)
+	bv := append([]byte(nil), whole.Bytes()...)
+	bv[2] = Version + 1
+	f.Add(bv)
 
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		m, err := Decode(bytes.NewReader(raw))
