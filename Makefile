@@ -36,6 +36,7 @@ lint:
 fuzz-smoke:
 	$(GO) test ./internal/wire/ -run 'Fuzz' -fuzz FuzzDecode -fuzztime 20s
 	$(GO) test ./internal/wire/ -run 'Fuzz' -fuzz FuzzRoundTrip -fuzztime 20s
+	$(GO) test ./internal/wire/ -run 'Fuzz' -fuzz FuzzStreamDemux -fuzztime 20s
 
 clean:
 	$(GO) clean ./...

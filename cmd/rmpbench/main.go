@@ -7,7 +7,8 @@
 //	rmpbench                  # run everything
 //	rmpbench -fig 2           # one figure (1-5)
 //	rmpbench -exp latency     # one experiment: latency, busy,
-//	                          # loadednet, decomp, recovery, wtablation
+//	                          # loadednet, decomp, recovery,
+//	                          # wtablation, pipeline, ...
 package main
 
 import (
@@ -25,7 +26,7 @@ var asCSV bool
 func main() {
 	experiments.MaybeSpin() // child role for the busy-server experiment
 	fig := flag.Int("fig", 0, "regenerate one figure (1-5); 0 = all")
-	exp := flag.String("exp", "", "run one experiment: latency|busy|loadednet|multiclient|decomp|recovery|wtablation|swidth|overflow|avail")
+	exp := flag.String("exp", "", "run one experiment: latency|busy|loadednet|multiclient|decomp|recovery|wtablation|swidth|overflow|avail|pipeline")
 	flag.BoolVar(&asCSV, "csv", false, "emit CSV instead of aligned text")
 	flag.Parse()
 
@@ -40,7 +41,7 @@ func main() {
 			runFig(f)
 		}
 		for _, e := range []string{"decomp", "latency", "busy", "loadednet", "multiclient",
-			"recovery", "wtablation", "swidth", "overflow", "avail"} {
+			"recovery", "wtablation", "swidth", "overflow", "avail", "pipeline"} {
 			runExp(e)
 		}
 	}
@@ -100,6 +101,8 @@ func runExp(name string) {
 		t = experiments.Availability()
 	case "multiclient":
 		t = experiments.MultiClient()
+	case "pipeline":
+		t, err = experiments.Pipeline()
 	default:
 		log.Fatalf("rmpbench: unknown experiment %q", name)
 	}

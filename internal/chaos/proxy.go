@@ -1,8 +1,10 @@
-// Package chaos is a fault-injecting TCP proxy for reliability
-// testing: it relays byte streams between RMP clients and servers
-// while letting tests cut connections mid-frame, inject latency, or
+// Package chaos is a fault-injecting proxy for reliability testing:
+// it relays byte streams between RMP clients and servers while
+// letting tests cut connections mid-frame, inject latency, or
 // throttle — the failure modes a real workstation cluster produces
-// and unit tests otherwise cannot reach deterministically.
+// and unit tests otherwise cannot reach deterministically. It fronts
+// TCP backends by default (New) and any injectable transport — e.g.
+// the deterministic in-memory network in internal/memnet — via NewOn.
 package chaos
 
 import (
@@ -15,10 +17,10 @@ import (
 	"time"
 )
 
-// Proxy relays TCP connections to a backend with injectable faults.
+// Proxy relays connections to a backend with injectable faults.
 type Proxy struct {
-	backend string
-	ln      net.Listener
+	dial func() (net.Conn, error)
+	ln   net.Listener
 
 	mu sync.Mutex
 	// conns tracks both sides of every live relay so CutAll can sever
@@ -48,16 +50,25 @@ type Proxy struct {
 	wg sync.WaitGroup
 }
 
-// New starts a proxy in front of backend on an ephemeral port.
+// New starts a proxy in front of a TCP backend on an ephemeral
+// loopback port.
 func New(backend string) (*Proxy, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
 	}
-	p := &Proxy{backend: backend, ln: ln, conns: make(map[net.Conn]struct{})}
+	return NewOn(ln, func() (net.Conn, error) {
+		return net.DialTimeout("tcp", backend, 5*time.Second)
+	}), nil
+}
+
+// NewOn starts a proxy accepting on ln and reaching its backend via
+// dial — the transport-agnostic form, used with in-memory networks.
+func NewOn(ln net.Listener, dial func() (net.Conn, error)) *Proxy {
+	p := &Proxy{dial: dial, ln: ln, conns: make(map[net.Conn]struct{})}
 	p.wg.Add(1)
 	go p.acceptLoop()
-	return p, nil
+	return p
 }
 
 // Addr is the address clients should dial instead of the backend.
@@ -139,7 +150,7 @@ func (p *Proxy) acceptLoop() {
 			conn.Close()
 			continue
 		}
-		back, err := net.DialTimeout("tcp", p.backend, 5*time.Second)
+		back, err := p.dial()
 		if err != nil {
 			conn.Close()
 			continue

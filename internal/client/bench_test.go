@@ -1,0 +1,81 @@
+package client_test
+
+import (
+	"testing"
+
+	"rmp/internal/client"
+	"rmp/internal/page"
+	"rmp/internal/server"
+)
+
+// Pipelining regression benchmarks: the serial v1 path vs the
+// multiplexed v2 batch path against a live loopback server. Compare
+// with `go test -bench 'PageOut(Serial|Pipelined)' ./internal/client`;
+// the machine-readable variant is `rmpbench -exp pipeline`, which
+// emits BENCH_pipeline.json.
+
+// benchConn dials one live loopback server and hands the Conn plus a
+// filled page to the benchmark body.
+func benchConn(b *testing.B, forceV1 bool) (*client.Conn, page.Buf) {
+	b.Helper()
+	s := server.New(server.Config{CapacityPages: 1 << 18})
+	if err := s.ListenAndServe("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { s.Close() })
+	conn, err := client.DialWithOptions(s.Addr().String(), "bench", "", client.DialOptions{ForceV1: forceV1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { conn.Close() })
+	if conn.Multiplexed() == forceV1 {
+		b.Fatalf("negotiated mux=%v with forceV1=%v", conn.Multiplexed(), forceV1)
+	}
+	data := page.NewBuf()
+	data.Fill(1)
+	return conn, data
+}
+
+func BenchmarkPageOutSerialV1(b *testing.B) {
+	conn, data := benchConn(b, true)
+	b.SetBytes(page.Size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := conn.PageOut(uint64(i%4096), data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPageOutSerialV2(b *testing.B) {
+	conn, data := benchConn(b, false)
+	b.SetBytes(page.Size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := conn.PageOut(uint64(i%4096), data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPageOutPipelined measures the v2 batch path: 64 pageouts
+// per exchange, all in flight at once on one multiplexed Conn.
+func BenchmarkPageOutPipelined(b *testing.B) {
+	conn, data := benchConn(b, false)
+	const batch = 64
+	keys := make([]uint64, batch)
+	pages := make([]page.Buf, batch)
+	for i := range pages {
+		pages[i] = data
+	}
+	b.SetBytes(page.Size * batch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range keys {
+			keys[j] = uint64((i*batch + j) % 4096)
+		}
+		if err := conn.PageOutBatch(keys, pages); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -5,13 +5,19 @@
 // no server has free memory, migrates pages away from loaded servers,
 // and reconstructs lost pages after a server crash.
 //
-// This file holds Conn, the low-level request/response channel to one
-// server. Conn is safe for concurrent use: requests are serialized on
-// the wire (the protocol is strict request/response), so callers that
-// want parallel transfers to the same server open several Conns.
+// This file holds Conn, the low-level request channel to one server.
+// Conn is safe for concurrent use. On a protocol-v2 session
+// (negotiated at HELLO) it is a multiplexer: a writer goroutine
+// batches outbound tagged frames, a reader goroutine demuxes acks to
+// per-request channels by id, so many requests are in flight on one
+// connection and a late or timed-out ack is discarded by id instead
+// of poisoning the stream. Against a v1 server it degrades to the
+// original strict request/response discipline, serialized on the
+// wire.
 package client
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -27,6 +33,8 @@ import (
 // Conn is one authenticated protocol connection to a remote memory
 // server.
 type Conn struct {
+	// mu serializes round trips on the wire for v1 sessions. v2
+	// sessions do not take it: the mux owns the stream.
 	mu   sync.Mutex
 	conn net.Conn
 	addr string
@@ -35,6 +43,38 @@ type Conn struct {
 	// from the RTT estimator (see Deadlines). Set before first use;
 	// immutable afterwards.
 	dl Deadlines
+
+	// v2 is true when the HELLO exchange negotiated tagged framing
+	// (wire.Version2) and the mux goroutines are running. Set before
+	// the Conn is shared; immutable afterwards.
+	v2 bool
+	// sendCh feeds the writer goroutine. Created by startMux;
+	// immutable afterwards.
+	sendCh chan *wire.Msg
+	// done is closed exactly once when the mux dies (transport error
+	// or Close); it unblocks every waiter. Created by startMux;
+	// immutable afterwards.
+	done     chan struct{}
+	doneOnce sync.Once
+
+	// muxMu protects the demux table. It is never held across I/O.
+	muxMu sync.Mutex
+	// nextID is the last request id issued. Ids increase monotonically
+	// and wrap at 2^32, so an id is never reused while 4 billion
+	// requests are outstanding — a late ack for a timed-out request
+	// finds no (or at worst a long-gone) entry and is dropped.
+	// Guarded by muxMu.
+	nextID uint32
+	// pending maps in-flight request ids to their 1-buffered reply
+	// channels. Guarded by muxMu.
+	pending map[uint32]chan *wire.Msg
+	// muxErr is the first transport error that killed the mux; nil
+	// while healthy. Guarded by muxMu.
+	muxErr error
+
+	// lateDrops counts acks discarded because no request was pending
+	// under their id (late replies to timed-out requests).
+	lateDrops atomic.Uint64
 
 	// pressureMu protects the advisory state latched off acks; it is
 	// separate from mu so the pager can poll advisories without
@@ -119,10 +159,37 @@ func (d Deadlines) withDefaults() Deadlines {
 }
 
 // ErrReqTimeout marks a round trip that missed its adaptive deadline.
-// The connection is poisoned (a late ack would desynchronize the
-// framing); callers must discard it. errors.Is(err, ErrReqTimeout)
-// identifies the case.
+// On a v1 session the connection is poisoned (a late ack would
+// desynchronize the framing) and callers must discard it. On a v2
+// (multiplexed) session the stream stays framed — the late ack is
+// discarded by id when it eventually arrives — so the Conn remains
+// usable. errors.Is(err, ErrReqTimeout) identifies the case.
 var ErrReqTimeout = errors.New("client: request deadline exceeded")
+
+// errMuxClosed reports a request issued on (or in flight over) a
+// multiplexed connection that has been closed or has died; the
+// original transport error, when there is one, is wrapped.
+var errMuxClosed = errors.New("client: connection closed")
+
+// DialFunc opens the transport connection to a server address within
+// timeout. The default is TCP (net.DialTimeout); tests inject an
+// in-memory transport (internal/memnet) here.
+type DialFunc func(addr string, timeout time.Duration) (net.Conn, error)
+
+// DialOptions bundles the optional knobs of DialWithOptions.
+type DialOptions struct {
+	// Timeout bounds transport establishment. 0 means DialTimeout.
+	Timeout time.Duration
+	// Deadlines parametrizes the adaptive per-request deadline.
+	// Zero-valued fields take their defaults.
+	Deadlines Deadlines
+	// Dial replaces TCP dialing when non-nil.
+	Dial DialFunc
+	// ForceV1 suppresses the protocol-v2 advertisement in HELLO, so
+	// the session stays on strict request/response framing even
+	// against a v2-capable server.
+	ForceV1 bool
+}
 
 // Dial connects to a server, performs the HELLO handshake as
 // clientName with the given auth token, and returns the ready Conn.
@@ -134,19 +201,43 @@ func Dial(addr, clientName, token string) (*Conn, error) {
 // (the heartbeat prober uses the detector's probe timeout here, so a
 // black-holed re-dial cannot outlive the probe deadline).
 func DialWithTimeout(addr, clientName, token string, timeout time.Duration) (*Conn, error) {
-	return DialWithDeadlines(addr, clientName, token, timeout, DefaultDeadlines())
+	return DialWithOptions(addr, clientName, token, DialOptions{Timeout: timeout})
 }
 
 // DialWithDeadlines is DialWithTimeout with explicit request-deadline
 // parameters (the pager threads its configured floor/ceiling here).
 func DialWithDeadlines(addr, clientName, token string, timeout time.Duration, dl Deadlines) (*Conn, error) {
-	nc, err := net.DialTimeout("tcp", addr, timeout)
+	return DialWithOptions(addr, clientName, token, DialOptions{Timeout: timeout, Deadlines: dl})
+}
+
+// DialWithOptions is the full-control dial: transport establishment
+// bound, deadline parameters, an injectable transport, and the
+// protocol-version cap. The HELLO is always v1-framed and advertises
+// v2 via FlagV2 (unless ForceV1); a v2-capable server echoes the flag
+// on the HELLO_ACK and both sides switch to tagged framing, at which
+// point the mux goroutines start. A v1 server ignores the flag and
+// the session proceeds exactly as before this protocol revision.
+func DialWithOptions(addr, clientName, token string, opts DialOptions) (*Conn, error) {
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = DialTimeout
+	}
+	dial := opts.Dial
+	if dial == nil {
+		dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	nc, err := dial(addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
 	}
-	c := &Conn{conn: nc, addr: addr, dl: dl.withDefaults()}
+	c := &Conn{conn: nc, addr: addr, dl: opts.Deadlines.withDefaults()}
 	hello := &wire.Msg{Type: wire.THello, Host: clientName, Data: []byte(token)}
-	ack, err := c.roundTrip(hello)
+	if !opts.ForceV1 {
+		hello.Flags |= wire.FlagV2
+	}
+	ack, err := c.roundTripV1(hello)
 	if err != nil {
 		nc.Close()
 		return nil, fmt.Errorf("client: hello %s: %w", addr, err)
@@ -156,14 +247,44 @@ func DialWithDeadlines(addr, clientName, token string, timeout time.Duration, dl
 		return nil, fmt.Errorf("client: hello %s: %w", addr, err)
 	}
 	c.serverFree = ack.N
+	if !opts.ForceV1 && ack.Flags&wire.FlagV2 != 0 {
+		c.startMux()
+	}
 	return c, nil
 }
 
 // Addr returns the server address this connection targets.
 func (c *Conn) Addr() string { return c.addr }
 
+// Multiplexed reports whether the session negotiated protocol v2 —
+// i.e. whether requests pipeline on this Conn and a deadline miss
+// leaves it usable.
+func (c *Conn) Multiplexed() bool { return c.v2 }
+
+// Broken reports whether a multiplexed session has died (transport
+// error or Close). Always false for a live v1 session: a v1 Conn's
+// health is only discovered by using it.
+func (c *Conn) Broken() bool {
+	if !c.v2 {
+		return false
+	}
+	c.muxMu.Lock()
+	defer c.muxMu.Unlock()
+	return c.muxErr != nil
+}
+
+// LateAcksDropped counts acks that arrived after their request had
+// timed out and was abandoned (diagnostics).
+func (c *Conn) LateAcksDropped() uint64 { return c.lateDrops.Load() }
+
 // Close tears the connection down without the BYE exchange.
-func (c *Conn) Close() error { return c.conn.Close() }
+func (c *Conn) Close() error {
+	if c.v2 {
+		c.failMux(errMuxClosed)
+		return nil
+	}
+	return c.conn.Close()
+}
 
 // reqPayloadBytes estimates the wire payload a request moves in each
 // direction: its own data plus the expected response data (a PAGEIN
@@ -229,12 +350,23 @@ func timeoutErr(err error, addr string, d time.Duration) error {
 	return err
 }
 
-// roundTrip sends req and reads one ack under the adaptive deadline,
-// latching pressure advisories and folding the measured service time
-// into the RTT estimate. A deadline miss poisons the connection (a
-// late ack would desynchronize the request/response framing) — the
-// caller must discard the Conn after any error.
+// roundTrip sends req and reads its ack under the adaptive deadline,
+// dispatching to the session's framing: v1 serializes on the wire, v2
+// goes through the mux and may interleave with other in-flight
+// requests.
 func (c *Conn) roundTrip(req *wire.Msg) (*wire.Msg, error) {
+	if c.v2 {
+		return c.muxRoundTrip(req, c.requestDeadline(reqPayloadBytes(req)), true)
+	}
+	return c.roundTripV1(req)
+}
+
+// roundTripV1 sends req and reads one ack under the adaptive
+// deadline, latching pressure advisories and folding the measured
+// service time into the RTT estimate. A deadline miss poisons the
+// connection (a late ack would desynchronize the request/response
+// framing) — the caller must discard the Conn after any error.
+func (c *Conn) roundTripV1(req *wire.Msg) (*wire.Msg, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	d := c.requestDeadline(reqPayloadBytes(req))
@@ -269,6 +401,184 @@ func (c *Conn) latchFlags(flags uint8) {
 		c.draining = true
 	}
 	c.pressureMu.Unlock()
+}
+
+// muxSendBuf is the depth of the writer goroutine's inbox. It only
+// smooths bursts; a full inbox applies backpressure to callers, whose
+// per-request deadlines still bound the wait.
+const muxSendBuf = 128
+
+// startMux switches the connection to v2 framing and starts the
+// writer and reader goroutines. Called once, from the dial handshake,
+// before the Conn is shared.
+func (c *Conn) startMux() {
+	c.v2 = true
+	c.sendCh = make(chan *wire.Msg, muxSendBuf)
+	c.done = make(chan struct{})
+	c.muxMu.Lock()
+	c.pending = make(map[uint32]chan *wire.Msg)
+	c.muxMu.Unlock()
+	go c.writeLoop()
+	go c.readLoop()
+}
+
+// failMux records the first fatal error, closes the transport, and
+// wakes every in-flight request. Idempotent; safe from any goroutine.
+func (c *Conn) failMux(err error) {
+	c.muxMu.Lock()
+	if c.muxErr == nil {
+		c.muxErr = err
+	}
+	// Drop the demux table: waiters are woken via done and will read
+	// muxErr; a reply channel is never written after this point.
+	c.pending = make(map[uint32]chan *wire.Msg)
+	c.muxMu.Unlock()
+	c.doneOnce.Do(func() { close(c.done) })
+	c.conn.Close()
+}
+
+// muxError returns the error that killed the mux, wrapped so the
+// retry layer classifies it as a transport failure.
+func (c *Conn) muxError() error {
+	c.muxMu.Lock()
+	err := c.muxErr
+	c.muxMu.Unlock()
+	if err == nil || err == errMuxClosed {
+		return fmt.Errorf("%w: %s", errMuxClosed, c.addr)
+	}
+	return fmt.Errorf("%w: %s: %w", errMuxClosed, c.addr, err)
+}
+
+// writeLoop drains the send channel onto the wire, batching every
+// frame already queued into one buffered flush — a burst of pipelined
+// pageouts leaves as a handful of large writes instead of one write
+// per frame. The loop exits when the mux dies; a blocked Write is
+// unblocked by failMux closing the transport.
+func (c *Conn) writeLoop() {
+	bw := bufio.NewWriterSize(c.conn, 64<<10)
+	for {
+		select {
+		case m := <-c.sendCh:
+			if err := wire.Encode(bw, m); err != nil {
+				c.failMux(err)
+				return
+			}
+			for batched := true; batched; {
+				select {
+				case m2 := <-c.sendCh:
+					if err := wire.Encode(bw, m2); err != nil {
+						c.failMux(err)
+						return
+					}
+				default:
+					batched = false
+				}
+			}
+			if err := bw.Flush(); err != nil {
+				c.failMux(err)
+				return
+			}
+		case <-c.done:
+			return
+		}
+	}
+}
+
+// readLoop decodes acks off the wire and resolves them against the
+// demux table by id. An ack with no pending entry — the late reply to
+// a request that timed out and was abandoned — is counted and
+// dropped; the stream stays framed and every other in-flight request
+// is unaffected. The loop exits on the first decode error (including
+// the transport close performed by failMux).
+func (c *Conn) readLoop() {
+	for {
+		m, err := wire.Decode(c.conn)
+		if err != nil {
+			c.failMux(err)
+			return
+		}
+		c.latchFlags(m.Flags)
+		c.muxMu.Lock()
+		ch, ok := c.pending[m.ID]
+		if ok {
+			delete(c.pending, m.ID)
+		}
+		c.muxMu.Unlock()
+		if !ok {
+			c.lateDrops.Add(1)
+			continue
+		}
+		ch <- m // 1-buffered; never blocks
+	}
+}
+
+// registerReq allocates a request id, stamps req as a tagged frame,
+// and installs its reply channel in the demux table.
+func (c *Conn) registerReq(req *wire.Msg) (uint32, chan *wire.Msg, error) {
+	ch := make(chan *wire.Msg, 1)
+	c.muxMu.Lock()
+	if c.muxErr != nil {
+		c.muxMu.Unlock()
+		return 0, nil, c.muxError()
+	}
+	for {
+		c.nextID++
+		if _, busy := c.pending[c.nextID]; !busy {
+			break
+		}
+	}
+	id := c.nextID
+	c.pending[id] = ch
+	c.muxMu.Unlock()
+	req.Version = wire.Version2
+	req.ID = id
+	return id, ch, nil
+}
+
+// unregister abandons a pending request (timeout or shutdown); its
+// ack, if it ever arrives, will be dropped by the reader.
+func (c *Conn) unregister(id uint32) {
+	c.muxMu.Lock()
+	delete(c.pending, id)
+	c.muxMu.Unlock()
+}
+
+// muxRoundTrip issues one tagged request and waits for its ack under
+// deadline d. A miss abandons only this request — the connection, and
+// every other request in flight on it, carries on.
+func (c *Conn) muxRoundTrip(req *wire.Msg, d time.Duration, sampleRTT bool) (*wire.Msg, error) {
+	id, ch, err := c.registerReq(req)
+	if err != nil {
+		return nil, err
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	start := time.Now()
+	select {
+	case c.sendCh <- req:
+	case <-c.done:
+		c.unregister(id)
+		return nil, c.muxError()
+	case <-timer.C:
+		c.unregister(id)
+		return nil, fmt.Errorf("%w: no ack from %s within %v", ErrReqTimeout, c.addr, d)
+	}
+	select {
+	case ack := <-ch:
+		if sampleRTT {
+			c.observeRTT(time.Since(start).Nanoseconds())
+		}
+		if ack.Type != req.Type.Ack() {
+			return nil, fmt.Errorf("client: got %v in reply to %v", ack.Type, req.Type)
+		}
+		return ack, nil
+	case <-c.done:
+		c.unregister(id)
+		return nil, c.muxError()
+	case <-timer.C:
+		c.unregister(id)
+		return nil, fmt.Errorf("%w: no ack from %s within %v", ErrReqTimeout, c.addr, d)
+	}
 }
 
 // RTT returns the smoothed request round-trip estimate (0 before the
@@ -377,6 +687,9 @@ func (c *Conn) PageOutBatch(keys []uint64, pages []page.Buf) error {
 			return err
 		}
 	}
+	if c.v2 {
+		return c.pageOutBatchMux(keys, pages)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	// The whole batch shares one deadline: the per-request estimate
@@ -400,6 +713,62 @@ func (c *Conn) PageOutBatch(keys []uint64, pages []page.Buf) error {
 		c.latchFlags(ack.Flags)
 		if e := ack.Status.Err(); e != nil && firstErr == nil {
 			firstErr = e
+		}
+	}
+	// One batch = one latency sample per page on average.
+	c.observeRTT(time.Since(start).Nanoseconds() / int64(len(keys)))
+	return firstErr
+}
+
+// pageOutBatchMux is PageOutBatch over a multiplexed session: every
+// request is registered and enqueued up front, then the acks are
+// collected in any order under one shared deadline. Unlike the v1
+// batch, a deadline miss abandons only the unanswered requests — the
+// connection stays healthy.
+func (c *Conn) pageOutBatchMux(keys []uint64, pages []page.Buf) error {
+	d := c.requestDeadline(len(keys) * page.Size)
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	start := time.Now()
+	ids := make([]uint32, 0, len(keys))
+	chans := make([]chan *wire.Msg, 0, len(keys))
+	abandon := func(from int) {
+		for _, id := range ids[from:] {
+			c.unregister(id)
+		}
+	}
+	for i, key := range keys {
+		req := (&wire.Msg{Type: wire.TPageOut, Key: key, Data: pages[i]}).WithChecksum()
+		id, ch, err := c.registerReq(req)
+		if err != nil {
+			abandon(0)
+			return err
+		}
+		ids = append(ids, id)
+		chans = append(chans, ch)
+		select {
+		case c.sendCh <- req:
+		case <-c.done:
+			abandon(0)
+			return c.muxError()
+		case <-timer.C:
+			abandon(0)
+			return fmt.Errorf("%w: no ack from %s within %v", ErrReqTimeout, c.addr, d)
+		}
+	}
+	var firstErr error
+	for i, ch := range chans {
+		select {
+		case ack := <-ch:
+			if e := ack.Status.Err(); e != nil && firstErr == nil {
+				firstErr = e
+			}
+		case <-c.done:
+			abandon(i)
+			return c.muxError()
+		case <-timer.C:
+			abandon(i)
+			return fmt.Errorf("%w: no ack from %s within %v", ErrReqTimeout, c.addr, d)
 		}
 	}
 	// One batch = one latency sample per page on average.
@@ -476,31 +845,31 @@ func (c *Conn) XorDelta(key uint64, data page.Buf) error {
 
 // Ping performs one heartbeat probe bounded by timeout. It returns
 // the server's free-page count, whether the server is draining, and
-// any peer addresses the server gossips back. A Ping that misses its
-// deadline poisons the connection (a late PONG would desynchronize
-// the request/response framing), so callers must discard the Conn
-// after an error.
+// any peer addresses the server gossips back. On a v1 session a Ping
+// that misses its deadline poisons the connection (a late PONG would
+// desynchronize the request/response framing), so callers must
+// discard the Conn after an error; a multiplexed session drops the
+// late PONG by id and stays usable.
 func (c *Conn) Ping(timeout time.Duration) (free int, draining bool, peers []string, err error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if timeout > 0 {
-		c.conn.SetDeadline(time.Now().Add(timeout))
-		defer c.conn.SetDeadline(time.Time{})
+	var ack *wire.Msg
+	if c.v2 {
+		d := timeout
+		if d <= 0 {
+			d = c.requestDeadline(0)
+		}
+		// Heartbeats bypass the RTT estimate on purpose: PING skips
+		// the server's service-delay model, so its latency is not a
+		// fair sample of page-service time.
+		ack, err = c.muxRoundTrip(&wire.Msg{Type: wire.TPing}, d, false)
+		if err != nil {
+			return 0, false, nil, err
+		}
+	} else {
+		ack, err = c.pingV1(timeout)
+		if err != nil {
+			return 0, false, nil, err
+		}
 	}
-	// Heartbeats bypass the RTT estimate on purpose: PING skips the
-	// server's service-delay model, so its latency is not a fair
-	// sample of page-service time.
-	if err = wire.Encode(c.conn, &wire.Msg{Type: wire.TPing}); err != nil {
-		return 0, false, nil, err
-	}
-	ack, err := wire.Decode(c.conn)
-	if err != nil {
-		return 0, false, nil, err
-	}
-	if ack.Type != wire.TPong {
-		return 0, false, nil, fmt.Errorf("client: got %v in reply to PING", ack.Type)
-	}
-	c.latchFlags(ack.Flags)
 	if err := ack.Status.Err(); err != nil {
 		return 0, false, nil, err
 	}
@@ -512,6 +881,29 @@ func (c *Conn) Ping(timeout time.Duration) (free int, draining bool, peers []str
 		}
 	}
 	return int(ack.N), draining, peers, nil
+}
+
+// pingV1 is the strict request/response heartbeat exchange.
+func (c *Conn) pingV1(timeout time.Duration) (*wire.Msg, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(timeout))
+		defer c.conn.SetDeadline(time.Time{})
+	}
+	// No RTT sample here either; see Ping.
+	if err := wire.Encode(c.conn, &wire.Msg{Type: wire.TPing}); err != nil {
+		return nil, err
+	}
+	ack, err := wire.Decode(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	if ack.Type != wire.TPong {
+		return nil, fmt.Errorf("client: got %v in reply to PING", ack.Type)
+	}
+	c.latchFlags(ack.Flags)
+	return ack, nil
 }
 
 // Join announces another server's address to this server, which will
@@ -541,6 +933,6 @@ func (c *Conn) Drain() error {
 // the client's pages and reservation.
 func (c *Conn) Bye() error {
 	_, err := c.roundTrip(&wire.Msg{Type: wire.TBye})
-	c.conn.Close()
+	c.Close()
 	return err
 }

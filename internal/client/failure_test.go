@@ -2,7 +2,6 @@ package client_test
 
 import (
 	"errors"
-	"net"
 	"testing"
 
 	"rmp/internal/client"
@@ -183,12 +182,14 @@ func TestServerRejoinsAfterRestart(t *testing.T) {
 		p.PageIn(page.ID(i))
 	}
 
-	// Restart a daemon on the same address.
-	ln, err := net.Listen("tcp", addr)
+	// Restart a daemon on the same address. On the in-memory network
+	// the crashed listener's address is freed synchronously by Close,
+	// so the restart can never hit a port-reuse race.
+	ln, err := c.net.Listen(addr)
 	if err != nil {
-		t.Skipf("port %s not immediately reusable: %v", addr, err)
+		t.Fatalf("restart on %s: %v", addr, err)
 	}
-	srv2 := server.New(server.Config{CapacityPages: 256})
+	srv2 := server.New(server.Config{CapacityPages: 256, Dial: c.net.DialTimeout})
 	srv2.Serve(ln)
 	t.Cleanup(func() { srv2.Close() })
 

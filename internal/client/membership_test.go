@@ -2,6 +2,7 @@ package client_test
 
 import (
 	"fmt"
+	"net"
 	"os"
 	"path/filepath"
 	"testing"
@@ -53,10 +54,14 @@ func newProxiedCluster(t *testing.T, n, capacity int) *proxiedCluster {
 	t.Helper()
 	pc := &proxiedCluster{cluster: newCluster(t, n, capacity)}
 	for i, addr := range pc.addrs {
-		px, err := chaos.New(addr)
+		backend := addr
+		ln, err := pc.net.Listen(fmt.Sprintf("via-srv%d:7077", i))
 		if err != nil {
-			t.Fatalf("proxy %d: %v", i, err)
+			t.Fatalf("proxy %d listen: %v", i, err)
 		}
+		px := chaos.NewOn(ln, func() (net.Conn, error) {
+			return pc.net.DialTimeout(backend, 5*time.Second)
+		})
 		t.Cleanup(px.Close)
 		pc.proxies = append(pc.proxies, px)
 		pc.via = append(pc.via, px.Addr())
@@ -83,6 +88,7 @@ func TestHeartbeatFailoverMirrored(t *testing.T) {
 		Servers:    pc.via,
 		Policy:     client.PolicyMirroring,
 		Membership: hbConfig(),
+		Dial:       pc.net.DialTimeout,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -145,6 +151,7 @@ func TestHeartbeatDeathCauseInSurvey(t *testing.T) {
 		Servers:    pc.via,
 		Policy:     client.PolicyMirroring,
 		Membership: hbConfig(),
+		Dial:       pc.net.DialTimeout,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -180,6 +187,7 @@ func TestGracefulDrain(t *testing.T) {
 		Servers:    c.addrs,
 		Policy:     client.PolicyMirroring,
 		Membership: hbConfig(),
+		Dial:       c.net.DialTimeout,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -227,22 +235,16 @@ func TestGracefulDrain(t *testing.T) {
 // gossiped in PONGs and automatically joined by the pager, then
 // absorbs load the original server cannot take.
 func TestJoinViaGossip(t *testing.T) {
-	small := server.New(server.Config{Name: "small", CapacityPages: 16, OverflowFrac: 0.10})
-	if err := small.ListenAndServe("127.0.0.1:0"); err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { small.Close() })
-	big := server.New(server.Config{Name: "big", CapacityPages: 512, OverflowFrac: 0.10})
-	if err := big.ListenAndServe("127.0.0.1:0"); err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { big.Close() })
+	c := newCluster(t, 0, 0)
+	c.addServer(server.Config{Name: "small", CapacityPages: 16, OverflowFrac: 0.10})
+	big := c.addServer(server.Config{Name: "big", CapacityPages: 512, OverflowFrac: 0.10})
 
 	p, err := client.New(client.Config{
 		ClientName: "join-test",
-		Servers:    []string{small.Addr().String()},
+		Servers:    []string{c.addrs[0]},
 		Policy:     client.PolicyNone,
 		Membership: hbConfig(),
+		Dial:       c.net.DialTimeout,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -251,7 +253,8 @@ func TestJoinViaGossip(t *testing.T) {
 
 	// Announce the big server to the small one over the wire, the way
 	// `rmpctl join` does.
-	ann, err := client.Dial(small.Addr().String(), "announcer", "")
+	ann, err := client.DialWithOptions(c.addrs[0], "announcer", "",
+		client.DialOptions{Dial: c.net.DialTimeout})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,6 +304,7 @@ func TestJoinViaRegistryWatch(t *testing.T) {
 		Membership:    hbConfig(),
 		WatchRegistry: reg,
 		WatchEvery:    20 * time.Millisecond,
+		Dial:          c.net.DialTimeout,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -331,6 +335,7 @@ func TestRevivalAfterRestart(t *testing.T) {
 		Servers:    pc.via,
 		Policy:     client.PolicyMirroring,
 		Membership: hbConfig(),
+		Dial:       pc.net.DialTimeout,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -371,7 +376,7 @@ func TestDataPathDeathCauseRecorded(t *testing.T) {
 	// 127.0.0.1:1 refuses connections: a registered server that is not
 	// actually up.
 	addrs := append(append([]string{}, c.addrs...), "127.0.0.1:1")
-	p, err := client.New(client.Config{Servers: addrs, Policy: client.PolicyNone})
+	p, err := client.New(client.Config{Servers: addrs, Policy: client.PolicyNone, Dial: c.net.DialTimeout})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -179,6 +179,7 @@ func TestBackgroundRebalanceLoop(t *testing.T) {
 		Servers:        cl.addrs,
 		Policy:         client.PolicyNone,
 		RebalanceEvery: 10 * time.Millisecond,
+		Dial:           cl.net.DialTimeout,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,358 @@
+package client_test
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"rmp/internal/client"
+	"rmp/internal/memnet"
+	"rmp/internal/page"
+	"rmp/internal/wire"
+)
+
+// End-to-end tests for the multiplexed (protocol v2) client session:
+// version negotiation with v1 fallback, concurrent round trips on one
+// Conn, and the acceptance scenario — a deliberately stalled response
+// times out without poisoning the connection, and its late ack is
+// discarded by request id when it finally arrives.
+
+// stallServer is a scriptable v2 server: it performs the HELLO
+// negotiation, answers PAGEOUT/PAGEIN from an in-memory map, and
+// withholds the response to any request whose key is in stall until
+// release is closed. Responses are written from per-request
+// goroutines, so non-stalled requests keep completing — exactly the
+// behaviour a pipelined session must exploit.
+type stallServer struct {
+	ln      net.Listener
+	stall   map[uint64]bool
+	release chan struct{}
+
+	mu    sync.Mutex
+	pages map[uint64][]byte // Guarded by mu.
+	wg    sync.WaitGroup
+}
+
+func newStallServer(t *testing.T, ln net.Listener, stallKeys ...uint64) *stallServer {
+	t.Helper()
+	s := &stallServer{
+		ln:      ln,
+		stall:   make(map[uint64]bool),
+		release: make(chan struct{}),
+		pages:   make(map[uint64][]byte),
+	}
+	for _, k := range stallKeys {
+		s.stall[k] = true
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	t.Cleanup(func() {
+		s.ln.Close()
+		select {
+		case <-s.release:
+		default:
+			close(s.release)
+		}
+		s.wg.Wait()
+	})
+	return s
+}
+
+func (s *stallServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go s.serve(conn)
+	}
+}
+
+func (s *stallServer) serve(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	hello, err := wire.Decode(conn)
+	if err != nil || hello.Type != wire.THello {
+		return
+	}
+	ack := &wire.Msg{Type: wire.THelloAck, Status: wire.StatusOK, N: 1 << 20}
+	ack.Flags |= hello.Flags & wire.FlagV2 // echo = accept v2
+	if err := wire.Encode(conn, ack); err != nil {
+		return
+	}
+	// Replies race on the shared conn; wmu keeps frames whole.
+	var wmu sync.Mutex
+	for {
+		m, err := wire.Decode(conn)
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func(m *wire.Msg) {
+			defer s.wg.Done()
+			// Only reads stall, so tests can seed stalled keys with a
+			// normal PAGEOUT first.
+			if m.Type == wire.TPageIn && s.stall[m.Key] {
+				select {
+				case <-s.release:
+				case <-time.After(30 * time.Second):
+				}
+			}
+			resp := s.respond(m)
+			resp.Version = m.Version
+			resp.ID = m.ID
+			wmu.Lock()
+			wire.Encode(conn, resp)
+			wmu.Unlock()
+		}(m)
+	}
+}
+
+func (s *stallServer) respond(m *wire.Msg) *wire.Msg {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch m.Type {
+	case wire.TPageOut:
+		s.pages[m.Key] = append([]byte(nil), m.Data...)
+		return &wire.Msg{Type: wire.TPageOutAck, Key: m.Key, Status: wire.StatusOK}
+	case wire.TPageIn:
+		data, ok := s.pages[m.Key]
+		if !ok {
+			return &wire.Msg{Type: wire.TPageInAck, Key: m.Key, Status: wire.StatusNotFound}
+		}
+		return (&wire.Msg{Type: wire.TPageInAck, Key: m.Key, Status: wire.StatusOK, Data: data}).WithChecksum()
+	default:
+		return &wire.Msg{Type: m.Type.Ack(), Key: m.Key, Status: wire.StatusOK}
+	}
+}
+
+// dialStallServer connects a v2 client with tight, fixed request
+// deadlines so a stalled request costs the test milliseconds.
+func dialStallServer(t *testing.T, nw *memnet.Network, addr string) *client.Conn {
+	t.Helper()
+	c, err := client.DialWithOptions(addr, "mux-test", "", client.DialOptions{
+		Dial:      nw.DialTimeout,
+		Deadlines: client.Deadlines{Floor: 200 * time.Millisecond, Ceil: 200 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	if !c.Multiplexed() {
+		t.Fatal("v2 server did not negotiate a multiplexed session")
+	}
+	return c
+}
+
+// TestMuxStalledRequestDoesNotPoisonConn is the issue's acceptance
+// scenario: one request's response is withheld; that request times out
+// with ErrReqTimeout while concurrent requests on the SAME Conn keep
+// completing, the connection stays usable afterwards, and the late ack
+// is discarded by id once the server finally sends it.
+func TestMuxStalledRequestDoesNotPoisonConn(t *testing.T) {
+	nw := memnet.New()
+	const stallKey = 999
+	srv := newStallServer(t, nw.MustListen("stall:7077"), stallKey)
+	c := dialStallServer(t, nw, "stall:7077")
+
+	for i := uint64(0); i < 8; i++ {
+		if err := c.PageOut(i, mkPage(i)); err != nil {
+			t.Fatalf("pageout %d: %v", i, err)
+		}
+	}
+	if err := c.PageOut(stallKey, mkPage(stallKey)); err != nil {
+		t.Fatalf("pageout stall key: %v", err)
+	}
+
+	// Fire the stalled read and a burst of healthy reads concurrently.
+	stallErr := make(chan error, 1)
+	go func() {
+		_, err := c.PageIn(stallKey)
+		stallErr <- err
+	}()
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := uint64(0); i < 8; i++ {
+		wg.Add(1)
+		go func(i uint64) {
+			defer wg.Done()
+			got, err := c.PageIn(i)
+			if err != nil {
+				errs <- fmt.Errorf("pagein %d: %w", i, err)
+				return
+			}
+			if got.Checksum() != mkPage(i).Checksum() {
+				errs <- fmt.Errorf("pagein %d: wrong contents", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	if err := <-stallErr; !errors.Is(err, client.ErrReqTimeout) {
+		t.Fatalf("stalled pagein: got %v, want ErrReqTimeout", err)
+	}
+	if c.Broken() {
+		t.Fatal("connection marked broken by a deadline miss")
+	}
+
+	// The same Conn keeps working after the miss — no redial happened.
+	for i := uint64(0); i < 8; i++ {
+		if _, err := c.PageIn(i); err != nil {
+			t.Fatalf("pagein %d after stall: %v", i, err)
+		}
+	}
+
+	// Release the withheld ack: it must be dropped by id, not crash the
+	// demux or get delivered to some unrelated request.
+	close(srv.release)
+	waitUntil(t, 5*time.Second, "late ack to be discarded", func() bool {
+		return c.LateAcksDropped() >= 1
+	})
+	if _, err := c.PageIn(3); err != nil {
+		t.Fatalf("pagein after late ack: %v", err)
+	}
+}
+
+// TestMuxForceV1Fallback: a client capped to protocol v1 gets a plain
+// strict request/response session from a v2-capable server, and the
+// data path still works.
+func TestMuxForceV1Fallback(t *testing.T) {
+	c := newCluster(t, 1, 64)
+	conn, err := client.DialWithOptions(c.addrs[0], "v1-test", "", client.DialOptions{
+		Dial:    c.net.DialTimeout,
+		ForceV1: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if conn.Multiplexed() {
+		t.Fatal("ForceV1 session negotiated v2 anyway")
+	}
+	if err := conn.PageOut(1, mkPage(1)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := conn.PageIn(1)
+	if err != nil || got.Checksum() != mkPage(1).Checksum() {
+		t.Fatalf("v1 round trip: %v", err)
+	}
+}
+
+// TestMuxNegotiatedAgainstRealServer: the default dial against the
+// real server negotiates v2 and survives concurrent traffic from many
+// goroutines sharing one Conn.
+func TestMuxNegotiatedAgainstRealServer(t *testing.T) {
+	c := newCluster(t, 1, 1024)
+	conn, err := client.DialWithOptions(c.addrs[0], "mux-real", "", client.DialOptions{
+		Dial: c.net.DialTimeout,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if !conn.Multiplexed() {
+		t.Fatal("real server did not negotiate v2")
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				key := uint64(g*100 + i)
+				if err := conn.PageOut(key, mkPage(key)); err != nil {
+					errs <- fmt.Errorf("pageout %d: %w", key, err)
+					return
+				}
+				got, err := conn.PageIn(key)
+				if err != nil {
+					errs <- fmt.Errorf("pagein %d: %w", key, err)
+					return
+				}
+				if got.Checksum() != mkPage(key).Checksum() {
+					errs <- fmt.Errorf("page %d corrupted", key)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestPipelinedPageOutBatch: the v2 batch path registers every request
+// before the first ack arrives, so a full batch round-trips through
+// the real server and reads back intact.
+func TestPipelinedPageOutBatch(t *testing.T) {
+	c := newCluster(t, 1, 1024)
+	conn, err := client.DialWithOptions(c.addrs[0], "batch-test", "", client.DialOptions{
+		Dial: c.net.DialTimeout,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	const n = 64
+	keys := make([]uint64, n)
+	pages := make([]page.Buf, n)
+	for i := range keys {
+		keys[i] = uint64(i)
+		pages[i] = mkPage(uint64(i))
+	}
+	if err := conn.PageOutBatch(keys, pages); err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	for i := uint64(0); i < n; i++ {
+		got, err := conn.PageIn(i)
+		if err != nil || got.Checksum() != mkPage(i).Checksum() {
+			t.Fatalf("pagein %d: %v", i, err)
+		}
+	}
+}
+
+// TestMuxRequestsFailFastOnDeadConn: when the transport dies with
+// requests in flight, every waiter is released with the transport
+// error instead of hanging until its deadline.
+func TestMuxRequestsFailFastOnDeadConn(t *testing.T) {
+	nw := memnet.New()
+	const stallKey = 7
+	newStallServer(t, nw.MustListen("die:7077"), stallKey)
+	c, err := client.DialWithOptions("die:7077", "die-test", "", client.DialOptions{
+		Dial:      nw.DialTimeout,
+		Deadlines: client.Deadlines{Floor: 10 * time.Second, Ceil: 10 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.PageIn(stallKey)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the request get registered
+	c.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("pagein on closed conn succeeded")
+		}
+		if errors.Is(err, client.ErrReqTimeout) {
+			t.Fatalf("waiter hit its 10s deadline instead of failing fast: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("in-flight request not released by Close")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"os"
 	"sync"
 	"time"
 
@@ -143,6 +144,17 @@ type Config struct {
 	// (default 1s).
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
+
+	// Dial, when non-nil, replaces TCP dialing for every connection
+	// the pager opens: the data path, retry re-dials, heartbeat
+	// probes, and membership revival. Tests inject a deterministic
+	// in-memory transport (internal/memnet) here.
+	Dial DialFunc
+	// ForceWireV1 keeps every connection on protocol v1 (strict
+	// request/response framing) even against v2-capable servers.
+	// The RMP_WIRE_V1 environment variable forces it globally — CI
+	// uses it to run the same suite over both negotiation paths.
+	ForceWireV1 bool
 }
 
 // Stats counts pager activity.
@@ -332,6 +344,9 @@ func New(cfg Config) (*Pager, error) {
 	if cfg.ClientName == "" {
 		cfg.ClientName = "rmp-client"
 	}
+	if os.Getenv("RMP_WIRE_V1") != "" {
+		cfg.ForceWireV1 = true
+	}
 	p := &Pager{
 		cfg:            cfg,
 		table:          make(map[page.ID]*location),
@@ -339,7 +354,7 @@ func New(cfg Config) (*Pager, error) {
 	}
 	for _, addr := range cfg.Servers {
 		rs := &remoteServer{addr: addr, breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)}
-		if conn, err := DialWithDeadlines(addr, cfg.ClientName, cfg.AuthToken, DialTimeout, p.deadlines()); err == nil {
+		if conn, err := DialWithOptions(addr, cfg.ClientName, cfg.AuthToken, p.dialOpts(DialTimeout)); err == nil {
 			rs.conn = conn
 			rs.alive = true
 			rs.everConnected = true
@@ -375,7 +390,7 @@ func New(cfg Config) (*Pager, error) {
 	// The membership layer starts last: its callbacks need p.pol.
 	if cfg.Membership != nil {
 		p.rep = membership.NewReprotector()
-		p.prober = newHBProber(cfg.ClientName, cfg.AuthToken)
+		p.prober = newHBProber(cfg.ClientName, cfg.AuthToken, cfg.Dial, cfg.ForceWireV1)
 		p.hb = membership.NewDetector(*cfg.Membership, p.prober, p.onMemberEvent, p.onMemberAck)
 		for _, rs := range p.servers {
 			p.hb.Track(rs.addr)
@@ -746,6 +761,36 @@ func (p *Pager) sendPage(srv int, key uint64, data page.Buf, fresh bool) error {
 	return nil
 }
 
+// sendPageBatch stores several pages on ONE server in a single
+// pipelined exchange: every PAGEOUT frame is written back to back and
+// the acks are collected afterwards, so the batch costs about one
+// round trip instead of one per page (see Conn.PageOutBatch). PAGEOUT
+// is keyed by block, so the retry layer may replay the whole batch
+// safely after a transport failure.
+//rmpvet:holds Pager.mu
+func (p *Pager) sendPageBatch(srv int, keys []uint64, pages []page.Buf, fresh bool) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	rs := p.servers[srv]
+	if err := p.withConn(srv, true, func(c *Conn) error {
+		return c.PageOutBatch(keys, pages)
+	}); err != nil {
+		if isConnError(err) {
+			p.serverDied(srv, err)
+		}
+		return err
+	}
+	p.stats.NetTransfers += uint64(len(keys))
+	if fresh {
+		rs.used += len(keys)
+	}
+	if rs.conn.PressureAdvised() {
+		rs.pressured = true
+	}
+	return nil
+}
+
 // sendReq is one transfer for sendPages.
 type sendReq struct {
 	srv   int
@@ -782,11 +827,15 @@ func (p *Pager) sendPages(reqs []sendReq) []error {
 		}
 		if errs[i] != nil && isConnError(errs[i]) {
 			// The concurrent attempt ran outside the retry layer; give
-			// the transfer its bounded retries now, serially. The conn
-			// is poisoned (a late response could alias a replay), so it
-			// is closed first and withConn re-dials.
+			// the transfer its bounded retries now, serially. On a v1
+			// session the conn is poisoned (a late response would alias
+			// a replay), so it is closed first and withConn re-dials; a
+			// v2 session stays framed across a deadline miss — the late
+			// ack is discarded by request id — so the conn is kept.
 			p.noteTransportFailure(rs, errs[i])
-			rs.conn.Close()
+			if !(errors.Is(errs[i], ErrReqTimeout) && rs.conn.Multiplexed() && !rs.conn.Broken()) {
+				rs.conn.Close()
+			}
 			errs[i] = p.withConn(r.srv, true, func(c *Conn) error {
 				return c.PageOut(r.key, r.data)
 			})

@@ -19,6 +19,10 @@ import (
 // suspicion, and a heartbeat cannot queue behind a slow pageout.
 type hbProber struct {
 	clientName, token string
+	// dial is the injected transport (nil = TCP) and forceV1 the
+	// protocol cap; both mirror the pager's Config.
+	dial    DialFunc
+	forceV1 bool
 
 	mu sync.Mutex
 	// conns caches one heartbeat connection per server address.
@@ -29,8 +33,8 @@ type hbProber struct {
 	closed bool
 }
 
-func newHBProber(clientName, token string) *hbProber {
-	return &hbProber{clientName: clientName, token: token, conns: make(map[string]*Conn)}
+func newHBProber(clientName, token string, dial DialFunc, forceV1 bool) *hbProber {
+	return &hbProber{clientName: clientName, token: token, dial: dial, forceV1: forceV1, conns: make(map[string]*Conn)}
 }
 
 var errProberClosed = errors.New("client: heartbeat prober closed")
@@ -51,8 +55,12 @@ func (h *hbProber) Probe(addr string, timeout time.Duration) (membership.Ack, er
 		// The HELLO exchange must respect the probe timeout too: against
 		// a black-holed server the TCP connect succeeds and only the
 		// request deadline bounds the handshake.
-		nc, err := DialWithDeadlines(addr, h.clientName, h.token, timeout,
-			Deadlines{Floor: timeout, Ceil: timeout})
+		nc, err := DialWithOptions(addr, h.clientName, h.token, DialOptions{
+			Timeout:   timeout,
+			Deadlines: Deadlines{Floor: timeout, Ceil: timeout},
+			Dial:      h.dial,
+			ForceV1:   h.forceV1,
+		})
 		if err != nil {
 			return membership.Ack{}, err
 		}
@@ -222,7 +230,7 @@ func (p *Pager) AddServer(addr string) error {
 
 	// Dial outside p.mu: a slow join must not stall the data path.
 	// addMu keeps concurrent joins of the same address out.
-	conn, dialErr := DialWithDeadlines(addr, p.cfg.ClientName, p.cfg.AuthToken, DialTimeout, p.deadlines())
+	conn, dialErr := DialWithOptions(addr, p.cfg.ClientName, p.cfg.AuthToken, p.dialOpts(DialTimeout))
 
 	p.mu.Lock()
 	if p.closed {
@@ -274,7 +282,7 @@ func (p *Pager) reviveServer(srv int) bool {
 		return false
 	}
 	p.ensureRecovered(srv)
-	conn, err := DialWithDeadlines(rs.addr, p.cfg.ClientName, p.cfg.AuthToken, DialTimeout, p.deadlines())
+	conn, err := DialWithOptions(rs.addr, p.cfg.ClientName, p.cfg.AuthToken, p.dialOpts(DialTimeout))
 	if err != nil {
 		rs.breaker.failure(time.Now())
 		return false

@@ -9,43 +9,72 @@ import (
 	"testing"
 
 	"rmp/internal/client"
+	"rmp/internal/memnet"
 	"rmp/internal/page"
 	"rmp/internal/server"
 )
 
-// cluster is a test fixture: n remote memory servers plus a pager.
+// cluster is a test fixture: n remote memory servers plus a pager,
+// wired over the deterministic in-memory transport (internal/memnet)
+// so tests bind no real loopback ports. Server-to-server traffic
+// (XORWRITE delta forwarding) rides the same network.
 type cluster struct {
 	t       *testing.T
+	net     *memnet.Network
 	servers []*server.Server
 	addrs   []string
 }
 
 func newCluster(t *testing.T, n, capacity int) *cluster {
 	t.Helper()
-	c := &cluster{t: t}
+	c := &cluster{t: t, net: memnet.New()}
 	for i := 0; i < n; i++ {
-		s := server.New(server.Config{
+		c.addServer(server.Config{
 			Name:          fmt.Sprintf("srv%d", i),
 			CapacityPages: capacity,
 			OverflowFrac:  0.10,
 		})
-		if err := s.ListenAndServe("127.0.0.1:0"); err != nil {
-			t.Fatalf("server %d: %v", i, err)
-		}
-		t.Cleanup(func() { s.Close() })
-		c.servers = append(c.servers, s)
-		c.addrs = append(c.addrs, s.Addr().String())
 	}
 	return c
 }
 
-func (c *cluster) pager(policy client.Policy) *client.Pager {
+// addServer starts one server on the cluster's in-memory network
+// under the address "<name>:7077" and returns it.
+func (c *cluster) addServer(cfg server.Config) *server.Server {
 	c.t.Helper()
-	p, err := client.New(client.Config{
+	cfg.Dial = c.net.DialTimeout
+	s := server.New(cfg)
+	addr := cfg.Name + ":7077"
+	ln, err := c.net.Listen(addr)
+	if err != nil {
+		c.t.Fatalf("listen %s: %v", addr, err)
+	}
+	s.Serve(ln)
+	c.t.Cleanup(func() { s.Close() })
+	c.servers = append(c.servers, s)
+	c.addrs = append(c.addrs, addr)
+	return s
+}
+
+// config is the baseline pager configuration against this cluster;
+// tests tweak and pass it to pagerWith.
+func (c *cluster) config(policy client.Policy) client.Config {
+	return client.Config{
 		ClientName: "test-client",
 		Servers:    c.addrs,
 		Policy:     policy,
-	})
+		Dial:       c.net.DialTimeout,
+	}
+}
+
+func (c *cluster) pager(policy client.Policy) *client.Pager {
+	c.t.Helper()
+	return c.pagerWith(c.config(policy))
+}
+
+func (c *cluster) pagerWith(cfg client.Config) *client.Pager {
+	c.t.Helper()
+	p, err := client.New(cfg)
 	if err != nil {
 		c.t.Fatalf("pager: %v", err)
 	}
@@ -586,7 +615,7 @@ func TestPolicyString(t *testing.T) {
 
 func TestMirroringNeedsTwoServers(t *testing.T) {
 	c := newCluster(t, 1, 64)
-	_, err := client.New(client.Config{Servers: c.addrs, Policy: client.PolicyMirroring})
+	_, err := client.New(client.Config{Servers: c.addrs, Policy: client.PolicyMirroring, Dial: c.net.DialTimeout})
 	if err == nil {
 		t.Fatal("mirroring pager created with one server")
 	}

@@ -402,8 +402,23 @@ func (pp *parityPolicy) serverJoined(srv int) {
 // recomputeGroups writes fresh parity for every group onto the
 // current parity server.
 func (pp *parityPolicy) recomputeGroups() error {
+	return pp.recomputeAndShipParity(false)
+}
+
+// recomputeAndShipParity recomputes every group's parity page from
+// the live member data and ships the whole set to the parity server
+// in ONE pipelined batch (sendPageBatch) instead of one round trip
+// per group — on a v2 session the rebuild of an N-group layout costs
+// roughly one parity-server round trip total. A member read that
+// fails leaves that group's parity computed from the readable members
+// and is reported as the first error; when recovered is set each
+// group counts toward Stats.Recovered.
+//rmpvet:holds Pager.mu
+func (pp *parityPolicy) recomputeAndShipParity(recovered bool) error {
 	p := pp.p
 	var firstErr error
+	keys := make([]uint64, 0, len(pp.groups))
+	pages := make([]page.Buf, 0, len(pp.groups))
 	for _, g := range pp.groups {
 		parityPage := page.NewBuf()
 		for srv, id := range g.members {
@@ -418,9 +433,14 @@ func (pp *parityPolicy) recomputeGroups() error {
 			page.XORInto(parityPage, data)
 		}
 		g.parityKey = p.allocKey()
-		if err := p.sendPage(pp.parityIdx, g.parityKey, parityPage, true); err != nil && firstErr == nil {
-			firstErr = err
+		keys = append(keys, g.parityKey)
+		pages = append(pages, parityPage)
+		if recovered {
+			p.stats.Recovered++
 		}
+	}
+	if err := p.sendPageBatch(pp.parityIdx, keys, pages, true); err != nil && firstErr == nil {
+		firstErr = err
 	}
 	return firstErr
 }
@@ -669,28 +689,7 @@ func (pp *parityPolicy) rebuildParity() error {
 		p.logf("parity server doubling up on data server %s (degraded)", p.servers[best].addr)
 	}
 	pp.parityIdx = newIdx
-
-	var firstErr error
-	for _, g := range pp.groups {
-		parity := page.NewBuf()
-		for srv, id := range g.members {
-			home := pp.homes[id]
-			data, err := p.fetchPage(srv, home.key)
-			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				continue
-			}
-			page.XORInto(parity, data)
-		}
-		g.parityKey = p.allocKey()
-		if err := p.sendPage(pp.parityIdx, g.parityKey, parity, true); err != nil && firstErr == nil {
-			firstErr = err
-		}
-		p.stats.Recovered++
-	}
-	return firstErr
+	return pp.recomputeAndShipParity(true)
 }
 
 // evacuate migrates pages (or parity pages) off a pressured or
@@ -783,24 +782,5 @@ func (pp *parityPolicy) rebuildParityExcluding(excluded int) error {
 		p.logf("parity migrating onto data server %s (degraded)", p.servers[best].addr)
 	}
 	pp.parityIdx = newIdx
-	var firstErr error
-	for _, g := range pp.groups {
-		parity := page.NewBuf()
-		for srv, id := range g.members {
-			home := pp.homes[id]
-			data, err := p.fetchPage(srv, home.key)
-			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				continue
-			}
-			page.XORInto(parity, data)
-		}
-		g.parityKey = p.allocKey()
-		if err := p.sendPage(pp.parityIdx, g.parityKey, parity, true); err != nil && firstErr == nil {
-			firstErr = err
-		}
-	}
-	return firstErr
+	return pp.recomputeAndShipParity(false)
 }

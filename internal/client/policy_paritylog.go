@@ -109,13 +109,21 @@ func (pl *parityLogPolicy) appendAndSend(id page.ID, data page.Buf) error {
 	if err != nil {
 		return err
 	}
-	if err := p.sendPage(pl.cols[place.Column], place.Key, data, true); err != nil {
-		return err
-	}
 	if sealed != nil {
-		if err := p.sendPage(pl.parityIdx, sealed.Key, sealed.Data, true); err != nil {
-			return err
+		// The data page and the sealed parity page go to different
+		// servers; ship them concurrently (sendPages) so the seal costs
+		// one round trip instead of two serial ones.
+		errs := p.sendPages([]sendReq{
+			{srv: pl.cols[place.Column], key: place.Key, data: data, fresh: true},
+			{srv: pl.parityIdx, key: sealed.Key, data: sealed.Data, fresh: true},
+		})
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
 		}
+	} else if err := p.sendPage(pl.cols[place.Column], place.Key, data, true); err != nil {
+		return err
 	}
 	pl.freeReclaims(recs)
 	return nil

@@ -84,6 +84,18 @@ func (p *Pager) deadlines() Deadlines {
 	return Deadlines{Floor: p.cfg.ReqTimeoutFloor, Ceil: p.cfg.ReqTimeout}.withDefaults()
 }
 
+// dialOpts bundles the pager's connection knobs for a dial bounded by
+// timeout: adaptive deadlines, the injected transport, and the
+// protocol-version cap.
+func (p *Pager) dialOpts(timeout time.Duration) DialOptions {
+	return DialOptions{
+		Timeout:   timeout,
+		Deadlines: p.deadlines(),
+		Dial:      p.cfg.Dial,
+		ForceV1:   p.cfg.ForceWireV1,
+	}
+}
+
 // isTimeoutErr reports whether err is a deadline miss (request or
 // dial) as opposed to a fast transport failure (refused, reset, EOF).
 // Only timeouts feed the circuit breaker: fast failures are cheap and
@@ -139,8 +151,10 @@ func (p *Pager) sleepBackoff(attempt int, budgetEnd time.Time) bool {
 // layer. idempotent ops are re-issued (with backoff, on a fresh
 // connection) until they succeed or the retry budget is exhausted;
 // non-idempotent ops (XORDELTA) get exactly one bounded attempt.
-// Checksum failures are retried in place (the stream stays framed);
-// transport failures poison the connection and re-dial.
+// Checksum failures are retried in place (the stream stays framed),
+// and so are deadline misses on a multiplexed (v2) session — the late
+// ack is dropped by id, the session stays healthy; other transport
+// failures poison the connection and re-dial.
 //
 // On return with a transport-level error the server's connection is
 // closed; callers route such errors to serverDied, whose recovery
@@ -175,7 +189,7 @@ func (p *Pager) withConn(srv int, idempotent bool, op func(*Conn) error) error {
 			if remaining > DialTimeout {
 				remaining = DialTimeout
 			}
-			nc, derr := DialWithDeadlines(rs.addr, p.cfg.ClientName, p.cfg.AuthToken, remaining, p.deadlines())
+			nc, derr := DialWithOptions(rs.addr, p.cfg.ClientName, p.cfg.AuthToken, p.dialOpts(remaining))
 			if derr != nil {
 				lastErr = derr
 				p.noteTransportFailure(rs, derr)
@@ -206,8 +220,16 @@ func (p *Pager) withConn(srv int, idempotent bool, op func(*Conn) error) error {
 		}
 		lastErr = err
 		p.noteTransportFailure(rs, err)
-		rs.conn.Close()
-		broken = true
+		if errors.Is(err, ErrReqTimeout) && rs.conn.Multiplexed() && !rs.conn.Broken() {
+			// A multiplexed session survives a deadline miss: the late
+			// ack is discarded by id, the stream stays framed. Keep
+			// the connection and replay on it — the breaker still
+			// counted the timeout, so a persistently wedged server
+			// fail-fasts regardless.
+		} else {
+			rs.conn.Close()
+			broken = true
+		}
 		if !idempotent {
 			return err
 		}

@@ -55,6 +55,7 @@ func TestStalledServerPageInBounded(t *testing.T) {
 		Servers:    pc.via,
 		Policy:     client.PolicyMirroring,
 		Membership: hbConfig(),
+		Dial:       pc.net.DialTimeout,
 	}))
 	if err != nil {
 		t.Fatal(err)
@@ -128,6 +129,7 @@ func TestStallMidPageInWritesFallBack(t *testing.T) {
 		ClientName: "midstall-test",
 		Servers:    pc.via,
 		Policy:     client.PolicyMirroring,
+		Dial:       pc.net.DialTimeout,
 	}))
 	if err != nil {
 		t.Fatal(err)
@@ -209,6 +211,7 @@ func TestCorruptResponsesReconstructed(t *testing.T) {
 				ClientName: "corrupt-test",
 				Servers:    pc.via,
 				Policy:     tc.pol,
+				Dial:       pc.net.DialTimeout,
 			})
 			if err != nil {
 				t.Fatal(err)

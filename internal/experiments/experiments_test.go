@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"encoding/json"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
@@ -382,5 +384,34 @@ func TestFig2FaultCountsPlausible(t *testing.T) {
 		if total > 60_000 {
 			t.Errorf("%s: %d faults — pathological for the 1996 regime", w.Name(), total)
 		}
+	}
+}
+
+// TestPipelineLiveSpeedup: the acceptance bar for the multiplexed
+// protocol — pipelined v2 pageouts must beat the serial v1 path by at
+// least 2x when per-request service time dominates, and the JSON
+// artifact must round-trip.
+func TestPipelineLiveSpeedup(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_pipeline.json")
+	tab, stats, err := pipelineTo(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("pipeline table has %d rows, want 3", len(tab.Rows))
+	}
+	if stats.Speedup < 2 {
+		t.Fatalf("pipelined/serial speedup = %.2fx, want >= 2x\n%s", stats.Speedup, tab)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back PipelineStats
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatalf("BENCH_pipeline.json: %v", err)
+	}
+	if back.Speedup != stats.Speedup || back.Pages != stats.Pages {
+		t.Fatal("JSON artifact does not match the in-memory stats")
 	}
 }

@@ -1,0 +1,123 @@
+package memnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestDialAndEcho(t *testing.T) {
+	n := New()
+	ln := n.MustListen("srv:1")
+	done := make(chan error, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer c.Close()
+		_, err = io.Copy(c, c)
+		done <- err
+	}()
+	c, err := n.Dial("srv:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("hello over memnet")
+	go c.Write(msg)
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echoed %q", got)
+	}
+	c.Close()
+	<-done
+}
+
+func TestDialUnknownAddressRefused(t *testing.T) {
+	n := New()
+	if _, err := n.Dial("nobody:1"); err == nil {
+		t.Fatal("dial of unregistered address succeeded")
+	}
+}
+
+func TestDialTimesOutWhenNotAccepting(t *testing.T) {
+	n := New()
+	n.MustListen("busy:1") // never calls Accept
+	start := time.Now()
+	_, err := n.DialTimeout("busy:1", 20*time.Millisecond)
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("got %v, want a net.Error timeout", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("dial timeout took too long")
+	}
+}
+
+func TestCloseUnblocksAcceptAndFreesAddress(t *testing.T) {
+	n := New()
+	ln := n.MustListen("srv:1")
+	done := make(chan error, 1)
+	go func() {
+		_, err := ln.Accept()
+		done <- err
+	}()
+	ln.Close()
+	if err := <-done; !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("Accept after Close: %v, want net.ErrClosed", err)
+	}
+	if _, err := n.Dial("srv:1"); err == nil {
+		t.Fatal("dial of closed listener succeeded")
+	}
+	// The address is free again: a restarted server re-binds it.
+	ln2, err := n.Listen("srv:1")
+	if err != nil {
+		t.Fatalf("re-listen after close: %v", err)
+	}
+	ln2.Close()
+}
+
+func TestDuplicateListenRejected(t *testing.T) {
+	n := New()
+	ln := n.MustListen("srv:1")
+	defer ln.Close()
+	if _, err := n.Listen("srv:1"); err == nil {
+		t.Fatal("duplicate listen succeeded")
+	}
+}
+
+func TestAutoAddressesAreUnique(t *testing.T) {
+	n := New()
+	a := n.MustListen("")
+	b := n.MustListen(":0")
+	defer a.Close()
+	defer b.Close()
+	if a.Addr().String() == b.Addr().String() {
+		t.Fatalf("auto addresses collide: %s", a.Addr())
+	}
+}
+
+func TestDeadlinesWork(t *testing.T) {
+	n := New()
+	ln := n.MustListen("srv:1")
+	go ln.Accept() // accept and hold without reading
+	c, err := n.Dial("srv:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
+	buf := make([]byte, 1)
+	_, err = c.Read(buf)
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("read past deadline: %v, want timeout", err)
+	}
+}

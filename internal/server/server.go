@@ -20,6 +20,7 @@
 package server
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -74,6 +75,10 @@ type Config struct {
 	// SpillFrac is the fraction of stored pages spilled when pressure
 	// sets in (default 0.5).
 	SpillFrac float64
+	// Dial, when non-nil, replaces TCP for the server's own outbound
+	// connections (XORWRITE delta forwarding to the parity server).
+	// Tests inject an in-memory transport here.
+	Dial func(addr string, timeout time.Duration) (net.Conn, error)
 	// Logger receives diagnostics; nil silences them.
 	Logger *log.Logger
 }
@@ -438,10 +443,23 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 	sess := s.attach(conn, name)
 	defer s.detach(sess)
-	if err := s.reply(sess, &wire.Msg{Type: wire.THelloAck, N: uint32(s.store.Free())}); err != nil {
+	// Protocol negotiation: a client advertising v2 on its HELLO gets
+	// the flag echoed and every subsequent frame tagged; a v1 client
+	// gets the strict serial session it always had. The HELLO_ACK
+	// itself is always v1-framed — it is the switchover point.
+	v2 := m.Flags&wire.FlagV2 != 0
+	helloAck := &wire.Msg{Type: wire.THelloAck, N: uint32(s.store.Free())}
+	if v2 {
+		helloAck.Flags |= wire.FlagV2
+	}
+	if err := s.reply(sess, helloAck); err != nil {
 		return
 	}
-	s.logf("%s: client %q connected (ns %d)", s.cfg.Name, sess.name, sess.ns.tag)
+	s.logf("%s: client %q connected (ns %d, proto v%d)", s.cfg.Name, sess.name, sess.ns.tag, map[bool]int{false: 1, true: 2}[v2])
+	if v2 {
+		s.serveConnV2(conn, sess)
+		return
+	}
 
 	for {
 		m, err := wire.Decode(conn)
@@ -461,14 +479,136 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// reply sends resp, stamping the pressure and drain advisory flags.
-func (s *Server) reply(sess *session, resp *wire.Msg) error {
+// maxSessionInflight bounds how many requests one v2 session services
+// concurrently. It backpressures a runaway pipeline without stalling
+// the read loop in the common case, and caps the reply queue so a
+// slow consumer bounds its own memory.
+const maxSessionInflight = 64
+
+// serveConnV2 runs one multiplexed session: the read loop decodes
+// tagged requests and dispatches them to a bounded pool of handler
+// goroutines, replies funnel through a writer goroutine that batches
+// them onto the wire, and XORWRITE/XORDELTA are routed to a dedicated
+// FIFO worker so their read-modify-write cycles on this client's
+// namespace apply in arrival order (the pager pipelines parity
+// traffic for distinct pages, but deltas for the same parity page
+// must not race each other out of order — see PROTOCOL.md).
+// Everything else may reorder freely; the client matches acks by id.
+func (s *Server) serveConnV2(conn net.Conn, sess *session) {
+	out := make(chan *wire.Msg, maxSessionInflight)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		s.writeReplies(conn, out)
+	}()
+	xorCh := make(chan *wire.Msg, maxSessionInflight)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// FIFO ordering domain: one worker, channel arrival order.
+		for m := range xorCh {
+			out <- s.respondV2(sess, m)
+		}
+	}()
+	sem := make(chan struct{}, maxSessionInflight)
+	sawBye := false
+	var bye *wire.Msg
+	for !sawBye {
+		m, err := wire.Decode(conn)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				s.logf("%s: client %q read: %v", s.cfg.Name, sess.name, err)
+			}
+			break
+		}
+		switch m.Type {
+		case wire.TXorWrite, wire.TXorDelta:
+			xorCh <- m
+		case wire.TBye:
+			// Quiesce: stop reading, let in-flight requests finish,
+			// then answer the BYE last so the client sees every ack.
+			sawBye, bye = true, m
+		default:
+			sem <- struct{}{}
+			wg.Add(1)
+			go func(m *wire.Msg) {
+				defer func() { <-sem; wg.Done() }()
+				out <- s.respondV2(sess, m)
+			}(m)
+		}
+	}
+	close(xorCh)
+	wg.Wait()
+	if sawBye {
+		out <- s.respondV2(sess, bye)
+	}
+	close(out)
+	<-writerDone
+}
+
+// respondV2 services one request and tags the ack with the request's
+// id and advisory flags.
+func (s *Server) respondV2(sess *session, m *wire.Msg) *wire.Msg {
+	resp := s.handle(sess, m)
+	resp.Version = wire.Version2
+	resp.ID = m.ID
+	s.stampFlags(resp)
+	return resp
+}
+
+// writeReplies drains the reply channel onto the wire, batching every
+// queued reply into one buffered flush. After a write error it keeps
+// draining (discarding) so no handler ever blocks on a dead
+// connection; the read loop sees the same broken conn and winds the
+// session down.
+func (s *Server) writeReplies(conn net.Conn, out chan *wire.Msg) {
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	broken := false
+	for m := range out {
+		if broken {
+			continue
+		}
+		if err := wire.Encode(bw, m); err != nil {
+			broken = true
+			continue
+		}
+		for batching := true; batching && !broken; {
+			select {
+			case m2, ok := <-out:
+				if !ok {
+					batching = false
+					break
+				}
+				if err := wire.Encode(bw, m2); err != nil {
+					broken = true
+				}
+			default:
+				batching = false
+			}
+		}
+		if !broken && bw.Flush() != nil {
+			broken = true
+		}
+	}
+	if !broken {
+		bw.Flush()
+	}
+}
+
+// stampFlags adds the pressure and drain advisories to a reply.
+func (s *Server) stampFlags(resp *wire.Msg) {
 	if s.pressure.Load() {
 		resp.Flags |= wire.FlagPressure
 	}
 	if s.draining.Load() {
 		resp.Flags |= wire.FlagDrain
 	}
+}
+
+// reply sends resp, stamping the pressure and drain advisory flags.
+func (s *Server) reply(sess *session, resp *wire.Msg) error {
+	s.stampFlags(resp)
 	return wire.Encode(sess.conn, resp)
 }
 
@@ -692,10 +832,18 @@ func (s *Server) parityConnFor(cacheKey, addr, clientName string) (*parityConn, 
 	if ok {
 		return pc, nil
 	}
-	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	dial := s.cfg.Dial
+	if dial == nil {
+		dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	conn, err := dial(addr, 5*time.Second)
 	if err != nil {
 		return nil, err
 	}
+	// The forwarding link stays on v1 framing on purpose: it carries
+	// one delta at a time under pc.mu, so tagging buys nothing.
 	hello := &wire.Msg{Type: wire.THello, Host: clientName, Data: []byte(s.cfg.AuthToken)}
 	if err := wire.Encode(conn, hello); err != nil {
 		conn.Close()

@@ -31,8 +31,17 @@ func FuzzDecode(f *testing.F) {
 	seed(&Msg{Type: TJoinAck, N: 2})
 	seed(&Msg{Type: TDrain})
 	seed(&Msg{Type: TDrainAck, Flags: FlagDrain})
+	// Tagged v2 frames: negotiation hello, a tagged request, a tagged
+	// ack, and the id extremes.
+	seed(&Msg{Type: THello, Flags: FlagV2, Host: "client", Data: []byte("token")})
+	seed(&Msg{Version: Version2, ID: 1, Type: TPageIn, Key: 7})
+	seed(&Msg{Version: Version2, ID: 1, Type: TPageInAck, Key: 7})
+	seed(&Msg{Version: Version2, ID: 0, Type: TLoad})
+	seed(&Msg{Version: Version2, ID: ^uint32(0), Type: TPing})
 	f.Add([]byte{})
 	f.Add([]byte{0x52, 0x4D, 1, 1, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF})
+	// v2 header with the id field truncated.
+	f.Add([]byte{0x52, 0x4D, 2, uint8(TLoad), 0, 0, 0, 0, 0, 0, 0, 34, 0, 0})
 
 	// Adversarial corpus: the frames a broken or hostile peer actually
 	// produces. Each must decode to an error, never a panic or an
@@ -85,16 +94,22 @@ func FuzzDecode(f *testing.F) {
 	})
 }
 
-// FuzzRoundTrip: any encodable message decodes to itself.
+// FuzzRoundTrip: any encodable message decodes to itself, in both
+// frame versions.
 func FuzzRoundTrip(f *testing.F) {
-	f.Add(uint8(5), uint8(0), uint64(1), uint32(2), uint64(3), "host", []byte("data"))
-	f.Fuzz(func(t *testing.T, typ, flags uint8, key uint64, n uint32, pkey uint64, host string, data []byte) {
+	f.Add(uint8(5), uint8(0), uint64(1), uint32(2), uint64(3), "host", []byte("data"), false, uint32(0))
+	f.Add(uint8(7), uint8(FlagV2), uint64(9), uint32(1), uint64(0), "", []byte(nil), true, uint32(12345))
+	f.Fuzz(func(t *testing.T, typ, flags uint8, key uint64, n uint32, pkey uint64, host string, data []byte, v2 bool, id uint32) {
 		if len(host) > 2048 || len(data) > page.Size {
 			return
 		}
 		m := &Msg{
 			Type: Type(typ), Flags: flags, Key: key, N: n,
 			ParityKey: pkey, Host: host, Data: data,
+		}
+		if v2 {
+			m.Version = Version2
+			m.ID = id
 		}
 		var buf bytes.Buffer
 		if err := Encode(&buf, m); err != nil {
@@ -108,6 +123,72 @@ func FuzzRoundTrip(f *testing.F) {
 			got.N != m.N || got.ParityKey != m.ParityKey || got.Host != m.Host ||
 			!bytes.Equal(got.Data, m.Data) {
 			t.Fatalf("round trip mangled message: %+v vs %+v", got, m)
+		}
+		if v2 && (got.Version != Version2 || got.ID != id) {
+			t.Fatalf("v2 tag mangled: version=%d id=%d, want id=%d", got.Version, got.ID, id)
+		}
+		if !v2 && got.ID != 0 {
+			t.Fatalf("v1 frame grew an id: %d", got.ID)
+		}
+	})
+}
+
+// FuzzStreamDemux models the client's reader goroutine against an
+// arbitrary byte stream: decode frames until the stream breaks,
+// resolving each tagged ack against a pending-request table exactly
+// the way the mux does. Duplicate ids, unknown ids, ids reused after
+// a timeout, and v1/v2 frames interleaved on one stream must all be
+// absorbed — dropped or matched, never a panic, a hang, or a misparse
+// of a later frame.
+func FuzzStreamDemux(f *testing.F) {
+	stream := func(ms ...*Msg) []byte {
+		var buf bytes.Buffer
+		for _, m := range ms {
+			if err := Encode(&buf, m); err != nil {
+				f.Fatal(err)
+			}
+		}
+		return buf.Bytes()
+	}
+	v2 := func(id uint32, t Type) *Msg { return &Msg{Version: Version2, ID: id, Type: t} }
+	// In-order tagged exchange.
+	f.Add(stream(v2(1, TPageInAck), v2(2, TPageOutAck)))
+	// Duplicate id: the second ack with id 1 must be discarded.
+	f.Add(stream(v2(1, TPageInAck), v2(1, TPageInAck)))
+	// Unknown id: nothing pending under 99.
+	f.Add(stream(v2(99, TPageOutAck)))
+	// Id reuse after timeout: a late ack for a timed-out id arrives
+	// after the id was reused — the demux matches the newer request.
+	f.Add(stream(v2(3, TPageInAck), v2(3, TPageInAck), v2(3, TPageOutAck)))
+	// v1 and v2 frames mixed on one stream (negotiation boundary).
+	f.Add(stream(&Msg{Type: THelloAck, Flags: FlagV2, N: 8}, v2(1, TLoadAck), &Msg{Type: TLoadAck}))
+	// Tagged frame followed by garbage.
+	f.Add(append(stream(v2(7, TFreeAck)), 0xFF, 0x00, 0xFF))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		pending := map[uint32]bool{1: true, 2: true, 3: true}
+		r := bytes.NewReader(raw)
+		for i := 0; i < 1024; i++ {
+			before := r.Len()
+			m, err := Decode(r)
+			if err != nil {
+				return // stream broken: the mux fails the conn here
+			}
+			if r.Len() == before {
+				t.Fatal("decode consumed no bytes but returned a frame")
+			}
+			if m.Version == Version2 {
+				// Demux: a pending id is resolved once; anything else
+				// (unknown, duplicate, stale reuse) is dropped.
+				if pending[m.ID] {
+					delete(pending, m.ID)
+				}
+			}
+			// Every accepted frame must re-encode.
+			var buf bytes.Buffer
+			if err := Encode(&buf, m); err != nil && err != ErrTooLarge {
+				t.Fatalf("decoded frame failed to re-encode: %v", err)
+			}
 		}
 	})
 }

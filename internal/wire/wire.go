@@ -43,8 +43,20 @@ import (
 const (
 	Magic   = 0x524D // "RM"
 	Version = 1
+	// Version2 adds a 4-byte request id after the fixed header so many
+	// requests can be in flight on one connection and a late ack is
+	// matched (or discarded) by id instead of by arrival order. The
+	// payload encoding is unchanged. v2 is negotiated at HELLO: the
+	// client sets FlagV2 on a v1-framed HELLO, a v2-capable server
+	// echoes it on the HELLO_ACK, and both sides switch to v2 framing
+	// for every subsequent frame. Either side omitting the flag keeps
+	// the session on v1.
+	Version2 = 2
 
 	headerLen = 12
+	// idLen is the extra request-id field a v2 frame carries between
+	// the header and the payload.
+	idLen = 4
 
 	// MaxPayload bounds a frame so a corrupt or hostile peer cannot
 	// make us allocate unbounded memory. Large enough for a page plus
@@ -185,6 +197,11 @@ const (
 	// (graceful leave): clients must migrate all pages off it, stop
 	// new placements, and say BYE; the daemon exits once empty.
 	FlagDrain = 1 << 1
+	// FlagV2 on a HELLO advertises that the sender speaks protocol
+	// version 2 (tagged frames); on a HELLO_ACK it confirms the switch.
+	// A v1 peer never sets it and ignores unknown flag bits, so
+	// negotiation degrades to v1 transparently.
+	FlagV2 = 1 << 2
 )
 
 // Msg is a decoded protocol message. Unused fields are zero.
@@ -192,6 +209,14 @@ type Msg struct {
 	Type   Type
 	Flags  uint8
 	Status Status
+
+	// Version selects the frame encoding: 0 or Version encode as a v1
+	// frame, Version2 as a tagged v2 frame. Decode records the version
+	// it actually read, so a decoded frame re-encodes identically.
+	Version uint8
+	// ID tags a v2 frame. Acks echo the request's id; the client demuxes
+	// (or discards late acks) by it. Always zero on v1 frames.
+	ID uint32
 
 	// Key addresses one stored page (PAGEOUT/PAGEIN/XORWRITE/XORDELTA).
 	Key uint64
@@ -228,21 +253,30 @@ func (m *Msg) payloadSize() int {
 		4 + len(m.Data)
 }
 
-// Encode writes m as one frame to w.
+// Encode writes m as one frame to w. The frame version follows
+// m.Version: zero (the zero value) and Version encode v1, Version2
+// encodes the tagged form carrying m.ID.
 func Encode(w io.Writer, m *Msg) error {
 	plen := m.payloadSize()
 	if plen > MaxPayload {
 		return ErrTooLarge
 	}
-	buf := make([]byte, headerLen+plen)
+	ver, hlen := uint8(Version), headerLen
+	if m.Version == Version2 {
+		ver, hlen = Version2, headerLen+idLen
+	}
+	buf := make([]byte, hlen+plen)
 	binary.BigEndian.PutUint16(buf[0:], Magic)
-	buf[2] = Version
+	buf[2] = ver
 	buf[3] = uint8(m.Type)
 	buf[4] = m.Flags
 	buf[5] = uint8(m.Status)
 	binary.BigEndian.PutUint32(buf[8:], uint32(plen))
+	if ver == Version2 {
+		binary.BigEndian.PutUint32(buf[headerLen:], m.ID)
+	}
 
-	p := buf[headerLen:]
+	p := buf[hlen:]
 	binary.BigEndian.PutUint64(p[0:], m.Key)
 	binary.BigEndian.PutUint32(p[8:], m.N)
 	binary.BigEndian.PutUint32(p[12:], m.Checksum)
@@ -265,7 +299,9 @@ func Encode(w io.Writer, m *Msg) error {
 	return err
 }
 
-// Decode reads one frame from r.
+// Decode reads one frame from r, accepting both v1 and v2 framing.
+// The returned message records the version it arrived in (and, for
+// v2, its request id), so a decoded frame re-encodes identically.
 func Decode(r io.Reader) (*Msg, error) {
 	var hdr [headerLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -274,12 +310,20 @@ func Decode(r io.Reader) (*Msg, error) {
 	if binary.BigEndian.Uint16(hdr[0:]) != Magic {
 		return nil, ErrBadMagic
 	}
-	if hdr[2] != Version {
+	if hdr[2] != Version && hdr[2] != Version2 {
 		return nil, ErrBadVersion
 	}
 	plen := binary.BigEndian.Uint32(hdr[8:])
 	if plen > MaxPayload {
 		return nil, ErrTooLarge
+	}
+	var id uint32
+	if hdr[2] == Version2 {
+		var idb [idLen]byte
+		if _, err := io.ReadFull(r, idb[:]); err != nil {
+			return nil, err
+		}
+		id = binary.BigEndian.Uint32(idb[:])
 	}
 	p := make([]byte, plen)
 	if _, err := io.ReadFull(r, p); err != nil {
@@ -287,9 +331,11 @@ func Decode(r io.Reader) (*Msg, error) {
 	}
 
 	m := &Msg{
-		Type:   Type(hdr[3]),
-		Flags:  hdr[4],
-		Status: Status(hdr[5]),
+		Type:    Type(hdr[3]),
+		Flags:   hdr[4],
+		Status:  Status(hdr[5]),
+		Version: hdr[2],
+		ID:      id,
 	}
 	if len(p) < 24+2 {
 		return nil, ErrTruncated

@@ -290,3 +290,99 @@ func TestMembershipTypes(t *testing.T) {
 		t.Fatalf("PONG mangled: %+v", got)
 	}
 }
+
+// TestV2RoundTrip: a v2 frame carries its request id through the
+// codec, and the decoder records the version it read.
+func TestV2RoundTrip(t *testing.T) {
+	data := page.NewBuf()
+	data.Fill(7)
+	m := (&Msg{Version: Version2, ID: 0xDEADBEEF, Type: TPageOut, Key: 42, Data: data}).WithChecksum()
+	got := roundTrip(t, m)
+	if got.Version != Version2 || got.ID != 0xDEADBEEF {
+		t.Fatalf("v2 tag mangled: version=%d id=%#x", got.Version, got.ID)
+	}
+	if got.Type != TPageOut || got.Key != 42 || !bytes.Equal(got.Data, data) {
+		t.Fatalf("v2 payload mangled: %+v", got)
+	}
+	// Re-encoding a decoded v2 frame must produce identical bytes.
+	var a, b bytes.Buffer
+	if err := Encode(&a, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := Encode(&b, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("re-encode of decoded v2 frame differs")
+	}
+}
+
+// TestV1FramesCarryNoID: the v1 encoding is byte-identical to what it
+// was before v2 existed — a zero-valued Version field changes nothing.
+func TestV1FramesCarryNoID(t *testing.T) {
+	var v0, v1 bytes.Buffer
+	if err := Encode(&v0, &Msg{Type: TLoad, ID: 99}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Encode(&v1, &Msg{Version: Version, Type: TLoad}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v0.Bytes(), v1.Bytes()) {
+		t.Fatal("v1 encoding depends on ID or explicit Version")
+	}
+	got, err := Decode(bytes.NewReader(v0.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != Version || got.ID != 0 {
+		t.Fatalf("v1 frame decoded as version=%d id=%d", got.Version, got.ID)
+	}
+}
+
+// TestMixedVersionStream: v1 and v2 frames interleaved on one byte
+// stream decode independently — exactly what a HELLO (v1) followed by
+// tagged traffic (v2) looks like.
+func TestMixedVersionStream(t *testing.T) {
+	var buf bytes.Buffer
+	frames := []*Msg{
+		{Type: THello, Host: "c", Flags: FlagV2},
+		{Version: Version2, ID: 1, Type: TPageIn, Key: 10},
+		{Version: Version2, ID: 2, Type: TPageIn, Key: 20},
+		{Type: TLoad},
+		{Version: Version2, ID: 3, Type: TFree, Keys: []uint64{1, 2}},
+	}
+	for _, m := range frames {
+		if err := Encode(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range frames {
+		got, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		wantVer := want.Version
+		if wantVer == 0 {
+			wantVer = Version
+		}
+		if got.Type != want.Type || got.Version != wantVer || got.ID != want.ID {
+			t.Fatalf("frame %d: got type=%v ver=%d id=%d, want type=%v ver=%d id=%d",
+				i, got.Type, got.Version, got.ID, want.Type, wantVer, want.ID)
+		}
+	}
+}
+
+// TestV2TruncatedID: a v2 header followed by a cut-off id field is a
+// clean read error, not a panic or a misparse.
+func TestV2TruncatedID(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, &Msg{Version: Version2, ID: 7, Type: TLoad}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for cut := headerLen; cut < headerLen+idLen; cut++ {
+		if _, err := Decode(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("decode of frame cut at %d bytes succeeded", cut)
+		}
+	}
+}
