@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint fuzz-smoke clean
+.PHONY: all build test race vet lint bench fuzz-smoke clean
 
 all: build vet lint test
 
@@ -30,6 +30,14 @@ lint:
 	else \
 		echo "staticcheck not installed; skipping (rmpvet still enforced)"; \
 	fi
+
+# bench: regenerate the committed benchmark artifacts at the repo
+# root. Each experiment writes its BENCH_*.json next to the table it
+# prints; run from the repo root so the artifacts land where CI and
+# reviewers expect them.
+bench:
+	$(GO) run ./cmd/rmpbench -exp pipeline
+	$(GO) run ./cmd/rmpbench -exp tier
 
 # fuzz-smoke: a short deterministic pass over every fuzz target's seed
 # corpus plus a brief mutation run, mirroring the CI fuzz step.

@@ -43,6 +43,8 @@ func main() {
 		token      = flag.String("token", "", "auth token clients must present (empty = open)")
 		name       = flag.String("name", "", "server name for logs (default: listen address)")
 		spill      = flag.Bool("spill", true, "under memory pressure, swap donated pages to local disk (paper §2.1)")
+		coldMB     = flag.Int("cold-mb", 0, "bound on the compressed cold tier in MB (0 = unbounded; bound it so pressure reaches the disk tier)")
+		spillPath  = flag.String("spill-path", "", "durable disk-spill file; spilled pages survive a daemon restart (empty = temp file)")
 		join       = flag.String("join", "", "comma-separated existing members to announce this server to")
 		advertise  = flag.String("advertise", "", "address peers should gossip for this server (default: the bound address; set it when listening on all interfaces)")
 	)
@@ -58,6 +60,8 @@ func main() {
 		OverflowFrac:  *overflow,
 		AuthToken:     *token,
 		Spill:         *spill,
+		ColdPages:     *coldMB << 20 / page.Size,
+		SpillPath:     *spillPath,
 		Logger:        log.New(os.Stderr, "", log.LstdFlags),
 	})
 	if err := srv.ListenAndServe(*listen); err != nil {

@@ -26,7 +26,7 @@ var asCSV bool
 func main() {
 	experiments.MaybeSpin() // child role for the busy-server experiment
 	fig := flag.Int("fig", 0, "regenerate one figure (1-5); 0 = all")
-	exp := flag.String("exp", "", "run one experiment: latency|busy|loadednet|multiclient|decomp|recovery|wtablation|swidth|overflow|avail|pipeline")
+	exp := flag.String("exp", "", "run one experiment: latency|busy|loadednet|multiclient|decomp|recovery|wtablation|swidth|overflow|avail|pipeline|tier")
 	flag.BoolVar(&asCSV, "csv", false, "emit CSV instead of aligned text")
 	flag.Parse()
 
@@ -41,7 +41,7 @@ func main() {
 			runFig(f)
 		}
 		for _, e := range []string{"decomp", "latency", "busy", "loadednet", "multiclient",
-			"recovery", "wtablation", "swidth", "overflow", "avail", "pipeline"} {
+			"recovery", "wtablation", "swidth", "overflow", "avail", "pipeline", "tier"} {
 			runExp(e)
 		}
 	}
@@ -103,6 +103,8 @@ func runExp(name string) {
 		t = experiments.MultiClient()
 	case "pipeline":
 		t, err = experiments.Pipeline()
+	case "tier":
+		t, err = experiments.Tier()
 	default:
 		log.Fatalf("rmpbench: unknown experiment %q", name)
 	}

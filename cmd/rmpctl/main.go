@@ -116,6 +116,15 @@ func main() {
 		fmt.Printf("  xor writes      %d\n", info.XorWrites)
 		fmt.Printf("  misses          %d\n", info.Misses)
 		fmt.Printf("  denied allocs   %d\n", info.DeniedAllocs)
+		fmt.Printf("  tiers           hot %d / cold %d / disk %d (cold %d KB, hot target %d)\n",
+			info.HotPages, info.ColdPages, info.DiskPages, info.ColdBytes>>10, info.HotTarget)
+		fmt.Printf("  tier hits       hot %d / cold %d / disk %d\n",
+			info.HotHits, info.ColdHits, info.DiskHits)
+		fmt.Printf("  tier moves      %d demoted, %d spilled, %d promoted\n",
+			info.Demotions, info.Spills, info.Promotions)
+		if info.LostPages > 0 {
+			fmt.Printf("  LOST PAGES      %d (disk-tier verification failures)\n", info.LostPages)
+		}
 
 	case "ping":
 		start := time.Now()
@@ -194,8 +203,9 @@ func survey(registry, name, token string, reqTimeout time.Duration) {
 			state = "DRAINING"
 		}
 		free := info.Stat.FreePages
-		fmt.Printf("%-24s %-9s %6d free pages (%d MB)  srtt %-8v deadline %-8v breaker %s\n",
+		fmt.Printf("%-24s %-9s %6d free pages (%d MB)  tiers %d/%d/%d  srtt %-8v deadline %-8v breaker %s\n",
 			info.Addr, state, free, free*page.Size>>20,
+			info.Stat.HotPages, info.Stat.ColdPages, info.Stat.DiskPages,
 			info.RTT.Round(time.Microsecond), info.ReqDeadline.Round(time.Millisecond),
 			breakerTag(info))
 	}

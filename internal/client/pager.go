@@ -88,6 +88,19 @@ type Config struct {
 	// pages back to remote memory (paper §2.1). Zero disables it;
 	// tests and callers can invoke Rebalance directly.
 	RebalanceEvery time.Duration
+	// WeighTiers makes Rebalance weigh "slow remote" against "move
+	// away" before evacuating a pressured server: it reads the
+	// server's STAT tier occupancy, and while less than
+	// EvacuateDiskFrac of the stored pages sit in the disk tier (the
+	// rest served from memory, compressed at worst) and the server
+	// still reports free space, the evacuation is skipped — a
+	// compressed remote page is still far faster than a paging disk.
+	// Default off: a pressure advisory always evacuates, the paper's
+	// §2.1 behaviour.
+	WeighTiers bool
+	// EvacuateDiskFrac is the disk-tier share at which a pressured
+	// server gets evacuated even under WeighTiers (default 0.5).
+	EvacuateDiskFrac float64
 	// NetLatencyThreshold, if positive, enables the paper's §5
 	// network-load adaptation: a server whose smoothed request RTT
 	// exceeds the threshold is not used for new placements, and when
@@ -167,6 +180,7 @@ type Stats struct {
 	Migrated         uint64
 	Recovered        uint64 // pages reconstructed after a crash
 	Rehomed          uint64 // pages moved off damaged/pressured servers
+	StayedPut        uint64 // evacuations skipped after weighing tiers
 	GCPasses         uint64
 	LostPages        uint64 // unrecoverable (PolicyNone after crash)
 	FallbackPageOuts uint64 // pageouts that went to local disk
@@ -1087,6 +1101,13 @@ func (p *Pager) Rebalance() error {
 			continue
 		}
 		if rs.pressured {
+			if p.cfg.WeighTiers && p.tierTolerable(i) {
+				// The server is pressured but serving from memory:
+				// staying beats re-homing (§2.1 weighed against the
+				// tiered store's slope).
+				p.stats.StayedPut++
+				continue
+			}
 			if err := p.pol.evacuate(i); err != nil && firstErr == nil {
 				firstErr = err
 			}
@@ -1096,6 +1117,36 @@ func (p *Pager) Rebalance() error {
 		firstErr = err
 	}
 	return firstErr
+}
+
+// tierTolerable reports whether a pressured server's tier mix makes
+// staying cheaper than evacuating: the pager fetches STAT and keeps
+// its pages while the disk-tier share stays under EvacuateDiskFrac
+// and the server still advertises free space. Any error says
+// "evacuate" — the conservative default.
+//
+//rmpvet:holds Pager.mu
+func (p *Pager) tierTolerable(srv int) bool {
+	frac := p.cfg.EvacuateDiskFrac
+	if frac <= 0 || frac > 1 {
+		frac = 0.5
+	}
+	var info wire.StatInfo
+	if err := p.withConn(srv, true, func(c *Conn) error {
+		var serr error
+		info, serr = c.Stat()
+		return serr
+	}); err != nil {
+		return false
+	}
+	total := info.HotPages + info.ColdPages + info.DiskPages
+	if total == 0 {
+		return true // nothing stored there; nothing worth moving
+	}
+	if info.FreePages <= 0 {
+		return false
+	}
+	return float64(info.DiskPages) < frac*float64(total)
 }
 
 // promoteDiskPages re-pages disk-fallback pages out through the

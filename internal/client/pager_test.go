@@ -387,6 +387,72 @@ func TestPressureMigration(t *testing.T) {
 	}
 }
 
+// TestWeighTiersStaysPut: with WeighTiers on, a pressure advisory
+// from a server that is still serving out of memory (hot + compressed
+// tiers) does not trigger evacuation — but once the server's pages
+// sink into its disk tier, the pager moves them away after all.
+func TestWeighTiersStaysPut(t *testing.T) {
+	c := &cluster{t: t, net: memnet.New()}
+	for i := 0; i < 3; i++ {
+		c.addServer(server.Config{
+			Name:          fmt.Sprintf("srv%d", i),
+			CapacityPages: 512,
+			OverflowFrac:  0.10,
+			Spill:         true,
+		})
+	}
+	cfg := c.config(client.PolicyNone)
+	cfg.WeighTiers = true
+	p := c.pagerWith(cfg)
+	const n = 30
+	for i := uint64(0); i < n; i++ {
+		if err := p.PageOut(page.ID(i), mkPage(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	held := c.servers[0].Store().Len()
+	if held == 0 {
+		t.Fatal("setup: server 0 got no pages")
+	}
+
+	// Pressure compresses part of the resident set but spills nothing:
+	// the tier mix is tolerable, so the pager stays put.
+	c.servers[0].SetPressure(true)
+	if err := p.Rebalance(); err != nil {
+		t.Fatalf("rebalance: %v", err)
+	}
+	st := p.Stats()
+	if st.StayedPut == 0 {
+		t.Fatal("pager evacuated despite a memory-served tier mix")
+	}
+	if got := c.servers[0].Store().Len(); got != held {
+		t.Fatalf("pages moved anyway: %d of %d left", got, held)
+	}
+	for i := uint64(0); i < n; i++ {
+		got, err := p.PageIn(page.ID(i))
+		if err != nil || got.Checksum() != mkPage(i).Checksum() {
+			t.Fatalf("pagein %d while staying put: %v", i, err)
+		}
+	}
+
+	// Now sink the server's pages into the disk tier: the same
+	// advisory crosses EvacuateDiskFrac and the pager moves away.
+	c.servers[0].Store().SetTargets(1, 1)
+	c.servers[0].Store().Enforce()
+	if err := p.Rebalance(); err != nil {
+		t.Fatalf("rebalance: %v", err)
+	}
+	if got := c.servers[0].Store().Len(); got != 0 {
+		t.Fatalf("disk-heavy pressured server still holds %d pages", got)
+	}
+	for i := uint64(0); i < n; i++ {
+		got, err := p.PageIn(page.ID(i))
+		if err != nil || got.Checksum() != mkPage(i).Checksum() {
+			t.Fatalf("pagein %d after evacuation: %v", i, err)
+		}
+	}
+}
+
 // TestDiskPromotion: pages that fell back to disk move to remote
 // memory once a server frees up (paper §2.1).
 func TestDiskPromotion(t *testing.T) {

@@ -6,7 +6,9 @@ import (
 	"testing"
 
 	"rmp/internal/client"
+	"rmp/internal/memnet"
 	"rmp/internal/page"
+	"rmp/internal/server"
 )
 
 // Property-based tests for the redundancy policies: under a random
@@ -112,6 +114,90 @@ func TestPropertySingleCrashReconstruction(t *testing.T) {
 				t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
 					t.Parallel()
 					runPropCase(t, tc.pol, genCase(seed, tc.servers))
+				})
+			}
+		})
+	}
+}
+
+// runPropCaseTiered is runPropCase over tiered servers: before the
+// victim dies, every survivor's pages are forced down into the
+// compressed and disk tiers, so reconstruction reads surviving
+// replicas and parity out of the slow tiers — byte-identical all the
+// same.
+func runPropCaseTiered(t *testing.T, pol client.Policy, c propCase) {
+	t.Helper()
+	cl := &cluster{t: t, net: memnet.New()}
+	for i := 0; i < c.servers; i++ {
+		cl.addServer(server.Config{
+			Name:          fmt.Sprintf("srv%d", i),
+			CapacityPages: 4096,
+			OverflowFrac:  0.10,
+			Spill:         true,
+		})
+	}
+	p := cl.pager(pol)
+	for _, w := range c.writes {
+		if err := p.PageOut(w.id, fillPage(w.fill)); err != nil {
+			t.Fatalf("seed %d: pageout %d: %v", c.seed, w.id, err)
+		}
+	}
+	// Demote everything everywhere: one page may stay hot, one
+	// compressed, the rest spill.
+	for _, srv := range cl.servers {
+		srv.Store().SetTargets(1, 1)
+		srv.Store().Enforce()
+	}
+	cl.crash(c.victim)
+	for id, fill := range c.want() {
+		got, err := p.PageIn(id)
+		if err != nil {
+			t.Fatalf("seed %d: pagein %d after crash of server %d (tiered): %v",
+				c.seed, id, c.victim, err)
+		}
+		want := fillPage(fill)
+		if got.Checksum() != want.Checksum() {
+			t.Fatalf("seed %d: page %d reconstructed wrong from demoted tiers (victim %d)",
+				c.seed, id, c.victim)
+		}
+	}
+	if r := p.Redundancy(); r.Lost != 0 {
+		t.Fatalf("seed %d: Redundancy reports %d lost pages", c.seed, r.Lost)
+	}
+	// The survivors really were serving out of their lower tiers.
+	var coldHits, diskHits uint64
+	for i, srv := range cl.servers {
+		if i == c.victim {
+			continue
+		}
+		st := srv.Store().Stats()
+		coldHits += st.ColdHits
+		diskHits += st.DiskHits
+	}
+	if coldHits+diskHits == 0 {
+		t.Fatalf("seed %d: no reconstruction reads hit a demoted tier", c.seed)
+	}
+}
+
+// TestPropertyTieredCrashReconstruction: the single-crash property
+// holds when the surviving servers hold their pages in compressed and
+// disk tiers rather than hot memory.
+func TestPropertyTieredCrashReconstruction(t *testing.T) {
+	cases := []struct {
+		pol     client.Policy
+		servers int
+	}{
+		{client.PolicyMirroring, 3},
+		{client.PolicyParity, 4},
+		{client.PolicyParityLogging, 4},
+	}
+	const rounds = 8
+	for _, tc := range cases {
+		t.Run(tc.pol.String(), func(t *testing.T) {
+			for seed := int64(1); seed <= rounds; seed++ {
+				t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+					t.Parallel()
+					runPropCaseTiered(t, tc.pol, genCase(seed, tc.servers))
 				})
 			}
 		})

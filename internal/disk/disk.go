@@ -12,6 +12,7 @@
 package disk
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"os"
@@ -24,6 +25,11 @@ import (
 
 // ErrNotFound is returned by Get for keys never paged out (or freed).
 var ErrNotFound = errors.New("disk: page not found")
+
+// ErrCorrupt is returned by Get on a durable store when a slot fails
+// its header or checksum verification: the page is lost, and the
+// caller must report the loss instead of serving garbage.
+var ErrCorrupt = errors.New("disk: page corrupt")
 
 // LatencyModel charges a synthetic per-access delay. Zero value means
 // "run at native speed".
@@ -83,7 +89,28 @@ type Store struct {
 	model LatencyModel
 	run   int // sequential-run position for the latency model
 
+	// durable stores prefix every slot with a self-describing header
+	// (magic, key, CRC-32C of the data) so a fresh Store can recover
+	// the key map by scanning the file, and a torn or bit-rotted slot
+	// is detected at read time instead of served as garbage.
+	durable bool
+
 	stats Stats
+}
+
+// Durable slot header layout: magic(4) reserved(4) key(8) crc(4)
+// pad(4), followed by page.Size data bytes.
+const (
+	slotMagic     = 0x524D5350 // "RMSP"
+	slotHeaderLen = 24
+)
+
+// slotSize is the on-disk footprint of one slot.
+func (s *Store) slotSize() int64 {
+	if s.durable {
+		return page.Size + slotHeaderLen
+	}
+	return page.Size
 }
 
 // Stats counts store activity and simulated latency charged.
@@ -100,6 +127,49 @@ func Open(path string, model LatencyModel) (*Store, error) {
 		return nil, fmt.Errorf("disk: %w", err)
 	}
 	return &Store{f: f, slots: make(map[uint64]int64), model: model}, nil
+}
+
+// OpenDurable opens (or creates) a self-describing swap file at path
+// without truncating it: every slot carries a header with the key and
+// a CRC-32C of the data, and opening scans the file to rebuild the
+// key map — the recovery path for a server restarting with spilled
+// pages. Slots whose header fails verification are abandoned (their
+// pages are reported lost on access, never silently corrupted).
+func OpenDurable(path string, model LatencyModel) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("disk: %w", err)
+	}
+	s := &Store{f: f, slots: make(map[uint64]int64), model: model, durable: true}
+	if err := s.recover(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// recover scans a durable file, adopting every slot with a valid
+// header. Caller owns the store exclusively (called from OpenDurable).
+func (s *Store) recover() error {
+	fi, err := s.f.Stat()
+	if err != nil {
+		return fmt.Errorf("disk: %w", err)
+	}
+	nslots := fi.Size() / s.slotSize()
+	var hdr [slotHeaderLen]byte
+	for slot := int64(0); slot < nslots; slot++ {
+		if _, err := s.f.ReadAt(hdr[:], slot*s.slotSize()); err != nil {
+			return fmt.Errorf("disk: recover slot %d: %w", slot, err)
+		}
+		if binary.BigEndian.Uint32(hdr[0:]) != slotMagic {
+			s.free = append(s.free, slot) // freed or torn slot
+			continue
+		}
+		key := binary.BigEndian.Uint64(hdr[8:])
+		s.slots[key] = slot
+	}
+	s.next = nslots
+	return nil
 }
 
 // OpenTemp creates a swap file in the OS temp dir; the file is
@@ -151,7 +221,16 @@ func (s *Store) Put(key uint64, data page.Buf) error {
 		s.slots[key] = slot
 	}
 	s.charge()
-	if _, err := s.f.WriteAt(data, slot*page.Size); err != nil {
+	if s.durable {
+		buf := make([]byte, s.slotSize())
+		binary.BigEndian.PutUint32(buf[0:], slotMagic)
+		binary.BigEndian.PutUint64(buf[8:], key)
+		binary.BigEndian.PutUint32(buf[16:], data.Checksum())
+		copy(buf[slotHeaderLen:], data)
+		if _, err := s.f.WriteAt(buf, slot*s.slotSize()); err != nil {
+			return fmt.Errorf("disk: write slot %d: %w", slot, err)
+		}
+	} else if _, err := s.f.WriteAt(data, slot*page.Size); err != nil {
 		return fmt.Errorf("disk: write slot %d: %w", slot, err)
 	}
 	s.stats.Writes++
@@ -168,7 +247,20 @@ func (s *Store) Get(key uint64) (page.Buf, error) {
 	}
 	s.charge()
 	buf := page.NewBuf()
-	if _, err := s.f.ReadAt(buf, slot*page.Size); err != nil {
+	if s.durable {
+		raw := make([]byte, s.slotSize())
+		if _, err := s.f.ReadAt(raw, slot*s.slotSize()); err != nil {
+			return nil, fmt.Errorf("disk: read slot %d: %w", slot, err)
+		}
+		if binary.BigEndian.Uint32(raw[0:]) != slotMagic ||
+			binary.BigEndian.Uint64(raw[8:]) != key {
+			return nil, fmt.Errorf("disk: slot %d header mismatch for key %d: %w", slot, key, ErrCorrupt)
+		}
+		copy(buf, raw[slotHeaderLen:])
+		if buf.Checksum() != binary.BigEndian.Uint32(raw[16:]) {
+			return nil, fmt.Errorf("disk: slot %d checksum mismatch for key %d: %w", slot, key, ErrCorrupt)
+		}
+	} else if _, err := s.f.ReadAt(buf, slot*page.Size); err != nil {
 		return nil, fmt.Errorf("disk: read slot %d: %w", slot, err)
 	}
 	s.stats.Reads++
@@ -184,6 +276,14 @@ func (s *Store) Delete(keys ...uint64) {
 			delete(s.slots, k)
 			s.free = append(s.free, slot)
 			s.stats.Frees++
+			if s.durable {
+				// Invalidate the header so a later recovery scan does
+				// not resurrect the freed page. Best-effort: a failed
+				// write means the stale page may reappear, never that
+				// data corrupts.
+				var zero [4]byte
+				s.f.WriteAt(zero[:], slot*s.slotSize())
+			}
 		}
 	}
 }

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"rmp/internal/cluster"
+)
+
+// TestTierLoadCollapse is the tiering e2e: the §4.6 load-collapse
+// schedule on the in-memory transport. The tiered server must demote
+// instead of denying — zero denied allocations, pageins served out of
+// the compressed and disk tiers, zero lost or corrupted pages — while
+// the DenyUnderPressure server reproduces the paper's cliff.
+func TestTierLoadCollapse(t *testing.T) {
+	trace := cluster.Week(cluster.Paper)
+	const tick = 5 * time.Millisecond
+
+	tiered, err := tierCollapse(trace, tick, false)
+	if err != nil {
+		t.Fatalf("tiered run: %v", err)
+	}
+	if tiered.AllocDenied != 0 {
+		t.Errorf("tiered server denied %d of %d allocs; want 0 (demote, not deny)",
+			tiered.AllocDenied, tiered.AllocAttempts)
+	}
+	if tiered.ColdHits == 0 || tiered.DiskHits == 0 {
+		t.Errorf("pageins not served from demoted tiers: cold %d, disk %d",
+			tiered.ColdHits, tiered.DiskHits)
+	}
+	if tiered.Demotions == 0 || tiered.Spills == 0 {
+		t.Errorf("pressure trace drove no tier movement: %d demotions, %d spills",
+			tiered.Demotions, tiered.Spills)
+	}
+	if tiered.LostPages != 0 || tiered.VerifyErrors != 0 {
+		t.Errorf("pages lost under tiering: %d lost, %d verify failures",
+			tiered.LostPages, tiered.VerifyErrors)
+	}
+
+	deny, err := tierCollapse(trace, tick, true)
+	if err != nil {
+		t.Fatalf("deny run: %v", err)
+	}
+	if deny.AllocDenied == 0 {
+		t.Error("DenyUnderPressure server denied nothing; the §4.6 cliff did not reproduce")
+	}
+	if deny.LostPages != 0 || deny.VerifyErrors != 0 {
+		t.Errorf("pages lost in deny mode: %d lost, %d verify failures",
+			deny.LostPages, deny.VerifyErrors)
+	}
+}

@@ -1,5 +1,9 @@
-// Package pagestore implements the in-memory page store used by a
-// remote memory server to hold a client's swapped-out pages.
+// Package pagestore implements the flat in-memory page store: a
+// thread-safe (key -> page) map with quota accounting. It is the hot
+// tier's data plane inside the server's tiered store
+// (internal/store), and remains usable on its own wherever a single
+// uncompressed in-memory tier is all that is needed (tests, tools,
+// the simulator).
 //
 // The store enforces two limits that map directly onto the paper's
 // design (§2.1, §2.2):

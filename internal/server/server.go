@@ -31,9 +31,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rmp/internal/cluster"
 	"rmp/internal/disk"
 	"rmp/internal/page"
-	"rmp/internal/pagestore"
+	"rmp/internal/store"
 	"rmp/internal/wire"
 )
 
@@ -65,16 +66,46 @@ type Config struct {
 	// heterogeneous-network scenario where "the time it takes to
 	// transfer a page may not be identical for each server".
 	ServiceDelay time.Duration
-	// Spill enables the paper's §2.1 pressure behaviour: "when native
-	// memory-demanding processes start on a server workstation, part
-	// of the server's memory is swapped out to disk. Future requests
-	// will be serviced from the disk". Under pressure, half of the
-	// stored pages move to a local spill file and incoming stores go
-	// there too; when pressure clears they migrate back to memory.
+	// Spill enables the tiered store's disk tier (a throwaway temp
+	// file): cold pages beyond the compressed tier's target spill to
+	// local disk, and — because storage degrades to slower tiers
+	// instead of vanishing — the server keeps granting swap space
+	// under native pressure rather than denying it (the §2.1 cliff
+	// becomes a slope).
 	Spill bool
-	// SpillFrac is the fraction of stored pages spilled when pressure
-	// sets in (default 0.5).
+	// SpillPath makes the disk tier durable at the given path: slots
+	// are self-describing and CRC-verified, and a restarting server
+	// recovers the spilled pages (or cleanly reports the loss of any
+	// slot that fails verification). Implies Spill.
+	SpillPath string
+	// SpillFrac is the fraction of the resident set demoted out of the
+	// hot tier when pressure sets in (default 0.5): under pressure the
+	// hot target becomes stored*(1-SpillFrac).
 	SpillFrac float64
+	// HotPages / ColdPages are the unpressured tier targets passed to
+	// the store (0 = full capacity may stay hot / compressed).
+	HotPages  int
+	ColdPages int
+	// DemoteEvery is the background demotion worker's tick (default
+	// 25 ms).
+	DemoteEvery time.Duration
+	// DiskModel charges synthetic latency per disk-tier access, so
+	// experiments can model a 1996 paging disk on modern hardware.
+	DiskModel disk.LatencyModel
+	// DenyUnderPressure restores the paper's §2.1 behaviour for
+	// comparison runs: deny swap-space allocation while pressured even
+	// though the tiered store could absorb it.
+	DenyUnderPressure bool
+	// PressureTrace, when non-empty, replays an idle-memory profile
+	// (internal/cluster's weekly curve) as live native pressure: every
+	// TraceTick the next sample's free fraction becomes the hot-tier
+	// target, and the pressure advisory tracks TraceLowWater. The
+	// trace wraps around; a zero TraceTick defaults to one second.
+	PressureTrace []cluster.Sample
+	TraceTick     time.Duration
+	// TraceLowWater is the free fraction under which the trace raises
+	// the pressure advisory (default 0.5).
+	TraceLowWater float64
 	// Dial, when non-nil, replaces TCP for the server's own outbound
 	// connections (XORWRITE delta forwarding to the parity server).
 	// Tests inject an in-memory transport here.
@@ -87,7 +118,16 @@ type Config struct {
 // or ListenAndServe, stop with Close.
 type Server struct {
 	cfg   Config
-	store *pagestore.Store
+	store *store.Tiered
+	// demoter is the store's background demotion worker; stopped by
+	// Close.
+	demoter *store.Demoter
+	// stopTrace cancels the pressure-trace driver (nil when no trace
+	// is configured). Closed by Close.
+	stopTrace chan struct{}
+	// diskTier records whether the store has a disk tier — the
+	// condition under which pressure demotes instead of denying.
+	diskTier bool
 
 	mu sync.Mutex
 	// ln is the accept listener; set by Serve, closed by Close.
@@ -121,13 +161,6 @@ type Server struct {
 	// newly-joined servers without re-reading the registry. Guarded by
 	// peersMu.
 	peers []string
-
-	// spill backs pressure-evicted pages on the local disk (nil when
-	// Config.Spill is off). spillMu serializes compound
-	// read-modify-write operations (XORWRITE/XORDELTA) that may span
-	// memory and spill.
-	spillMu sync.Mutex
-	spill   *disk.Store
 
 	wg sync.WaitGroup
 
@@ -176,18 +209,36 @@ func New(cfg Config) *Server {
 	}
 	s := &Server{
 		cfg:         cfg,
-		store:       pagestore.New(cfg.CapacityPages, cfg.OverflowFrac),
 		conns:       make(map[net.Conn]struct{}),
 		clients:     make(map[string]*clientNS),
 		parityConns: make(map[string]*parityConn),
 	}
-	if cfg.Spill {
-		spill, err := disk.OpenTemp(disk.LatencyModel{})
-		if err != nil {
-			s.logf("%s: spill disabled: %v", cfg.Name, err)
-		} else {
-			s.spill = spill
-		}
+	storeCfg := store.Config{
+		CapacityPages: cfg.CapacityPages,
+		OverflowFrac:  cfg.OverflowFrac,
+		HotPages:      cfg.HotPages,
+		ColdPages:     cfg.ColdPages,
+		Spill:         cfg.Spill,
+		SpillPath:     cfg.SpillPath,
+		DiskModel:     cfg.DiskModel,
+		Logger:        cfg.Logger,
+	}
+	st, err := store.New(storeCfg)
+	if err != nil {
+		// The disk tier could not be opened (or recovered); degrade to
+		// the in-memory tiers rather than refuse to start.
+		s.logf("%s: disk tier disabled: %v", cfg.Name, err)
+		storeCfg.Spill, storeCfg.SpillPath = false, ""
+		st, _ = store.New(storeCfg)
+	} else {
+		s.diskTier = cfg.Spill || cfg.SpillPath != ""
+	}
+	s.store = st
+	s.demoter = st.StartDemoter(cfg.DemoteEvery)
+	if len(cfg.PressureTrace) > 0 {
+		s.stopTrace = make(chan struct{})
+		s.wg.Add(1)
+		go s.traceLoop()
 	}
 	return s
 }
@@ -224,21 +275,43 @@ func (s *Server) Addr() net.Addr {
 }
 
 // SetPressure marks the host as loaded (or unloaded) by native
-// memory-demanding processes. While set, swap-space allocation is
-// denied, every ack carries wire.FlagPressure advising the client to
-// migrate its pages elsewhere, and page service pays PressureDelay.
-// With Config.Spill, setting pressure also swaps part of the donated
-// memory out to the local disk (and clearing it swaps back in) —
-// the §2.1 behaviour.
+// memory-demanding processes. While set, every ack carries
+// wire.FlagPressure advising the client to migrate its pages
+// elsewhere, and page service pays PressureDelay. Setting pressure
+// shrinks the tiered store's hot target by SpillFrac, so part of the
+// donated memory compresses (and, with a disk tier, spills) — the
+// §2.1 "part of the server's memory is swapped out to disk", served
+// slower instead of evicted. Clearing pressure restores the targets
+// and eagerly promotes demoted pages back. Swap-space allocation is
+// denied while pressured only when there is no disk tier to absorb
+// it (or DenyUnderPressure forces the paper's cliff).
 func (s *Server) SetPressure(on bool) {
 	was := s.pressure.Swap(on)
 	if was == on {
 		return
 	}
 	if on {
-		s.spillExcess()
+		frac := s.cfg.SpillFrac
+		if frac <= 0 || frac > 1 {
+			frac = 0.5
+		}
+		// Shrink the resident set, not the nominal capacity: the host
+		// wants memory back now, so the target is a fraction of what is
+		// actually stored (and stays there, bounding growth, until the
+		// pressure clears).
+		hot := int(float64(s.store.Len()) * (1 - frac))
+		if hot < 1 {
+			hot = 1
+		}
+		s.store.SetTargets(hot, s.cfg.ColdPages)
+		if n := s.store.Enforce(); n > 0 {
+			s.logf("%s: demoted %d pages under memory pressure", s.cfg.Name, n)
+		}
 	} else {
-		s.unspill()
+		s.store.SetTargets(s.cfg.HotPages, s.cfg.ColdPages)
+		if n := s.store.PromoteHot(); n > 0 {
+			s.logf("%s: promoted %d pages back after pressure cleared", s.cfg.Name, n)
+		}
 	}
 }
 
@@ -285,9 +358,9 @@ func (s *Server) Peers() []string {
 	return append([]string(nil), s.peers...)
 }
 
-// Store exposes the backing page store (read-mostly; used by tests,
-// stats endpoints and crash-recovery tooling).
-func (s *Server) Store() *pagestore.Store { return s.store }
+// Store exposes the backing tiered page store (read-mostly; used by
+// tests, stats endpoints, benchmarks and crash-recovery tooling).
+func (s *Server) Store() *store.Tiered { return s.store }
 
 // Close stops the listener and all sessions and waits for them.
 func (s *Server) Close() error {
@@ -311,11 +384,12 @@ func (s *Server) Close() error {
 	}
 	s.parityConns = make(map[string]*parityConn)
 	s.parityMu.Unlock()
-	s.wg.Wait()
-	if s.spill != nil {
-		s.spill.Close()
+	if s.stopTrace != nil {
+		close(s.stopTrace)
 	}
-	return nil
+	s.wg.Wait()
+	s.demoter.Close()
+	return s.store.Close()
 }
 
 // DropClient discards everything held for the named client: pages,
@@ -346,13 +420,14 @@ func (s *Server) purgeNamespace(ns *clientNS) {
 		s.store.Release(reserved)
 	}
 	var doomed []uint64
+	// Keys() spans every tier, so spilled and compressed pages are
+	// purged along with the hot ones.
 	for _, k := range s.store.Keys() {
 		if uint16(k>>keyBits) == ns.tag {
 			doomed = append(doomed, k)
 		}
 	}
-	doomed = append(doomed, s.spilledKeysOf(ns.tag)...)
-	s.deleteAnywhere(doomed...)
+	s.store.Delete(doomed...)
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -621,7 +696,12 @@ func (s *Server) handle(sess *session, m *wire.Msg) *wire.Msg {
 	ack := &wire.Msg{Type: m.Type.Ack(), Key: m.Key}
 	switch m.Type {
 	case wire.TAlloc:
-		if s.pressure.Load() || s.draining.Load() {
+		// Draining always denies. Pressure denies only when there is
+		// no disk tier to absorb the demotions (or the paper-faithful
+		// DenyUnderPressure cliff is requested): a tiered server
+		// degrades latency, not availability (§2.1 revisited).
+		if s.draining.Load() ||
+			(s.pressure.Load() && (s.cfg.DenyUnderPressure || !s.diskTier)) {
 			ack.Status = wire.StatusNoSpace
 			return ack
 		}
@@ -640,14 +720,17 @@ func (s *Server) handle(sess *session, m *wire.Msg) *wire.Msg {
 			return ack
 		}
 		s.maybeStall()
-		if err := s.putAnywhere(nsKey(tag, m.Key), page.Buf(m.Data)); err != nil {
+		if err := s.store.Put(nsKey(tag, m.Key), page.Buf(m.Data)); err != nil {
 			ack.Status = storeStatus(err)
 		}
 
 	case wire.TPageIn:
 		s.maybeStall()
-		data, err := s.getAnywhere(nsKey(tag, m.Key))
+		data, err := s.store.Get(nsKey(tag, m.Key))
 		if err != nil {
+			if errors.Is(err, store.ErrCorrupt) {
+				s.logf("%s: page %d lost to disk-tier corruption", s.cfg.Name, m.Key)
+			}
 			ack.Status = storeStatus(err)
 			return ack
 		}
@@ -659,7 +742,7 @@ func (s *Server) handle(sess *session, m *wire.Msg) *wire.Msg {
 		for i, k := range m.Keys {
 			keys[i] = nsKey(tag, k)
 		}
-		s.deleteAnywhere(keys...)
+		s.store.Delete(keys...)
 		ack.N = uint32(len(keys))
 
 	case wire.TLoad:
@@ -699,7 +782,7 @@ func (s *Server) handle(sess *session, m *wire.Msg) *wire.Msg {
 			return ack
 		}
 		s.maybeStall()
-		delta, err := s.xorWriteAnywhere(nsKey(tag, m.Key), page.Buf(m.Data))
+		delta, err := s.store.XorWrite(nsKey(tag, m.Key), page.Buf(m.Data))
 		if err != nil {
 			ack.Status = storeStatus(err)
 			return ack
@@ -719,7 +802,7 @@ func (s *Server) handle(sess *session, m *wire.Msg) *wire.Msg {
 			ack.Status = wire.StatusBadChecksum
 			return ack
 		}
-		if err := s.xorMergeAnywhere(nsKey(tag, m.Key), page.Buf(m.Data)); err != nil {
+		if err := s.store.XorMerge(nsKey(tag, m.Key), page.Buf(m.Data)); err != nil {
 			ack.Status = storeStatus(err)
 		}
 
@@ -728,9 +811,10 @@ func (s *Server) handle(sess *session, m *wire.Msg) *wire.Msg {
 		clients := len(s.clients)
 		s.mu.Unlock()
 		st := s.store.Stats()
+		occ := s.store.Occupancy()
 		info := wire.StatInfo{
 			Name:         s.cfg.Name,
-			StoredPages:  s.store.Len(),
+			StoredPages:  occ.Total(),
 			FreePages:    s.store.Free(),
 			InOverflow:   s.store.InOverflow(),
 			Pressure:     s.pressure.Load(),
@@ -744,6 +828,18 @@ func (s *Server) handle(sess *session, m *wire.Msg) *wire.Msg {
 			Pings:        s.pings.Load(),
 			Draining:     s.draining.Load(),
 			Peers:        s.Peers(),
+			HotPages:     occ.Hot,
+			ColdPages:    occ.Cold,
+			DiskPages:    occ.Disk,
+			HotTarget:    occ.HotTarget,
+			ColdBytes:    occ.ColdBytes,
+			HotHits:      st.HotHits,
+			ColdHits:     st.ColdHits,
+			DiskHits:     st.DiskHits,
+			Demotions:    st.Demotions,
+			Spills:       st.Spills,
+			Promotions:   st.Promotions,
+			LostPages:    st.Lost,
 		}
 		data, err := json.Marshal(info)
 		if err != nil {
@@ -784,9 +880,15 @@ func (s *Server) maybeStall() {
 
 func storeStatus(err error) wire.Status {
 	switch {
-	case errors.Is(err, pagestore.ErrNoSpace):
+	case errors.Is(err, store.ErrNoSpace):
 		return wire.StatusNoSpace
-	case errors.Is(err, pagestore.ErrNotFound):
+	case errors.Is(err, store.ErrNotFound):
+		return wire.StatusNotFound
+	case errors.Is(err, store.ErrCorrupt):
+		// A disk-tier page failed verification: the page is gone, and
+		// NOT_FOUND is the protocol's "page is gone" — the client's
+		// redundancy policy reconstructs it. Loss is reported, never
+		// hidden behind corrupt data.
 		return wire.StatusNotFound
 	default:
 		return wire.StatusInternal

@@ -1,22 +1,26 @@
 package server_test
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"rmp/internal/client"
+	"rmp/internal/page"
 	"rmp/internal/server"
+	"rmp/internal/store"
 )
 
-// spillServer starts a server with disk spill enabled.
+// spillServer starts a server with the disk tier enabled (temp file).
 func spillServer(t *testing.T, capacity int) (*server.Server, string) {
 	t.Helper()
 	return startServer(t, server.Config{CapacityPages: capacity, Spill: true})
 }
 
-// TestSpillUnderPressure: §2.1 — pressure moves part of the donated
-// memory to disk, requests keep working, and clearing pressure brings
-// the pages back.
-func TestSpillUnderPressure(t *testing.T) {
+// TestTierDemotionUnderPressure: §2.1 — pressure demotes part of the
+// donated memory out of the hot tier, requests keep working, and
+// clearing pressure promotes the pages back.
+func TestTierDemotionUnderPressure(t *testing.T) {
 	srv, addr := spillServer(t, 256)
 	c := dial(t, addr, "spill-client", "")
 	const n = 40
@@ -30,11 +34,14 @@ func TestSpillUnderPressure(t *testing.T) {
 	}
 
 	srv.SetPressure(true)
-	inMem := srv.Store().Len()
-	if inMem >= n {
-		t.Fatalf("pressure spilled nothing: still %d in memory", inMem)
+	occ := srv.Store().Occupancy()
+	if occ.Hot >= n {
+		t.Fatalf("pressure demoted nothing: still %d hot", occ.Hot)
 	}
-	// Every page — spilled or resident — must still be readable.
+	if occ.Total() != n {
+		t.Fatalf("demotion lost pages: %d of %d stored", occ.Total(), n)
+	}
+	// Every page — demoted or resident — must still be readable.
 	for i := uint64(0); i < n; i++ {
 		got, err := c.PageIn(i)
 		if err != nil || got.Checksum() != fillPage(i).Checksum() {
@@ -44,20 +51,39 @@ func TestSpillUnderPressure(t *testing.T) {
 	c.PressureAdvised() // clear the latch
 
 	srv.SetPressure(false)
-	if got := srv.Store().Len(); got != n {
-		t.Fatalf("unspill restored %d of %d pages", got, n)
+	if occ := srv.Store().Occupancy(); occ.Hot != n {
+		t.Fatalf("promotion restored %d of %d pages hot", occ.Hot, n)
 	}
 	for i := uint64(0); i < n; i++ {
 		got, err := c.PageIn(i)
 		if err != nil || got.Checksum() != fillPage(i).Checksum() {
-			t.Fatalf("pagein %d after unspill: %v", i, err)
+			t.Fatalf("pagein %d after promotion: %v", i, err)
 		}
 	}
 }
 
-// TestSpillOverwriteStaysConsistent: a page overwritten while spilled
-// must not resurface with stale contents after unspill.
-func TestSpillOverwriteStaysConsistent(t *testing.T) {
+// TestTierAllocUnderPressure: a server with a disk tier keeps granting
+// swap space while pressured — it demotes instead of denying — while
+// DenyUnderPressure restores the paper's cliff for comparison runs.
+func TestTierAllocUnderPressure(t *testing.T) {
+	srv, addr := spillServer(t, 256)
+	c := dial(t, addr, "tier-client", "")
+	srv.SetPressure(true)
+	if got, err := c.Alloc(8); err != nil || got != 8 {
+		t.Fatalf("tiered server denied alloc under pressure: %d, %v", got, err)
+	}
+
+	dsrv, daddr := startServer(t, server.Config{CapacityPages: 256, Spill: true, DenyUnderPressure: true})
+	dc := dial(t, daddr, "deny-client", "")
+	dsrv.SetPressure(true)
+	if got, _ := dc.Alloc(8); got != 0 {
+		t.Fatalf("DenyUnderPressure server granted %d pages while pressured", got)
+	}
+}
+
+// TestTierOverwriteStaysConsistent: a page overwritten while demoted
+// must not resurface with stale contents after promotion.
+func TestTierOverwriteStaysConsistent(t *testing.T) {
 	srv, addr := spillServer(t, 256)
 	c := dial(t, addr, "spill-client", "")
 	const n = 20
@@ -80,14 +106,14 @@ func TestSpillOverwriteStaysConsistent(t *testing.T) {
 			t.Fatal(err)
 		}
 		if got.Checksum() != fillPage(i+1000).Checksum() {
-			t.Fatalf("page %d has stale contents after spill round trip", i)
+			t.Fatalf("page %d has stale contents after demotion round trip", i)
 		}
 	}
 }
 
-// TestSpillFreeRemovesBothTiers: FREE while pressured must remove the
-// spilled copy too.
-func TestSpillFreeRemovesBothTiers(t *testing.T) {
+// TestTierFreeRemovesAllTiers: FREE while pressured must remove
+// demoted copies too.
+func TestTierFreeRemovesAllTiers(t *testing.T) {
 	srv, addr := spillServer(t, 256)
 	c := dial(t, addr, "spill-client", "")
 	for i := uint64(0); i < 10; i++ {
@@ -106,14 +132,14 @@ func TestSpillFreeRemovesBothTiers(t *testing.T) {
 	srv.SetPressure(false)
 	for i := uint64(0); i < 10; i++ {
 		if _, err := c.PageIn(i); err == nil {
-			t.Fatalf("freed page %d resurfaced from spill", i)
+			t.Fatalf("freed page %d resurfaced from a lower tier", i)
 		}
 	}
 }
 
-// TestSpillXorWritePath: the basic-parity XORWRITE path must compute
-// deltas against spilled old versions.
-func TestSpillXorWritePath(t *testing.T) {
+// TestTierXorWritePath: the basic-parity XORWRITE path must compute
+// deltas against demoted old versions.
+func TestTierXorWritePath(t *testing.T) {
 	srv, addr := spillServer(t, 256)
 	_, paddr := startServer(t, server.Config{CapacityPages: 256})
 	c := dial(t, addr, "spill-client", "")
@@ -123,24 +149,24 @@ func TestSpillXorWritePath(t *testing.T) {
 	if err := c.XorWrite(7, old, paddr, 100); err != nil {
 		t.Fatal(err)
 	}
-	srv.SetPressure(true) // key 7 may spill
+	srv.SetPressure(true) // key 7 may demote
 	newer := fillPage(2)
 	if err := c.XorWrite(7, newer, paddr, 100); err != nil {
-		t.Fatalf("XorWrite against spilled old version: %v", err)
+		t.Fatalf("XorWrite against demoted old version: %v", err)
 	}
 	// Parity = old ^ (old^new) = new.
 	parity, err := pc.PageIn(100)
 	if err != nil || parity.Checksum() != newer.Checksum() {
-		t.Fatalf("parity wrong after spilled XorWrite: %v", err)
+		t.Fatalf("parity wrong after demoted XorWrite: %v", err)
 	}
 	got, err := c.PageIn(7)
 	if err != nil || got.Checksum() != newer.Checksum() {
-		t.Fatalf("data wrong after spilled XorWrite: %v", err)
+		t.Fatalf("data wrong after demoted XorWrite: %v", err)
 	}
 }
 
-// TestSpillNamespacePurge: BYE must drop a client's spilled pages too.
-func TestSpillNamespacePurge(t *testing.T) {
+// TestTierNamespacePurge: BYE must drop a client's demoted pages too.
+func TestTierNamespacePurge(t *testing.T) {
 	srv, addr := spillServer(t, 256)
 	c, err := client.Dial(addr, "spill-client", "")
 	if err != nil {
@@ -160,6 +186,125 @@ func TestSpillNamespacePurge(t *testing.T) {
 	// Nothing may resurface for a new session of the same client.
 	c2 := dial(t, addr, "spill-client", "")
 	if _, err := c2.PageIn(0); err == nil {
-		t.Fatal("purged client's spilled page resurfaced")
+		t.Fatal("purged client's demoted page resurfaced")
+	}
+}
+
+// forceSpill drives every page it can out to the disk tier and
+// returns the client keys now on disk (namespace tag stripped).
+func forceSpill(t *testing.T, srv *server.Server) []uint64 {
+	t.Helper()
+	st := srv.Store()
+	st.SetTargets(1, 1)
+	st.Enforce()
+	var spilled []uint64
+	for _, k := range st.Keys() {
+		if tier, ok := st.TierOf(k); ok && tier == store.TierDisk {
+			spilled = append(spilled, k&(uint64(1)<<48-1))
+		}
+	}
+	return spilled
+}
+
+// TestSpillRestartRecovery: a server restarting over a durable spill
+// file serves the spilled pages back to the same client; the hot and
+// compressed pages that died with the process are reported as cleanly
+// gone (NOT_FOUND), never as garbage.
+func TestSpillRestartRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spill.img")
+	srv1, addr1 := startServer(t, server.Config{CapacityPages: 64, SpillPath: path})
+	c1 := dial(t, addr1, "restart-client", "")
+	const n = 16
+	for i := uint64(0); i < n; i++ {
+		if err := c1.PageOut(i, fillPage(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spilled := forceSpill(t, srv1)
+	if len(spilled) < n-4 {
+		t.Fatalf("forced spill left only %d of %d pages on disk", len(spilled), n)
+	}
+	c1.Close()
+	if err := srv1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart over the same spill file. The first client name to
+	// attach gets the first namespace tag again, so the same client
+	// finds its keys.
+	srv2, addr2 := startServer(t, server.Config{CapacityPages: 64, SpillPath: path})
+	if got := srv2.Store().Len(); got != len(spilled) {
+		t.Fatalf("restart recovered %d pages, want %d", got, len(spilled))
+	}
+	c2 := dial(t, addr2, "restart-client", "")
+	onDisk := make(map[uint64]bool, len(spilled))
+	for _, k := range spilled {
+		onDisk[k] = true
+	}
+	for i := uint64(0); i < n; i++ {
+		got, err := c2.PageIn(i)
+		if onDisk[i] {
+			if err != nil {
+				t.Fatalf("recovered page %d unreadable after restart: %v", i, err)
+			}
+			if got.Checksum() != fillPage(i).Checksum() {
+				t.Fatalf("recovered page %d corrupted after restart", i)
+			}
+		} else if err == nil {
+			t.Fatalf("in-memory page %d impossibly survived the restart", i)
+		}
+	}
+}
+
+// TestSpillRestartCorruption: bit rot in the spill file must surface
+// as a clean NOT_FOUND (the client reconstructs via its redundancy
+// policy) — never as a successfully served garbage page.
+func TestSpillRestartCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spill.img")
+	srv1, addr1 := startServer(t, server.Config{CapacityPages: 64, SpillPath: path})
+	c1 := dial(t, addr1, "rot-client", "")
+	const n = 12
+	for i := uint64(0); i < n; i++ {
+		if err := c1.PageOut(i, fillPage(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spilled := forceSpill(t, srv1)
+	if len(spilled) == 0 {
+		t.Fatal("nothing spilled")
+	}
+	c1.Close()
+	if err := srv1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip bytes in every slot's data region (headers intact, so the
+	// keys still recover — the CRC must catch the rot at read time).
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slotSize := int64(page.Size + 24)
+	fi, _ := f.Stat()
+	for off := int64(64); off < fi.Size(); off += slotSize {
+		if _, err := f.WriteAt([]byte{0xde, 0xad, 0xbe, 0xef}, off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Close()
+
+	srv2, addr2 := startServer(t, server.Config{CapacityPages: 64, SpillPath: path})
+	c2 := dial(t, addr2, "rot-client", "")
+	for _, k := range spilled {
+		got, err := c2.PageIn(k)
+		if err == nil && got.Checksum() == fillPage(k).Checksum() {
+			continue // slot escaped the corruption pattern
+		}
+		if err == nil {
+			t.Fatalf("corrupt page %d served as garbage", k)
+		}
+	}
+	if lost := srv2.Store().Stats().Lost; lost == 0 {
+		t.Fatal("corruption detected no lost pages")
 	}
 }

@@ -1,0 +1,63 @@
+package server
+
+import "time"
+
+// Pressure-trace driver: replays an idle-memory profile (the weekly
+// curve from internal/cluster, §4 of the paper) as live native memory
+// pressure. Each tick the next sample's free-memory fraction becomes
+// the tiered store's hot target — when workstation owners come back
+// in the morning and idle memory shrinks, the server demotes donated
+// pages into the compressed and disk tiers instead of denying swap
+// space; overnight the pages climb back. The pressure advisory flag
+// (FlagPressure on every ack) tracks a low-water mark on the same
+// curve, so clients still learn that this host got slow.
+
+// traceLoop applies cfg.PressureTrace forever, wrapping around, until
+// Close closes stopTrace.
+func (s *Server) traceLoop() {
+	defer s.wg.Done()
+	trace := s.cfg.PressureTrace
+	tick := s.cfg.TraceTick
+	if tick <= 0 {
+		tick = time.Second
+	}
+	lowWater := s.cfg.TraceLowWater
+	if lowWater <= 0 {
+		lowWater = 0.5
+	}
+	// Normalize against the trace's own peak so any unit works.
+	maxFree := 0.0
+	for _, smp := range trace {
+		if smp.FreeMB > maxFree {
+			maxFree = smp.FreeMB
+		}
+	}
+	if maxFree <= 0 {
+		return
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for i := 0; ; i++ {
+		frac := trace[i%len(trace)].FreeMB / maxFree
+		hot := int(frac * float64(s.cfg.CapacityPages))
+		if hot < 1 {
+			hot = 1
+		}
+		s.store.SetTargets(hot, s.cfg.ColdPages)
+		s.demoter.Kick()
+		wasPressured := s.pressure.Swap(frac < lowWater)
+		nowPressured := frac < lowWater
+		if wasPressured && !nowPressured {
+			// Pressure lifted: pull demoted pages back into fast memory.
+			s.store.PromoteHot()
+		}
+		if wasPressured != nowPressured {
+			s.logf("%s: trace pressure %v (free %.0f%%)", s.cfg.Name, nowPressured, frac*100)
+		}
+		select {
+		case <-s.stopTrace:
+			return
+		case <-t.C:
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package store
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+
+	"rmp/internal/page"
+)
+
+// Cold-tier page compression: stdlib flate at BestSpeed. Swapped-out
+// pages are overwhelmingly structured (zero runs, repeated records),
+// so even the fastest setting typically shrinks them several-fold; a
+// page that flate cannot shrink is kept raw, flagged, so the cold
+// tier never costs more memory than the hot tier did.
+
+// coldPage is one compressed-tier entry.
+type coldPage struct {
+	data []byte
+	// raw marks an incompressible page stored verbatim.
+	raw bool
+}
+
+// compressor is a reusable flate encoder. Not safe for concurrent
+// use; the Tiered store serializes access under its mutex.
+type compressor struct {
+	buf bytes.Buffer
+	w   *flate.Writer
+}
+
+func newCompressor() *compressor {
+	c := &compressor{}
+	// BestSpeed: demotion sits on the background worker and sometimes
+	// the put path, so latency matters more than ratio.
+	c.w, _ = flate.NewWriter(&c.buf, flate.BestSpeed)
+	return c
+}
+
+// compress encodes one page, falling back to a raw copy when flate
+// does not shrink it.
+func (c *compressor) compress(data page.Buf) coldPage {
+	c.buf.Reset()
+	c.w.Reset(&c.buf)
+	if _, err := c.w.Write(data); err == nil && c.w.Close() == nil && c.buf.Len() < page.Size {
+		return coldPage{data: append([]byte(nil), c.buf.Bytes()...)}
+	}
+	return coldPage{data: data.Clone(), raw: true}
+}
+
+// decompress restores a cold page to its 8 KB form.
+func decompress(cp coldPage) (page.Buf, error) {
+	if cp.raw {
+		return page.Buf(cp.data).Clone(), nil
+	}
+	r := flate.NewReader(bytes.NewReader(cp.data))
+	defer r.Close()
+	buf := page.NewBuf()
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("store: decompress cold page: %w", err)
+	}
+	return buf, nil
+}

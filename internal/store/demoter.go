@@ -1,0 +1,64 @@
+package store
+
+import (
+	"sync"
+	"time"
+)
+
+// Demoter is the cancellable background worker that keeps a Tiered
+// store inside its tier targets: each tick it demotes hot LRU tails
+// to the cold tier and spills cold tails to disk until the targets
+// hold. Inline enforcement on the data path moves at most a few pages
+// per operation; the Demoter drains the rest, so lowering the hot
+// target (native memory pressure setting in) frees resident memory
+// within a tick or two without stalling any request.
+type Demoter struct {
+	stop chan struct{}
+	done chan struct{}
+	kick chan struct{}
+	once sync.Once
+}
+
+// StartDemoter launches the demotion worker, ticking every `every`
+// (default 25 ms when zero). Stop it with Close; the store must
+// outlive the worker.
+func (s *Tiered) StartDemoter(every time.Duration) *Demoter {
+	if every <= 0 {
+		every = 25 * time.Millisecond
+	}
+	d := &Demoter{
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+		kick: make(chan struct{}, 1),
+	}
+	go func() {
+		defer close(d.done)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-d.stop:
+				return
+			case <-t.C:
+			case <-d.kick:
+			}
+			s.Enforce()
+		}
+	}()
+	return d
+}
+
+// Kick wakes the worker immediately (e.g. right after a target drop)
+// instead of waiting for the next tick. Never blocks.
+func (d *Demoter) Kick() {
+	select {
+	case d.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Close stops the worker and waits for it to exit. Idempotent.
+func (d *Demoter) Close() {
+	d.once.Do(func() { close(d.stop) })
+	<-d.done
+}

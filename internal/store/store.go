@@ -1,0 +1,804 @@
+// Package store implements the tiered server-side page store that
+// replaced the flat pagestore map: three tiers trading latency for
+// resident memory so a server under native pressure degrades service
+// instead of denying it (the paper's §2.1/§4.6 servers fall off a
+// cliff — deny allocations, evict wholesale; this store turns the
+// cliff into a slope).
+//
+//   - Hot: uncompressed pages in memory with LRU tracking — the
+//     flat map of internal/pagestore, reused as the data plane.
+//   - Cold: flate-compressed pages in memory. A demoted page costs a
+//     decompression (~tens of µs) to serve instead of a disk seek.
+//   - Disk: pages spilled to a local file (internal/disk), optionally
+//     durable (self-describing slots, CRC-verified, recovered by scan
+//     on restart).
+//
+// Quota accounting (Reserve/Release, overflow headroom) follows the
+// paper's §2.1/§2.2 rules unchanged and counts pages in *all* tiers:
+// the donation contract bounds what is stored, the tier targets bound
+// what stays resident and uncompressed. Demotion is driven by the
+// hot/cold targets — lowered under native memory pressure, typically
+// from the cluster's idle-memory curve — enforced inline in small
+// amortized steps on the write path and drained fully by a
+// cancellable background Demoter. Reads transparently promote from
+// any tier.
+package store
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+
+	"rmp/internal/disk"
+	"rmp/internal/page"
+	"rmp/internal/pagestore"
+)
+
+// Errors. Aliased to the pagestore sentinels so existing errors.Is
+// call sites keep working across the migration.
+var (
+	ErrNoSpace  = pagestore.ErrNoSpace
+	ErrNotFound = pagestore.ErrNotFound
+	// ErrCorrupt reports a disk-tier page that failed verification:
+	// the page is lost (cleanly — never served as garbage).
+	ErrCorrupt = disk.ErrCorrupt
+)
+
+// Tier identifies where a page currently lives.
+type Tier int
+
+const (
+	TierHot Tier = iota
+	TierCold
+	TierDisk
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierHot:
+		return "hot"
+	case TierCold:
+		return "cold"
+	case TierDisk:
+		return "disk"
+	}
+	return fmt.Sprintf("Tier(%d)", int(t))
+}
+
+// Config parametrizes a Tiered store.
+type Config struct {
+	// CapacityPages is the donated memory in pages — the hard limit on
+	// stored pages across every tier, including overflow headroom.
+	CapacityPages int
+	// OverflowFrac is the fraction of capacity kept as overflow for
+	// parity logging (the paper uses 0.10).
+	OverflowFrac float64
+	// HotPages is the resident uncompressed target; 0 means the full
+	// capacity may stay hot.
+	HotPages int
+	// ColdPages is the compressed-resident target; 0 means unbounded
+	// (up to capacity).
+	ColdPages int
+	// Spill enables the disk tier on a throwaway temp file.
+	Spill bool
+	// SpillPath enables a durable disk tier at the given path: slots
+	// are self-describing and CRC-verified, and opening an existing
+	// file recovers its pages (the restart path). Implies Spill.
+	SpillPath string
+	// DiskModel charges synthetic latency per disk-tier access.
+	DiskModel disk.LatencyModel
+	// Logger receives diagnostics; nil silences them.
+	Logger *log.Logger
+}
+
+// Stats counts store activity. All fields are totals since creation.
+// The first six match the old flat pagestore counters one to one.
+type Stats struct {
+	Puts      uint64
+	Gets      uint64
+	Deletes   uint64
+	XorWrites uint64
+	Misses    uint64
+	Denied    uint64
+
+	// Per-tier read hits: which tier served each successful Get.
+	HotHits  uint64
+	ColdHits uint64
+	DiskHits uint64
+
+	// Demotions counts hot→cold compressions, Spills cold→disk
+	// writes, Promotions cold/disk→hot restores on access.
+	Demotions  uint64
+	Spills     uint64
+	Promotions uint64
+
+	// Lost counts disk-tier pages dropped after failing verification
+	// (reported cleanly via ErrCorrupt, never served as garbage).
+	Lost uint64
+}
+
+// Occupancy is a point-in-time view of where pages live.
+type Occupancy struct {
+	Hot, Cold, Disk int
+	// ColdBytes is the resident compressed footprint of the cold tier.
+	ColdBytes int64
+	// HotTarget and ColdTarget are the current demotion thresholds.
+	HotTarget, ColdTarget int
+}
+
+// Total is the stored page count across every tier.
+func (o Occupancy) Total() int { return o.Hot + o.Cold + o.Disk }
+
+// Tiered is the three-tier page store. The zero value is not usable;
+// call New. All methods are safe for concurrent use.
+type Tiered struct {
+	mu sync.Mutex
+
+	capacity     int
+	overflowFrac float64
+	// reserved is the pages promised via Reserve. Guarded by mu.
+	reserved int
+
+	// hot is the uncompressed tier's data plane (the flat pagestore
+	// map); hotLRU/hotElem impose recency order on its keys, most
+	// recent at the front. Guarded by mu.
+	hot     *pagestore.Store
+	hotLRU  *list.List
+	hotElem map[uint64]*list.Element
+
+	// cold holds flate-compressed pages, LRU-ordered like hot.
+	// Guarded by mu.
+	cold      map[uint64]coldPage
+	coldLRU   *list.List
+	coldElem  map[uint64]*list.Element
+	coldBytes int64
+
+	// onDisk tracks spilled keys; disk is the backing file (nil when
+	// the disk tier is disabled). Disk I/O runs under mu, like the
+	// old server spillMu. Guarded by mu.
+	onDisk map[uint64]struct{}
+	disk   *disk.Store
+
+	// hotTarget/coldTarget are the demotion thresholds. Guarded by mu.
+	hotTarget  int
+	coldTarget int
+
+	comp   *compressor
+	logger *log.Logger
+
+	// stats is the activity counters. Guarded by mu.
+	stats Stats
+}
+
+// maxInlineDemotions bounds tier enforcement piggybacked on a single
+// store operation, keeping put/get latency bounded; the background
+// Demoter (or an explicit Enforce) drains the rest.
+const maxInlineDemotions = 4
+
+// enforceChunk bounds pages moved per lock acquisition during a full
+// Enforce/PromoteHot drain, so requests interleave with bulk demotion.
+const enforceChunk = 32
+
+// New creates a tiered store. It returns an error only when a
+// configured durable spill file cannot be opened or recovered.
+func New(cfg Config) (*Tiered, error) {
+	if cfg.CapacityPages < 0 {
+		cfg.CapacityPages = 0
+	}
+	if cfg.OverflowFrac < 0 {
+		cfg.OverflowFrac = 0
+	}
+	s := &Tiered{
+		capacity:     cfg.CapacityPages,
+		overflowFrac: cfg.OverflowFrac,
+		hot:          pagestore.New(cfg.CapacityPages, cfg.OverflowFrac),
+		hotLRU:       list.New(),
+		hotElem:      make(map[uint64]*list.Element),
+		cold:         make(map[uint64]coldPage),
+		coldLRU:      list.New(),
+		coldElem:     make(map[uint64]*list.Element),
+		onDisk:       make(map[uint64]struct{}),
+		comp:         newCompressor(),
+		logger:       cfg.Logger,
+		hotTarget:    cfg.HotPages,
+		coldTarget:   cfg.ColdPages,
+	}
+	if s.hotTarget <= 0 || s.hotTarget > s.capacity {
+		s.hotTarget = s.capacity
+	}
+	if s.coldTarget <= 0 || s.coldTarget > s.capacity {
+		s.coldTarget = s.capacity
+	}
+	switch {
+	case cfg.SpillPath != "":
+		d, err := disk.OpenDurable(cfg.SpillPath, cfg.DiskModel)
+		if err != nil {
+			return nil, err
+		}
+		s.disk = d
+		for _, k := range d.Keys() {
+			s.onDisk[k] = struct{}{}
+		}
+		if n := len(s.onDisk); n > 0 {
+			s.logf("store: recovered %d spilled pages from %s", n, cfg.SpillPath)
+		}
+	case cfg.Spill:
+		d, err := disk.OpenTemp(cfg.DiskModel)
+		if err != nil {
+			return nil, err
+		}
+		s.disk = d
+	}
+	return s, nil
+}
+
+// Close releases the disk tier (if any).
+func (s *Tiered) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.disk != nil {
+		return s.disk.Close()
+	}
+	return nil
+}
+
+func (s *Tiered) logf(format string, args ...any) {
+	if s.logger != nil {
+		s.logger.Printf(format, args...)
+	}
+}
+
+// --- quota accounting (identical math to the flat pagestore) -------
+
+// reservable is the quota Reserve may promise: capacity shrunk by the
+// overflow fraction. Caller holds mu.
+//
+//rmpvet:holds Tiered.mu
+func (s *Tiered) reservable() int {
+	return int(float64(s.capacity)/(1+s.overflowFrac) + 0.5)
+}
+
+// Reserve asks the store to promise n more pages of swap space,
+// returning the number granted (possibly 0). Grants never dip into
+// the overflow headroom; stored pages may.
+func (s *Tiered) Reserve(n int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	free := s.reservable() - s.reserved
+	if free <= 0 {
+		s.stats.Denied++
+		return 0
+	}
+	if n > free {
+		n = free
+	}
+	s.reserved += n
+	return n
+}
+
+// Release returns n previously reserved pages to the pool.
+func (s *Tiered) Release(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reserved -= n
+	if s.reserved < 0 {
+		s.reserved = 0
+	}
+}
+
+// Free returns the number of pages Reserve could still promise.
+func (s *Tiered) Free() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f := s.reservable() - s.reserved
+	if f < 0 {
+		f = 0
+	}
+	return f
+}
+
+// InOverflow reports whether stored pages (across every tier) exceed
+// the reservable quota — the client should run parity-group GC soon.
+func (s *Tiered) InOverflow() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.totalLocked() > s.reservable()
+}
+
+//rmpvet:holds Tiered.mu
+func (s *Tiered) totalLocked() int {
+	return len(s.hotElem) + len(s.cold) + len(s.onDisk)
+}
+
+// Len returns the number of stored pages across every tier.
+func (s *Tiered) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.totalLocked()
+}
+
+// --- data plane ----------------------------------------------------
+
+// Put stores a copy of data under key, replacing any previous version
+// in whatever tier it lived. New pages land hot; tier targets are
+// enforced in a bounded inline step. ErrNoSpace only when the store
+// is at hard capacity across all tiers.
+func (s *Tiered) Put(key uint64, data page.Buf) error {
+	if err := data.CheckLen(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.storeLocked(key, data); err != nil {
+		return err
+	}
+	s.stats.Puts++
+	s.enforceLocked(maxInlineDemotions)
+	return nil
+}
+
+// storeLocked inserts data hot, displacing any older version of key
+// from the cold or disk tiers. Caller holds mu.
+//
+//rmpvet:holds Tiered.mu
+func (s *Tiered) storeLocked(key uint64, data page.Buf) error {
+	if _, hot := s.hotElem[key]; !hot {
+		_, cold := s.cold[key]
+		_, spilled := s.onDisk[key]
+		if !cold && !spilled && s.totalLocked() >= s.capacity {
+			s.stats.Denied++
+			return ErrNoSpace
+		}
+		s.dropColdLocked(key)
+		s.dropDiskLocked(key)
+	}
+	if err := s.hot.Put(key, data); err != nil {
+		return err
+	}
+	s.touchHotLocked(key)
+	return nil
+}
+
+// touchHotLocked moves key to the hot LRU front, inserting it if new.
+//
+//rmpvet:holds Tiered.mu
+func (s *Tiered) touchHotLocked(key uint64) {
+	if e, ok := s.hotElem[key]; ok {
+		s.hotLRU.MoveToFront(e)
+		return
+	}
+	s.hotElem[key] = s.hotLRU.PushFront(key)
+}
+
+//rmpvet:holds Tiered.mu
+func (s *Tiered) dropColdLocked(key uint64) {
+	if e, ok := s.coldElem[key]; ok {
+		s.coldLRU.Remove(e)
+		delete(s.coldElem, key)
+		s.coldBytes -= int64(len(s.cold[key].data))
+		delete(s.cold, key)
+	}
+}
+
+//rmpvet:holds Tiered.mu
+func (s *Tiered) dropDiskLocked(key uint64) {
+	if _, ok := s.onDisk[key]; ok {
+		delete(s.onDisk, key)
+		s.disk.Delete(key)
+	}
+}
+
+// Get returns a copy of the page stored under key, promoting it to
+// the hot tier when it was demoted. A disk-tier page that fails
+// verification is dropped and reported with ErrCorrupt — a clean
+// loss, never silent corruption.
+func (s *Tiered) Get(key uint64) (page.Buf, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.hotElem[key]; ok {
+		data, err := s.hot.Get(key)
+		if err != nil {
+			return nil, err
+		}
+		s.touchHotLocked(key)
+		s.stats.Gets++
+		s.stats.HotHits++
+		return data, nil
+	}
+	if cp, ok := s.cold[key]; ok {
+		data, err := decompress(cp)
+		if err != nil {
+			return nil, err
+		}
+		s.promoteLocked(key, data, TierCold)
+		s.stats.Gets++
+		s.stats.ColdHits++
+		return data.Clone(), nil
+	}
+	if _, ok := s.onDisk[key]; ok {
+		data, err := s.disk.Get(key)
+		if err != nil {
+			if errorsIsCorrupt(err) {
+				s.dropDiskLocked(key)
+				s.stats.Lost++
+				s.logf("store: disk-tier page %d failed verification, dropped: %v", key, err)
+			}
+			return nil, err
+		}
+		s.promoteLocked(key, data, TierDisk)
+		s.stats.Gets++
+		s.stats.DiskHits++
+		return data.Clone(), nil
+	}
+	s.stats.Misses++
+	return nil, ErrNotFound
+}
+
+// promoteLocked moves a demoted page back into the hot tier after a
+// read, then re-enforces the targets (bounded). Caller holds mu.
+//
+//rmpvet:holds Tiered.mu
+func (s *Tiered) promoteLocked(key uint64, data page.Buf, from Tier) {
+	switch from {
+	case TierCold:
+		s.dropColdLocked(key)
+	case TierDisk:
+		s.dropDiskLocked(key)
+	}
+	if s.hot.Put(key, data) == nil {
+		s.touchHotLocked(key)
+		s.stats.Promotions++
+	}
+	s.enforceLocked(maxInlineDemotions)
+}
+
+// Delete removes keys from every tier; missing keys are ignored
+// (frees are idempotent so a retried FREE cannot fail).
+func (s *Tiered) Delete(keys ...uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, k := range keys {
+		found := false
+		if e, ok := s.hotElem[k]; ok {
+			s.hotLRU.Remove(e)
+			delete(s.hotElem, k)
+			s.hot.Delete(k)
+			found = true
+		}
+		if _, ok := s.cold[k]; ok {
+			s.dropColdLocked(k)
+			found = true
+		}
+		if _, ok := s.onDisk[k]; ok {
+			s.dropDiskLocked(k)
+			found = true
+		}
+		if found {
+			s.stats.Deletes++
+		}
+	}
+}
+
+// peekLocked reads a page from any tier without promotion — the
+// read half of the XOR read-modify-write cycles. Caller holds mu.
+//
+//rmpvet:holds Tiered.mu
+func (s *Tiered) peekLocked(key uint64) (page.Buf, error) {
+	if _, ok := s.hotElem[key]; ok {
+		return s.hot.Get(key)
+	}
+	if cp, ok := s.cold[key]; ok {
+		return decompress(cp)
+	}
+	if _, ok := s.onDisk[key]; ok {
+		return s.disk.Get(key)
+	}
+	return nil, ErrNotFound
+}
+
+// XorWrite stores data under key and returns old XOR new, where a
+// missing old page counts as zeros (§2.2 step 1). The old version is
+// read from whatever tier holds it; the new version lands hot.
+func (s *Tiered) XorWrite(key uint64, data page.Buf) (page.Buf, error) {
+	if err := data.CheckLen(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old, err := s.peekLocked(key)
+	delta := data.Clone()
+	switch {
+	case err == nil:
+		page.XORInto(delta, old)
+	case errorsIsNotFound(err):
+		// absent old page = zeros
+	default:
+		return nil, err
+	}
+	if err := s.storeLocked(key, data); err != nil {
+		return nil, err
+	}
+	s.stats.XorWrites++
+	s.enforceLocked(maxInlineDemotions)
+	return delta, nil
+}
+
+// XorMerge XORs data into the page at key (missing page = zeros) —
+// the parity-server half of the basic parity policy (§2.2 step 2).
+func (s *Tiered) XorMerge(key uint64, data page.Buf) error {
+	if err := data.CheckLen(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old, err := s.peekLocked(key)
+	merged := data
+	switch {
+	case err == nil:
+		merged = old.Clone()
+		page.XORInto(merged, data)
+	case errorsIsNotFound(err):
+		// first delta lands verbatim
+	default:
+		return err
+	}
+	if err := s.storeLocked(key, merged); err != nil {
+		return err
+	}
+	s.stats.XorWrites++
+	s.enforceLocked(maxInlineDemotions)
+	return nil
+}
+
+// Keys returns all stored keys across every tier in ascending order;
+// used by recovery tooling and tests.
+func (s *Tiered) Keys() []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]uint64, 0, s.totalLocked())
+	for _, k := range s.hot.Keys() {
+		keys = append(keys, k)
+	}
+	for k := range s.cold {
+		keys = append(keys, k)
+	}
+	for k := range s.onDisk {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// TierOf reports which tier currently holds key.
+func (s *Tiered) TierOf(key uint64) (Tier, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.hotElem[key]; ok {
+		return TierHot, true
+	}
+	if _, ok := s.cold[key]; ok {
+		return TierCold, true
+	}
+	if _, ok := s.onDisk[key]; ok {
+		return TierDisk, true
+	}
+	return 0, false
+}
+
+// Stats returns a snapshot of the activity counters.
+func (s *Tiered) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Occupancy returns the per-tier page counts and current targets.
+func (s *Tiered) Occupancy() Occupancy {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Occupancy{
+		Hot: len(s.hotElem), Cold: len(s.cold), Disk: len(s.onDisk),
+		ColdBytes: s.coldBytes,
+		HotTarget: s.hotTarget, ColdTarget: s.coldTarget,
+	}
+}
+
+// String describes the store's occupancy.
+func (s *Tiered) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return fmt.Sprintf("store{%d/%d pages (hot %d cold %d disk %d), %d reserved}",
+		s.totalLocked(), s.capacity, len(s.hotElem), len(s.cold), len(s.onDisk), s.reserved)
+}
+
+// --- tier movement -------------------------------------------------
+
+// SetTargets adjusts the demotion thresholds: at most hot pages stay
+// uncompressed and at most cold pages stay compressed in memory
+// (excess spills to disk when a disk tier exists). Zero or negative
+// restores "full capacity". Movement happens lazily — inline steps on
+// the data path, the background Demoter, or an explicit Enforce.
+func (s *Tiered) SetTargets(hot, cold int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if hot <= 0 || hot > s.capacity {
+		hot = s.capacity
+	}
+	if cold <= 0 || cold > s.capacity {
+		cold = s.capacity
+	}
+	s.hotTarget, s.coldTarget = hot, cold
+}
+
+// Targets returns the current hot and cold tier targets.
+func (s *Tiered) Targets() (hot, cold int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hotTarget, s.coldTarget
+}
+
+// Enforce demotes until both tier targets hold, in chunks so
+// concurrent requests interleave with the drain. Returns pages moved.
+func (s *Tiered) Enforce() int {
+	moved := 0
+	for {
+		s.mu.Lock()
+		n := s.enforceLocked(enforceChunk)
+		s.mu.Unlock()
+		moved += n
+		if n == 0 {
+			return moved
+		}
+	}
+}
+
+// enforceLocked demotes at most budget pages toward the targets:
+// hot LRU tails compress into the cold tier, cold LRU tails spill to
+// disk. Returns pages moved. Caller holds mu.
+//
+//rmpvet:holds Tiered.mu
+func (s *Tiered) enforceLocked(budget int) int {
+	moved := 0
+	for moved < budget && len(s.hotElem) > s.hotTarget {
+		if !s.demoteOneLocked() {
+			break
+		}
+		moved++
+	}
+	for moved < budget && s.disk != nil && len(s.cold) > s.coldTarget {
+		if !s.spillOneLocked() {
+			break
+		}
+		moved++
+	}
+	return moved
+}
+
+// demoteOneLocked compresses the least-recently-used hot page into
+// the cold tier. Caller holds mu.
+//
+//rmpvet:holds Tiered.mu
+func (s *Tiered) demoteOneLocked() bool {
+	e := s.hotLRU.Back()
+	if e == nil {
+		return false
+	}
+	key := e.Value.(uint64)
+	data, err := s.hot.Get(key)
+	if err != nil {
+		// Inconsistent index; drop the entry rather than loop forever.
+		s.hotLRU.Remove(e)
+		delete(s.hotElem, key)
+		return true
+	}
+	cp := s.comp.compress(data)
+	s.cold[key] = cp
+	s.coldElem[key] = s.coldLRU.PushFront(key)
+	s.coldBytes += int64(len(cp.data))
+	s.hotLRU.Remove(e)
+	delete(s.hotElem, key)
+	s.hot.Delete(key)
+	s.stats.Demotions++
+	return true
+}
+
+// spillOneLocked writes the least-recently-used cold page to the disk
+// tier. Caller holds mu.
+//
+//rmpvet:holds Tiered.mu
+func (s *Tiered) spillOneLocked() bool {
+	e := s.coldLRU.Back()
+	if e == nil {
+		return false
+	}
+	key := e.Value.(uint64)
+	data, err := decompress(s.cold[key])
+	if err != nil {
+		s.logf("store: cold page %d unreadable during spill: %v", key, err)
+		s.dropColdLocked(key)
+		s.stats.Lost++
+		return true
+	}
+	if err := s.disk.Put(key, data); err != nil {
+		s.logf("store: spill of page %d failed: %v", key, err)
+		return false
+	}
+	s.onDisk[key] = struct{}{}
+	s.dropColdLocked(key)
+	s.stats.Spills++
+	return true
+}
+
+// PromoteHot pulls demoted pages back into memory while the hot
+// target has room — cold pages first (most recent first), then disk.
+// The eager inverse of Enforce, used when native pressure clears.
+// Returns pages promoted.
+func (s *Tiered) PromoteHot() int {
+	moved := 0
+	for {
+		s.mu.Lock()
+		n := 0
+		for n < enforceChunk && len(s.hotElem) < s.hotTarget {
+			if !s.promoteOneLocked() {
+				break
+			}
+			n++
+		}
+		s.mu.Unlock()
+		moved += n
+		if n == 0 {
+			return moved
+		}
+	}
+}
+
+//rmpvet:holds Tiered.mu
+func (s *Tiered) promoteOneLocked() bool {
+	if e := s.coldLRU.Front(); e != nil {
+		key := e.Value.(uint64)
+		data, err := decompress(s.cold[key])
+		if err != nil {
+			s.logf("store: cold page %d unreadable during promote: %v", key, err)
+			s.dropColdLocked(key)
+			s.stats.Lost++
+			return true
+		}
+		if s.hot.Put(key, data) != nil {
+			return false
+		}
+		s.dropColdLocked(key)
+		s.touchHotLocked(key)
+		s.stats.Promotions++
+		return true
+	}
+	for key := range s.onDisk {
+		data, err := s.disk.Get(key)
+		if err != nil {
+			s.dropDiskLocked(key)
+			s.stats.Lost++
+			s.logf("store: disk page %d unreadable during promote: %v", key, err)
+			return true
+		}
+		if s.hot.Put(key, data) != nil {
+			return false
+		}
+		s.dropDiskLocked(key)
+		s.touchHotLocked(key)
+		s.stats.Promotions++
+		return true
+	}
+	return false
+}
+
+// errorsIsNotFound reports the not-found condition from any tier.
+func errorsIsNotFound(err error) bool {
+	return errors.Is(err, ErrNotFound) || errors.Is(err, disk.ErrNotFound)
+}
+
+// errorsIsCorrupt reports a failed disk-tier verification.
+func errorsIsCorrupt(err error) bool {
+	return errors.Is(err, disk.ErrCorrupt)
+}

@@ -1,0 +1,387 @@
+package store
+
+import (
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"rmp/internal/page"
+)
+
+func mkPage(seed uint64) page.Buf {
+	p := page.NewBuf()
+	p.Fill(seed)
+	return p
+}
+
+func newTiered(t *testing.T, cfg Config) *Tiered {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestPutGetAcrossTiers(t *testing.T) {
+	s := newTiered(t, Config{CapacityPages: 64, Spill: true})
+	const n = 12
+	for i := uint64(0); i < n; i++ {
+		if err := s.Put(i, mkPage(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Drive everything down: one page hot, one cold, rest on disk.
+	s.SetTargets(1, 1)
+	s.Enforce()
+	occ := s.Occupancy()
+	if occ.Hot != 1 || occ.Cold != 1 || occ.Disk != n-2 {
+		t.Fatalf("after enforce: %+v", occ)
+	}
+	if occ.Total() != n {
+		t.Fatalf("enforce lost pages: total %d", occ.Total())
+	}
+	// Read one page from each tier first so every per-tier hit counter
+	// moves, then sweep everything.
+	for _, k := range s.Keys() {
+		if tier, ok := s.TierOf(k); ok && tier == TierHot {
+			if _, err := s.Get(k); err != nil {
+				t.Fatalf("hot get %d: %v", k, err)
+			}
+			break
+		}
+	}
+	for _, k := range s.Keys() {
+		if tier, ok := s.TierOf(k); ok && tier == TierCold {
+			if _, err := s.Get(k); err != nil {
+				t.Fatalf("cold get %d: %v", k, err)
+			}
+			break
+		}
+	}
+	// Every page reads back intact from whatever tier holds it, and the
+	// read promotes it (targets allow only 1 hot, so it re-demotes, but
+	// the data must be right).
+	for i := uint64(0); i < n; i++ {
+		got, err := s.Get(i)
+		if err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+		if got.Checksum() != mkPage(i).Checksum() {
+			t.Fatalf("page %d corrupted by tier round trip", i)
+		}
+	}
+	st := s.Stats()
+	if st.HotHits == 0 || st.ColdHits == 0 || st.DiskHits == 0 {
+		t.Fatalf("expected hits from every tier: %+v", st)
+	}
+}
+
+func TestLRUDemotionOrder(t *testing.T) {
+	s := newTiered(t, Config{CapacityPages: 64})
+	for i := uint64(0); i < 8; i++ {
+		if err := s.Put(i, mkPage(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch page 0 so it is most recent; demote all but two.
+	if _, err := s.Get(0); err != nil {
+		t.Fatal(err)
+	}
+	s.SetTargets(2, 0)
+	s.Enforce()
+	if tier, _ := s.TierOf(0); tier != TierHot {
+		t.Fatalf("most-recently-used page demoted first: tier %v", tier)
+	}
+	if tier, _ := s.TierOf(1); tier != TierCold {
+		t.Fatalf("least-recently-used page still hot: tier %v", tier)
+	}
+}
+
+func TestPromoteHotRestores(t *testing.T) {
+	s := newTiered(t, Config{CapacityPages: 64, Spill: true})
+	const n = 10
+	for i := uint64(0); i < n; i++ {
+		if err := s.Put(i, mkPage(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.SetTargets(1, 1)
+	s.Enforce()
+	s.SetTargets(0, 0) // back to full capacity
+	if got := s.PromoteHot(); got != n-1 {
+		t.Fatalf("promoted %d, want %d", got, n-1)
+	}
+	if occ := s.Occupancy(); occ.Hot != n || occ.Cold != 0 || occ.Disk != 0 {
+		t.Fatalf("promotion incomplete: %+v", occ)
+	}
+}
+
+func TestCapacityAcrossTiers(t *testing.T) {
+	s := newTiered(t, Config{CapacityPages: 8, Spill: true})
+	s.SetTargets(2, 2)
+	for i := uint64(0); i < 8; i++ {
+		if err := s.Put(i, mkPage(i)); err != nil {
+			t.Fatalf("put %d within capacity: %v", i, err)
+		}
+	}
+	s.Enforce()
+	// Tiers bound residency, not storage: the 9th page must be denied
+	// even though the hot tier has room.
+	if err := s.Put(99, mkPage(99)); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("put beyond capacity: %v", err)
+	}
+	// Overwriting a demoted page is not growth and must succeed.
+	if err := s.Put(0, mkPage(1000)); err != nil {
+		t.Fatalf("overwrite at capacity: %v", err)
+	}
+}
+
+func TestQuotaMatchesFlatStore(t *testing.T) {
+	s := newTiered(t, Config{CapacityPages: 110, OverflowFrac: 0.10})
+	if got := s.Reserve(200); got != 100 {
+		t.Fatalf("reserve granted %d, want 100 (overflow held back)", got)
+	}
+	if got := s.Free(); got != 0 {
+		t.Fatalf("free after full reserve: %d", got)
+	}
+	s.Release(40)
+	if got := s.Free(); got != 40 {
+		t.Fatalf("free after release: %d", got)
+	}
+	// Overflow: stored pages may exceed the reservable quota.
+	for i := uint64(0); i < 105; i++ {
+		if err := s.Put(i, mkPage(i)); err != nil {
+			t.Fatalf("put %d into overflow: %v", i, err)
+		}
+	}
+	if !s.InOverflow() {
+		t.Fatal("overflow not reported")
+	}
+}
+
+func TestXorAcrossTiers(t *testing.T) {
+	s := newTiered(t, Config{CapacityPages: 64, Spill: true})
+	old := mkPage(7)
+	if _, err := s.XorWrite(1, old); err != nil {
+		t.Fatal(err)
+	}
+	// Demote the old version all the way to disk.
+	s.SetTargets(1, 1)
+	s.Enforce()
+	s.Put(50, mkPage(50)) // occupy the hot slot so key 1 stays low
+	s.Enforce()
+	if tier, _ := s.TierOf(1); tier == TierHot {
+		t.Skip("key 1 unexpectedly hot; demotion order changed")
+	}
+	newer := mkPage(8)
+	delta, err := s.XorWrite(1, newer)
+	if err != nil {
+		t.Fatalf("XorWrite against demoted old: %v", err)
+	}
+	want := newer.Clone()
+	page.XORInto(want, old)
+	if delta.Checksum() != want.Checksum() {
+		t.Fatal("delta computed against wrong old version")
+	}
+	// XorMerge against a demoted parity page.
+	s.Enforce()
+	if err := s.XorMerge(1, delta); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// new ^ (old^new) = old.
+	if got.Checksum() != old.Checksum() {
+		t.Fatal("XorMerge against demoted page produced wrong contents")
+	}
+}
+
+func TestDeleteSpansTiers(t *testing.T) {
+	s := newTiered(t, Config{CapacityPages: 64, Spill: true})
+	for i := uint64(0); i < 9; i++ {
+		if err := s.Put(i, mkPage(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.SetTargets(3, 3)
+	s.Enforce()
+	var keys []uint64
+	for i := uint64(0); i < 9; i++ {
+		keys = append(keys, i)
+	}
+	s.Delete(keys...)
+	if got := s.Len(); got != 0 {
+		t.Fatalf("delete left %d pages", got)
+	}
+	if got := len(s.Keys()); got != 0 {
+		t.Fatalf("keys survived delete: %d", got)
+	}
+}
+
+func TestDurableRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spill.img")
+	s1, err := New(Config{CapacityPages: 32, SpillPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 8; i++ {
+		if err := s1.Put(i, mkPage(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s1.SetTargets(1, 1)
+	s1.Enforce()
+	s1.Delete(2) // a freed page must not resurrect
+	occ := s1.Occupancy()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := newTiered(t, Config{CapacityPages: 32, SpillPath: path})
+	if got := s2.Len(); got != occ.Disk {
+		t.Fatalf("recovered %d pages, spilled %d", got, occ.Disk)
+	}
+	if _, err := s2.Get(2); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted page resurrected: %v", err)
+	}
+	for _, k := range s2.Keys() {
+		got, err := s2.Get(k)
+		if err != nil {
+			t.Fatalf("recovered page %d unreadable: %v", k, err)
+		}
+		if got.Checksum() != mkPage(k).Checksum() {
+			t.Fatalf("recovered page %d corrupted", k)
+		}
+	}
+}
+
+func TestDemoterEnforcesAndStops(t *testing.T) {
+	s := newTiered(t, Config{CapacityPages: 64, Spill: true})
+	d := s.StartDemoter(time.Millisecond)
+	for i := uint64(0); i < 20; i++ {
+		if err := s.Put(i, mkPage(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.SetTargets(4, 4)
+	d.Kick()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		occ := s.Occupancy()
+		if occ.Hot <= 4 && occ.Cold <= 4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("demoter never enforced targets: %+v", occ)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	d.Close()
+	d.Close() // idempotent
+}
+
+// TestConcurrentOpsUnderDemotion exercises Reserve/Put/Get/Delete racing
+// the background demoter with shifting targets; run with -race.
+func TestConcurrentOpsUnderDemotion(t *testing.T) {
+	s := newTiered(t, Config{CapacityPages: 256, Spill: true})
+	d := s.StartDemoter(time.Millisecond)
+	defer d.Close()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	time.AfterFunc(300*time.Millisecond, func() { close(stop) })
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w * 1000)
+			for i := uint64(0); ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := base + i%50
+				s.Reserve(1)
+				if err := s.Put(k, mkPage(k)); err != nil {
+					t.Errorf("put %d: %v", k, err)
+					return
+				}
+				if got, err := s.Get(k); err != nil || got.Checksum() != mkPage(k).Checksum() {
+					t.Errorf("get %d: %v", k, err)
+					return
+				}
+				if i%7 == 0 {
+					s.Delete(k)
+				}
+				s.Release(1)
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				s.SetTargets(8, 8)
+			} else {
+				s.SetTargets(0, 0)
+				s.PromoteHot()
+			}
+			d.Kick()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	wg.Wait()
+}
+
+func TestCompressRoundTrip(t *testing.T) {
+	c := newCompressor()
+	// Structured page (repeated records, like real swapped-out heap):
+	// compresses. page.Fill noise deliberately does not.
+	structured := page.NewBuf()
+	for i := range structured {
+		structured[i] = byte(i % 64)
+	}
+	cp := c.compress(structured)
+	if cp.raw {
+		t.Fatal("structured page did not compress")
+	}
+	if len(cp.data) >= page.Size {
+		t.Fatalf("compressed page grew: %d bytes", len(cp.data))
+	}
+	got, err := decompress(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Checksum() != structured.Checksum() {
+		t.Fatal("compression round trip mangled the page")
+	}
+	// Incompressible page: stored raw, still intact.
+	noisy := page.NewBuf()
+	x := uint32(0x9e3779b9)
+	for i := range noisy {
+		x ^= x << 13
+		x ^= x >> 17
+		x ^= x << 5
+		noisy[i] = byte(x)
+	}
+	cp2 := c.compress(noisy)
+	got2, err := decompress(cp2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Checksum() != noisy.Checksum() {
+		t.Fatal("raw fallback mangled the page")
+	}
+}

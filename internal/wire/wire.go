@@ -409,6 +409,23 @@ type StatInfo struct {
 	Pings        uint64   `json:"pings,omitempty"`
 	Draining     bool     `json:"draining,omitempty"`
 	Peers        []string `json:"peers,omitempty"`
+
+	// Tiered-store view (internal/store): where the stored pages live,
+	// the current demotion targets, and per-tier activity. Clients use
+	// the disk-tier share to weigh "slow remote" against "move away"
+	// when a server advises pressure.
+	HotPages   int    `json:"hot_pages"`
+	ColdPages  int    `json:"cold_pages,omitempty"`
+	DiskPages  int    `json:"disk_pages,omitempty"`
+	HotTarget  int    `json:"hot_target,omitempty"`
+	ColdBytes  int64  `json:"cold_bytes,omitempty"`
+	HotHits    uint64 `json:"hot_hits,omitempty"`
+	ColdHits   uint64 `json:"cold_hits,omitempty"`
+	DiskHits   uint64 `json:"disk_hits,omitempty"`
+	Demotions  uint64 `json:"demotions,omitempty"`
+	Spills     uint64 `json:"spills,omitempty"`
+	Promotions uint64 `json:"promotions,omitempty"`
+	LostPages  uint64 `json:"lost_pages,omitempty"`
 }
 
 // PongInfo is the optional JSON payload of a PONG: the peer servers
