@@ -38,6 +38,7 @@ lint:
 bench:
 	$(GO) run ./cmd/rmpbench -exp pipeline
 	$(GO) run ./cmd/rmpbench -exp tier
+	$(GO) run ./cmd/rmpbench -exp rs
 
 # fuzz-smoke: a short deterministic pass over every fuzz target's seed
 # corpus plus a brief mutation run, mirroring the CI fuzz step.

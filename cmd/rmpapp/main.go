@@ -31,13 +31,14 @@ var policies = map[string]client.Policy{
 	"parity":       client.PolicyParity,
 	"paritylog":    client.PolicyParityLogging,
 	"writethrough": client.PolicyWriteThrough,
+	"rs":           client.PolicyRS,
 }
 
 func main() {
 	var (
 		app       = flag.String("app", "FFT", "workload: GAUSS|QSORT|FFT|MVEC|FILTER|CC")
 		scale     = flag.Float64("scale", 0.02, "input scale relative to the paper's 1996 sizes")
-		policy    = flag.String("policy", "paritylog", "none|mirroring|parity|paritylog|writethrough")
+		policy    = flag.String("policy", "paritylog", "none|mirroring|parity|paritylog|writethrough|rs")
 		resident  = flag.Float64("resident", 0.25, "resident fraction of the working set")
 		registry  = flag.String("registry", "", "server registry file (empty: in-process demo cluster)")
 		nServers  = flag.Int("servers", 5, "in-process demo servers (when no -registry)")
@@ -49,6 +50,9 @@ func main() {
 		retryBudget = flag.Duration("retry-budget", 0, "total retry budget per page fault (0 = 2s default)")
 		brkThresh   = flag.Int("breaker-threshold", 0, "consecutive timeouts before a server's circuit breaker opens (0 = default 4)")
 		brkCooldown = flag.Duration("breaker-cooldown", 0, "how long an open breaker waits before half-opening (0 = 1s default)")
+
+		rsData   = flag.Int("rs-data", 0, "RS policy: data shards per group (0 = default 4)")
+		rsParity = flag.Int("rs-parity", 0, "RS policy: parity shards per group (0 = default 2)")
 	)
 	flag.Parse()
 
@@ -93,6 +97,8 @@ func main() {
 		RetryBudget:      *retryBudget,
 		BreakerThreshold: *brkThresh,
 		BreakerCooldown:  *brkCooldown,
+		RSDataShards:     *rsData,
+		RSParityShards:   *rsParity,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -125,6 +131,10 @@ func main() {
 	if ps.Timeouts+ps.Retries+ps.BreakerOpens+ps.DeadlineFallbacks+ps.ChecksumFaults > 0 {
 		fmt.Printf("pager: %d timeouts, %d retries, %d breaker opens, %d budget exhaustions, %d checksum faults\n",
 			ps.Timeouts, ps.Retries, ps.BreakerOpens, ps.DeadlineFallbacks, ps.ChecksumFaults)
+	}
+	if ps.DegradedWrites+ps.PolicyFallbacks+ps.LostPages > 0 {
+		fmt.Printf("pager: %d degraded writes, %d policy fallbacks, %d lost pages\n",
+			ps.DegradedWrites, ps.PolicyFallbacks, ps.LostPages)
 	}
 }
 

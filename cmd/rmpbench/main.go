@@ -26,7 +26,7 @@ var asCSV bool
 func main() {
 	experiments.MaybeSpin() // child role for the busy-server experiment
 	fig := flag.Int("fig", 0, "regenerate one figure (1-5); 0 = all")
-	exp := flag.String("exp", "", "run one experiment: latency|busy|loadednet|multiclient|decomp|recovery|wtablation|swidth|overflow|avail|pipeline|tier")
+	exp := flag.String("exp", "", "run one experiment: latency|busy|loadednet|multiclient|decomp|recovery|wtablation|swidth|overflow|avail|pipeline|tier|rs")
 	flag.BoolVar(&asCSV, "csv", false, "emit CSV instead of aligned text")
 	flag.Parse()
 
@@ -41,7 +41,7 @@ func main() {
 			runFig(f)
 		}
 		for _, e := range []string{"decomp", "latency", "busy", "loadednet", "multiclient",
-			"recovery", "wtablation", "swidth", "overflow", "avail", "pipeline", "tier"} {
+			"recovery", "wtablation", "swidth", "overflow", "avail", "pipeline", "tier", "rs"} {
 			runExp(e)
 		}
 	}
@@ -105,6 +105,8 @@ func runExp(name string) {
 		t, err = experiments.Pipeline()
 	case "tier":
 		t, err = experiments.Tier()
+	case "rs":
+		t, err = experiments.RS()
 	default:
 		log.Fatalf("rmpbench: unknown experiment %q", name)
 	}

@@ -1,0 +1,103 @@
+package chaos
+
+import "math/rand"
+
+// Target is one killable server: a name plus the hook that makes it
+// unreachable — close a real process, sever a Proxy, or
+// memnet.Network.Kill for in-memory clusters. Kill must be safe to
+// call exactly once; the KillSet never invokes it twice.
+type Target struct {
+	Name string
+	Kill func()
+}
+
+// KillSet schedules correlated multi-server crashes over a fixed
+// target set: each tick kills a whole subset of survivors in one
+// instant, which is the failure mode an RS(k,m) pager must absorb and
+// single-proxy fault injection cannot produce. The victim sequence is
+// a pure function of the seed, so a failing schedule replays exactly
+// from the logged seed.
+type KillSet struct {
+	rng     *rand.Rand
+	maxKill int
+	alive   []Target
+	killed  []string
+}
+
+// NewKillSet builds a scheduler over targets that kills at most
+// maxKill of them per tick (maxKill is typically the m the redundancy
+// policy claims to tolerate; values below 1 are treated as 1).
+func NewKillSet(seed int64, maxKill int, targets ...Target) *KillSet {
+	if maxKill < 1 {
+		maxKill = 1
+	}
+	return &KillSet{
+		rng:     rand.New(rand.NewSource(seed)),
+		maxKill: maxKill,
+		alive:   append([]Target(nil), targets...),
+	}
+}
+
+// Alive reports how many targets have not yet been killed.
+func (ks *KillSet) Alive() int { return len(ks.alive) }
+
+// Killed returns the names of every target killed so far, in kill
+// order (victims within one tick are ordered as drawn).
+func (ks *KillSet) Killed() []string {
+	return append([]string(nil), ks.killed...)
+}
+
+// Tick kills a uniformly random non-empty subset of at most maxKill
+// surviving targets in one instant and returns their names. With no
+// survivors left it returns nil.
+func (ks *KillSet) Tick() []string {
+	bound := ks.maxKill
+	if len(ks.alive) < bound {
+		bound = len(ks.alive)
+	}
+	if bound < 1 {
+		return nil
+	}
+	return ks.KillExactly(1 + ks.rng.Intn(bound))
+}
+
+// KillExactly kills exactly j random survivors at once — the scripted
+// form of Tick for schedules like "2, then 1, then 2". It is not
+// bounded by maxKill (a script may deliberately exceed the claimed
+// tolerance to probe fail-closed behavior) but is clamped to the
+// number of survivors. Returns the victims' names.
+func (ks *KillSet) KillExactly(j int) []string {
+	if j > len(ks.alive) {
+		j = len(ks.alive)
+	}
+	if j < 1 {
+		return nil
+	}
+	victims := ks.rng.Perm(len(ks.alive))[:j]
+	names := make([]string, 0, j)
+	dead := make(map[int]bool, j)
+	for _, i := range victims {
+		ks.alive[i].Kill()
+		names = append(names, ks.alive[i].Name)
+		dead[i] = true
+	}
+	survivors := ks.alive[:0]
+	for i, t := range ks.alive {
+		if !dead[i] {
+			survivors = append(survivors, t)
+		}
+	}
+	ks.alive = survivors
+	ks.killed = append(ks.killed, names...)
+	return names
+}
+
+// Schedule runs one KillExactly per entry — Schedule(2, 1, 2) is
+// three correlated crash ticks — and returns the victims per tick.
+func (ks *KillSet) Schedule(js ...int) [][]string {
+	out := make([][]string, 0, len(js))
+	for _, j := range js {
+		out = append(out, ks.KillExactly(j))
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"rmp/internal/memnet"
+)
+
+// fakeTargets returns n named targets whose Kill just records itself,
+// plus the shared kill log.
+func fakeTargets(n int) ([]Target, *[]string) {
+	log := &[]string{}
+	ts := make([]Target, n)
+	for i := range ts {
+		name := string(rune('a' + i))
+		ts[i] = Target{Name: name, Kill: func() { *log = append(*log, name) }}
+	}
+	return ts, log
+}
+
+func TestKillSetDeterministicFromSeed(t *testing.T) {
+	run := func() []string {
+		ts, _ := fakeTargets(8)
+		ks := NewKillSet(42, 3, ts...)
+		for ks.Alive() > 0 {
+			ks.Tick()
+		}
+		return ks.Killed()
+	}
+	a := run()
+	if got := run(); !reflect.DeepEqual(a, got) {
+		t.Fatalf("same seed produced different schedules:\n%v\n%v", a, got)
+	}
+	if len(a) != 8 {
+		t.Fatalf("schedule killed %d of 8 targets", len(a))
+	}
+}
+
+func TestKillSetTickBoundedByMaxKill(t *testing.T) {
+	ts, log := fakeTargets(10)
+	ks := NewKillSet(7, 2, ts...)
+	for ks.Alive() > 0 {
+		before := len(*log)
+		victims := ks.Tick()
+		if len(victims) < 1 || len(victims) > 2 {
+			t.Fatalf("tick killed %d targets, want 1..2", len(victims))
+		}
+		if len(*log)-before != len(victims) {
+			t.Fatalf("tick reported %d victims but invoked %d kills",
+				len(victims), len(*log)-before)
+		}
+	}
+	if ks.Tick() != nil {
+		t.Fatal("tick on an exhausted set killed something")
+	}
+	// Every target died exactly once.
+	seen := map[string]int{}
+	for _, name := range *log {
+		seen[name]++
+	}
+	if len(seen) != 10 {
+		t.Fatalf("killed %d distinct targets, want 10", len(seen))
+	}
+	for name, c := range seen {
+		if c != 1 {
+			t.Fatalf("target %s killed %d times", name, c)
+		}
+	}
+}
+
+func TestKillSetScheduleScripted(t *testing.T) {
+	ts, _ := fakeTargets(6)
+	ks := NewKillSet(1, 2, ts...)
+	ticks := ks.Schedule(2, 1, 2)
+	want := []int{2, 1, 2}
+	for i, victims := range ticks {
+		if len(victims) != want[i] {
+			t.Fatalf("tick %d killed %v, want %d victims", i, victims, want[i])
+		}
+	}
+	if ks.Alive() != 1 {
+		t.Fatalf("%d survivors after 2+1+2 of 6, want 1", ks.Alive())
+	}
+	// Scripted over-tolerance tick clamps to the survivors.
+	if got := ks.KillExactly(5); len(got) != 1 {
+		t.Fatalf("final over-sized tick killed %v, want the 1 survivor", got)
+	}
+}
+
+// TestKillSetSeversMemnetServers wires a KillSet to memnet.Kill: one
+// tick must make a random pair of servers both refuse new dials and
+// sever their established connections, while survivors keep working.
+func TestKillSetSeversMemnetServers(t *testing.T) {
+	net := memnet.New()
+	addrs := []string{"srv0:7077", "srv1:7077", "srv2:7077", "srv3:7077"}
+	conns := map[string]chan error{}
+	targets := make([]Target, len(addrs))
+	for i, a := range addrs {
+		a := a
+		ln := net.MustListen(a)
+		defer ln.Close()
+		go func() {
+			for {
+				c, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				go func() {
+					buf := make([]byte, 1)
+					_, err := c.Read(buf) // park until severed or closed
+					conns[a] <- err
+				}()
+			}
+		}()
+		conns[a] = make(chan error, 4)
+		if _, err := net.Dial(a); err != nil {
+			t.Fatalf("pre-kill dial %s: %v", a, err)
+		}
+		targets[i] = Target{Name: a, Kill: func() { net.Kill(a) }}
+	}
+
+	ks := NewKillSet(3, 2, targets...)
+	victims := ks.KillExactly(2)
+	if len(victims) != 2 {
+		t.Fatalf("killed %v, want 2 victims", victims)
+	}
+	dead := map[string]bool{victims[0]: true, victims[1]: true}
+	for _, a := range addrs {
+		if dead[a] {
+			if _, err := net.Dial(a); err == nil {
+				t.Errorf("dial to killed %s succeeded", a)
+			}
+			select {
+			case err := <-conns[a]:
+				if err == nil {
+					t.Errorf("severed conn on %s read without error", a)
+				}
+			case <-time.After(2 * time.Second):
+				t.Errorf("established conn on %s not severed by kill", a)
+			}
+		} else {
+			if _, err := net.Dial(a); err != nil {
+				t.Errorf("dial to surviving %s failed: %v", a, err)
+			}
+		}
+	}
+}

@@ -38,6 +38,11 @@ const (
 	// to the local disk in parallel (§4.7), treating remote memory as
 	// a write-through cache of the disk.
 	PolicyWriteThrough
+	// PolicyRS stripes pageouts into Reed-Solomon RS(k,m) groups: k
+	// data shards on k servers plus m parity shards on m more. Any m
+	// simultaneous crashes are survivable; (k+m)/k transfers and
+	// memory per pageout, amortized. See policy_rs.go.
+	PolicyRS
 )
 
 func (p Policy) String() string {
@@ -52,6 +57,8 @@ func (p Policy) String() string {
 		return "PARITY_LOGGING"
 	case PolicyWriteThrough:
 		return "WRITE_THROUGH"
+	case PolicyRS:
+		return "RS"
 	}
 	return fmt.Sprintf("Policy(%d)", int(p))
 }
@@ -118,8 +125,16 @@ type Config struct {
 	// OverflowBudget is the fraction of extra (inactive) page
 	// versions parity logging may accumulate on the servers before
 	// garbage-collecting fragmented groups. Zero means the paper's
-	// 10%. Only meaningful for PolicyParityLogging.
+	// 10%. Only meaningful for PolicyParityLogging and PolicyRS.
 	OverflowBudget float64
+	// RSDataShards (k) and RSParityShards (m) set the RS(k,m) group
+	// geometry for PolicyRS: groups of k data pages protected by m
+	// parity pages, surviving any m simultaneous server crashes.
+	// Zero means the defaults k=4, m=2. When fewer than k+m servers
+	// are alive the policy degrades (smaller m, then smaller k) and
+	// counts the writes rather than denying them.
+	RSDataShards   int
+	RSParityShards int
 	// Membership, when non-nil, enables the live-membership layer:
 	// heartbeat failure detection (PING/PONG on a dedicated connection
 	// per server), crash confirmation without a data-path error, and
@@ -197,6 +212,19 @@ type Stats struct {
 	// the completion of its re-protection pass — the time the data
 	// spent at reduced redundancy, which dominates loss probability.
 	Exposure time.Duration
+	// ExposureAtTol buckets the same windows by the tolerance that
+	// remained while they were open: the policy's crash tolerance
+	// minus the deaths still awaiting re-protection, clamped into the
+	// array (the last bucket collects everything above). For RS(k,m)
+	// with one pending death, ExposureAtTol[m-1] accrues — the time
+	// during which only m-1 further crashes were survivable.
+	// ExposureAtTol[0] is the fully-exposed window where one more
+	// crash loses pages.
+	ExposureAtTol [5]time.Duration
+
+	// Degraded-mode counters (PolicyRS).
+	DegradedWrites  uint64 // pageouts accepted at reduced RS geometry
+	PolicyFallbacks uint64 // policy constructions that fell back (RS -> write-through)
 
 	// Bounded-data-path counters (retry layer, see retry.go).
 	Timeouts          uint64 // requests that missed their adaptive deadline
@@ -327,6 +355,10 @@ type Pager struct {
 	// barrier at a policy entry point, whichever comes first).
 	// Guarded by mu.
 	rebuildPending map[int]time.Time
+	// exposedSince marks the start of the current reduced-redundancy
+	// accounting window for Stats.ExposureAtTol; it is advanced every
+	// time the pending-death count changes. Guarded by mu.
+	exposedSince time.Time
 }
 
 // policyImpl is the per-policy strategy. Implementations run with
@@ -350,6 +382,12 @@ type policyImpl interface {
 	// redundancy classifies every page by whether it would survive
 	// one more server crash. Pure observer: no I/O, no recovery.
 	redundancy() Redundancy
+	// tolerance is how many further simultaneous server crashes the
+	// policy absorbs without losing protected pages, given its
+	// current layout (RS reports its live parity width, which shrinks
+	// in degraded mode; write-through is bounded by the disk copy,
+	// not by servers). Pure observer.
+	tolerance() int
 }
 
 // New creates a pager, connects to every reachable server, allocates
@@ -416,6 +454,10 @@ func New(cfg Config) (*Pager, error) {
 	return p, nil
 }
 
+// newPolicy builds the configured policy implementation. Runs during
+// construction, before the Pager is shared, so it owns all state the
+// same way a mu-holding caller would.
+//rmpvet:holds Pager.mu
 func (p *Pager) newPolicy() (policyImpl, error) {
 	alive := p.aliveServers()
 	switch p.cfg.Policy {
@@ -441,6 +483,19 @@ func (p *Pager) newPolicy() (policyImpl, error) {
 			return nil, errors.New("client: write-through needs >= 1 reachable server")
 		}
 		return &writeThroughPolicy{p: p}, nil
+	case PolicyRS:
+		if len(alive) < 2 {
+			// The cluster cannot host even a single RS(1,1) group.
+			// Degrade gracefully to write-through (one remote copy
+			// plus the local disk) instead of refusing to start.
+			if len(alive) < 1 {
+				return nil, errors.New("client: RS needs >= 1 reachable server")
+			}
+			p.logf("rs: only %d reachable server(s); falling back to %v", len(alive), PolicyWriteThrough)
+			p.stats.PolicyFallbacks++
+			return &writeThroughPolicy{p: p}, nil
+		}
+		return newRSPolicy(p)
 	default:
 		return nil, fmt.Errorf("client: unknown policy %v", p.cfg.Policy)
 	}
@@ -952,6 +1007,7 @@ func (p *Pager) serverDied(srv int, cause error) {
 		rs.conn.Close()
 	}
 	if p.rep != nil {
+		p.accrueExposure()
 		p.rebuildPending[srv] = rs.diedAt
 		p.rep.Enqueue(membership.Job{
 			Kind: membership.JobRebuild, Addr: rs.addr, ConfirmedAt: rs.diedAt,
@@ -983,6 +1039,7 @@ func (p *Pager) ensureRecovered(srv int) {
 	if !ok {
 		return
 	}
+	p.accrueExposure()
 	delete(p.rebuildPending, srv)
 	rs := p.servers[srv]
 	if err := p.pol.handleCrash(srv); err != nil {
@@ -992,6 +1049,27 @@ func (p *Pager) ensureRecovered(srv int) {
 		p.stats.Rebuilds++
 	}
 	p.stats.Exposure += time.Since(diedAt)
+}
+
+// accrueExposure closes the current reduced-redundancy window, if
+// one is open, crediting it to the remaining-tolerance bucket the
+// pager sat in (policy tolerance minus pending deaths, clamped into
+// Stats.ExposureAtTol), and starts the next window. Called whenever
+// the pending-death count is about to change.
+//rmpvet:holds Pager.mu
+func (p *Pager) accrueExposure() {
+	now := time.Now()
+	if n := len(p.rebuildPending); n > 0 && !p.exposedSince.IsZero() {
+		tol := p.pol.tolerance() - n
+		if tol < 0 {
+			tol = 0
+		}
+		if tol >= len(p.stats.ExposureAtTol) {
+			tol = len(p.stats.ExposureAtTol) - 1
+		}
+		p.stats.ExposureAtTol[tol] += now.Sub(p.exposedSince)
+	}
+	p.exposedSince = now
 }
 
 // ensureAllRecovered drains every pending re-protection pass (p.mu

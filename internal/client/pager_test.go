@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"rmp/internal/chaos"
 	"rmp/internal/client"
 	"rmp/internal/memnet"
 	"rmp/internal/page"
@@ -85,6 +86,22 @@ func (c *cluster) pagerWith(cfg client.Config) *client.Pager {
 // crash kills server i abruptly (no BYE, connections die).
 func (c *cluster) crash(i int) { c.servers[i].Close() }
 
+// killTargets adapts the cluster's servers to chaos.KillSet targets:
+// Kill severs the server's listener and every established connection
+// on the in-memory network in one instant — a machine crash, not a
+// graceful stop — then releases the server's resources.
+func (c *cluster) killTargets() []chaos.Target {
+	ts := make([]chaos.Target, len(c.servers))
+	for i := range c.servers {
+		i := i
+		ts[i] = chaos.Target{Name: c.addrs[i], Kill: func() {
+			c.net.Kill(c.addrs[i])
+			c.servers[i].Close()
+		}}
+	}
+	return ts
+}
+
 func mkPage(seed uint64) page.Buf {
 	p := page.NewBuf()
 	p.Fill(seed)
@@ -97,6 +114,7 @@ var allPolicies = []client.Policy{
 	client.PolicyParity,
 	client.PolicyParityLogging,
 	client.PolicyWriteThrough,
+	client.PolicyRS,
 }
 
 // TestRoundTripAllPolicies: pageout/pagein/overwrite across every
@@ -671,6 +689,7 @@ func TestPolicyString(t *testing.T) {
 		client.PolicyParity:        "PARITY",
 		client.PolicyParityLogging: "PARITY_LOGGING",
 		client.PolicyWriteThrough:  "WRITE_THROUGH",
+		client.PolicyRS:            "RS",
 	}
 	for pol, want := range names {
 		if got := pol.String(); got != want {

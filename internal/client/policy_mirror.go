@@ -161,6 +161,9 @@ func (m *mirrorPolicy) free(id page.ID) error {
 // target on the next placement or re-protection pass.
 func (m *mirrorPolicy) serverJoined(int) {}
 
+// tolerance: two replicas survive any one crash.
+func (m *mirrorPolicy) tolerance() int { return 1 }
+
 // redundancy counts live copies: two copies on distinct servers (or
 // one copy plus the disk shadow) survive one more crash.
 func (m *mirrorPolicy) redundancy() Redundancy {

@@ -114,6 +114,9 @@ func (n *nonePolicy) free(id page.ID) error {
 // server on the next placement.
 func (n *nonePolicy) serverJoined(int) {}
 
+// tolerance: a single copy loses pages on the first crash.
+func (n *nonePolicy) tolerance() int { return 0 }
+
 // redundancy: a remote-only copy dies with its server (Degraded); a
 // disk-fallback copy survives any server crash (Full).
 func (n *nonePolicy) redundancy() Redundancy {

@@ -37,6 +37,14 @@ type parityGroup struct {
 	slot      int
 	parityKey uint64
 	members   map[int]page.ID // server index -> page
+	// stale means the parity page no longer matches the registered
+	// members: an unrecoverable member was dropped without XORing its
+	// contribution out, or a recompute could not read every member.
+	// Reconstructing through a stale group would XOR the leftover
+	// contribution into the result — fabricated bytes with no checksum
+	// to catch them — so reconstruction refuses stale groups (fail
+	// closed) until freshenStaleGroups recomputes the parity.
+	stale bool
 }
 
 type srvSlots struct {
@@ -77,6 +85,9 @@ func newParityPolicy(p *Pager) *parityPolicy {
 }
 
 func (pp *parityPolicy) parityAddr() string { return pp.p.servers[pp.parityIdx].addr }
+
+// tolerance: one parity server covers any one crash.
+func (pp *parityPolicy) tolerance() int { return 1 }
 
 // xorWrite performs the two-transfer pageout: client -> home server
 // (which stores the page) and home server -> parity server (the
@@ -131,7 +142,11 @@ func (pp *parityPolicy) pageOut(id page.ID, data page.Buf) error {
 		g := pp.groups[home.slot]
 		if !p.servers[home.srv].alive {
 			// Crash handler failed to clean this up (e.g. reconstruction
-			// error); the version is gone.
+			// error); the version is gone, its contribution still folded
+			// into the parity page.
+			if g != nil {
+				g.stale = true
+			}
 			pp.dropMemberBookkeeping(id)
 			break
 		}
@@ -319,8 +334,10 @@ func (pp *parityPolicy) repairGroup(g *parityGroup) {
 	oldKey := g.parityKey
 	g.parityKey = p.allocKey()
 	if err := p.sendPage(pp.parityIdx, g.parityKey, parityPage, true); err != nil {
+		g.parityKey = oldKey
 		return
 	}
+	g.stale = false
 	p.freeSlots(pp.parityIdx, oldKey)
 }
 
@@ -419,8 +436,10 @@ func (pp *parityPolicy) recomputeAndShipParity(recovered bool) error {
 	var firstErr error
 	keys := make([]uint64, 0, len(pp.groups))
 	pages := make([]page.Buf, 0, len(pp.groups))
+	shipped := make([]*parityGroup, 0, len(pp.groups))
 	for _, g := range pp.groups {
 		parityPage := page.NewBuf()
+		complete := true
 		for srv, id := range g.members {
 			home := pp.homes[id]
 			data, err := p.fetchPage(srv, home.key)
@@ -428,19 +447,30 @@ func (pp *parityPolicy) recomputeAndShipParity(recovered bool) error {
 				if firstErr == nil {
 					firstErr = err
 				}
+				complete = false
 				continue
 			}
 			page.XORInto(parityPage, data)
 		}
+		// A parity page missing a registered member's contribution must
+		// never serve reconstructions: it would fabricate bytes with no
+		// checksum to catch them.
+		g.stale = !complete
 		g.parityKey = p.allocKey()
 		keys = append(keys, g.parityKey)
 		pages = append(pages, parityPage)
+		shipped = append(shipped, g)
 		if recovered {
 			p.stats.Recovered++
 		}
 	}
-	if err := p.sendPageBatch(pp.parityIdx, keys, pages, true); err != nil && firstErr == nil {
-		firstErr = err
+	if err := p.sendPageBatch(pp.parityIdx, keys, pages, true); err != nil {
+		for _, g := range shipped {
+			g.stale = true
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
 	}
 	return firstErr
 }
@@ -541,15 +571,33 @@ func (pp *parityPolicy) handleCrash(srv int) error {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("reconstruct %v: %w", l.id, err)
 			}
+			// The member is dropped with its contribution still folded
+			// into the parity page: the group must not serve further
+			// reconstructions until its parity is recomputed.
+			l.g.stale = true
 			delete(pp.homes, l.id)
 			delete(l.g.members, srv)
+			if len(l.g.members) == 0 {
+				pp.deleteGroup(l.g)
+			}
+			loc := p.table[l.id]
+			if loc == nil {
+				loc = &location{}
+				p.table[l.id] = loc
+			}
+			loc.lost = true
 			p.stats.LostPages++
 			continue
 		}
 		// Subtract the lost page from its group's parity, then drop it
 		// from the group and re-home it as a fresh pageout.
-		if err := pp.xorOutOfParity(l.g, data); err != nil && firstErr == nil {
-			firstErr = err
+		if err := pp.xorOutOfParity(l.g, data); err != nil {
+			// Ambiguous whether the delta landed; the parity can no
+			// longer be trusted against its members.
+			l.g.stale = true
+			if firstErr == nil {
+				firstErr = err
+			}
 		}
 		delete(pp.homes, l.id)
 		delete(l.g.members, srv)
@@ -566,7 +614,21 @@ func (pp *parityPolicy) handleCrash(srv int) error {
 	for _, g := range pp.groups {
 		delete(g.members, srv)
 	}
+	pp.freshenStaleGroups()
 	return firstErr
+}
+
+// freshenStaleGroups recomputes parity for every stale group whose
+// members are all reachable again, restoring their reconstruction
+// capability. Groups with a member on a still-dead server stay stale
+// — reconstruct keeps refusing them — until a later crash handler
+// removes or re-homes that member.
+func (pp *parityPolicy) freshenStaleGroups() {
+	for _, g := range pp.groups {
+		if g.stale {
+			pp.repairGroup(g)
+		}
+	}
 }
 
 // dropDataServerLost removes srv from the data set, marking every
@@ -616,6 +678,9 @@ func (pp *parityPolicy) dropDataServerLost(srv int) {
 // to recover the member stored on dead.
 func (pp *parityPolicy) reconstruct(g *parityGroup, dead int) (page.Buf, error) {
 	p := pp.p
+	if g.stale {
+		return nil, fmt.Errorf("client: parity group %d is stale after an unrecovered loss", g.slot)
+	}
 	out, err := p.fetchPage(pp.parityIdx, g.parityKey)
 	if err != nil {
 		return nil, err

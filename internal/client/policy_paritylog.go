@@ -323,6 +323,9 @@ func (pl *parityLogPolicy) maybeGC() {
 // capacity still helps immediately through disk-page promotion.
 func (pl *parityLogPolicy) serverJoined(int) {}
 
+// tolerance: one parity column covers any one crash.
+func (pl *parityLogPolicy) tolerance() int { return 1 }
+
 // redundancy: conservative group-level view. With the full column
 // layout alive, every logged page (sealed groups via parity, the open
 // group via the client-side buffer) survives one more crash; with any

@@ -1,0 +1,869 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"rmp/internal/page"
+	"rmp/internal/rs"
+)
+
+// rsPolicy generalizes parity logging to Reed-Solomon RS(k,m) coding:
+// pageouts are appended round-robin into groups of k data shards
+// spread over k servers; when a group completes, m parity shards
+// (computed with the GF(256) Cauchy code in internal/rs) are shipped
+// to m further servers. Any m simultaneous server crashes are
+// survivable — every page decodes from any k of its group's k+m
+// shards. Cost: (k+m)/k transfers and memory per pageout, amortized,
+// against 1+1/S for single-parity logging and (1+m) for (m+1)-way
+// mirroring at equal tolerance.
+//
+// The group bookkeeping follows parity.Log (versions are marked
+// inactive rather than deleted, overflow triggers GC), but lives
+// inline because a group carries m parity shards instead of one.
+//
+// Degraded mode: when fewer than k+m servers are alive the layout is
+// re-planned with reduced parity width first (tolerance is cheapest
+// to give up temporarily), then a narrowed stripe; writes are counted
+// (Stats.DegradedWrites) but never denied. Below 2 usable servers
+// pageouts fall back to the local disk.
+//
+// Crash handling is snapshot-and-rebuild like parity logging: decode
+// every live page from the survivors (any k shards per group), then
+// replay the lot into a fresh layout, shipping each server's new
+// shards in one pipelined batch.
+//rmpvet:holds Pager.mu
+type rsPolicy struct {
+	p *Pager
+
+	// k, m is the configured full-strength geometry; the current
+	// layout below may be narrower while servers are down.
+	k, m int
+
+	// cols[i] is the server holding member column i of every group;
+	// parityIdx[j] holds parity shard j. code matches their widths.
+	// code == nil means no usable layout (disk-only mode).
+	cols      []int
+	parityIdx []int
+	code      *rs.Code
+
+	groups  map[uint64]*rsGroup
+	nextGID uint64
+	// live maps a page to the group member holding its current version.
+	live map[page.ID]rsRef
+
+	// open is the group currently filling; openData keeps client-side
+	// clones of its members, so unsealed pages never need decoding.
+	open     *rsGroup
+	openData []page.Buf
+
+	// overflowBudget mirrors parity logging's server overflow: GC runs
+	// when stored versions exceed live pages by more than this factor.
+	overflowBudget float64
+
+	// inflight is the pageout currently being transferred; crash
+	// rebuilds read its contents from memory instead of the network.
+	inflight struct {
+		valid bool
+		id    page.ID
+		data  page.Buf
+	}
+
+	rebuilding bool
+	retry      bool
+}
+
+// rsRef names one group member: group id + column.
+type rsRef struct {
+	gid uint64
+	col int
+}
+
+// rsShard is one stored data shard (a page version).
+type rsShard struct {
+	id     page.ID
+	key    uint64
+	active bool
+}
+
+// rsGroup is one coding group. Members fill left to right; the group
+// seals when it reaches the layout's stripe width and its parity
+// shards are computed and shipped. Shard positions for decoding are
+// members first (0..k-1), then parity (k..k+m-1).
+type rsGroup struct {
+	id         uint64
+	members    []rsShard
+	parityKeys []uint64 // allocated at seal; empty while open
+	sealed     bool
+	active     int // members whose version is current
+}
+
+func newRSPolicy(p *Pager) (*rsPolicy, error) {
+	k, m := p.cfg.RSDataShards, p.cfg.RSParityShards
+	if k <= 0 {
+		k = 4
+	}
+	if m <= 0 {
+		m = 2
+	}
+	if k+m > rs.MaxShards {
+		return nil, fmt.Errorf("client: RS(%d,%d) exceeds %d total shards", k, m, rs.MaxShards)
+	}
+	budget := p.cfg.OverflowBudget
+	if budget <= 0 {
+		budget = 0.10 // match parity logging's 10% overflow
+	}
+	pol := &rsPolicy{
+		p: p, k: k, m: m,
+		groups:         make(map[uint64]*rsGroup),
+		live:           make(map[page.ID]rsRef),
+		overflowBudget: budget,
+	}
+	if err := pol.planLayout(p.aliveServers()); err != nil {
+		return nil, err
+	}
+	return pol, nil
+}
+
+// planLayout picks data/parity columns over the usable servers and
+// builds the matching code. With n < k+m servers the parity width
+// shrinks first, then the stripe narrows; with n < 2 the layout is
+// empty (code nil) and pageouts go to the local disk.
+func (pl *rsPolicy) planLayout(usable []int) error {
+	if len(usable) < 2 {
+		pl.cols, pl.parityIdx, pl.code = nil, nil, nil
+		return nil
+	}
+	k, m := pl.planShape(len(usable))
+	code, err := rs.New(k, m)
+	if err != nil {
+		return err
+	}
+	pl.cols = append([]int(nil), usable[:k]...)
+	pl.parityIdx = append([]int(nil), usable[k:k+m]...)
+	pl.code = code
+	return nil
+}
+
+// planShape degrades (k,m) to fit n usable servers.
+func (pl *rsPolicy) planShape(n int) (int, int) {
+	m := pl.m
+	if n < pl.k+m {
+		m = n - pl.k
+	}
+	if m < 1 {
+		m = 1
+	}
+	k := pl.k
+	if n-m < k {
+		k = n - m
+	}
+	return k, m
+}
+
+// degraded reports whether the current layout is weaker than the
+// configured geometry (fewer parity shards or a narrower stripe).
+func (pl *rsPolicy) degraded() bool {
+	return len(pl.cols) < pl.k || len(pl.parityIdx) < pl.m
+}
+
+// layoutAlive reports whether the current layout can accept pageouts.
+func (pl *rsPolicy) layoutAlive() bool {
+	p := pl.p
+	if pl.code == nil {
+		return false
+	}
+	for _, srv := range pl.cols {
+		if !p.servers[srv].alive {
+			return false
+		}
+	}
+	for _, srv := range pl.parityIdx {
+		if !p.servers[srv].alive {
+			return false
+		}
+	}
+	return true
+}
+
+// tolerance: a full group survives any len(parityIdx) simultaneous
+// crashes; that is the policy's remaining tolerance while degraded.
+func (pl *rsPolicy) tolerance() int { return len(pl.parityIdx) }
+
+func (pl *rsPolicy) pageOut(id page.ID, data page.Buf) error {
+	p := pl.p
+	var lastErr error
+	for attempt := 0; attempt <= maxRedispatch; attempt++ {
+		// Close the asynchronous-recovery gap before touching group
+		// state: appending through a dead layout corrupts groups.
+		p.ensureAllRecovered()
+
+		// Promote a disk-fallback page back through the groups if possible.
+		if loc := p.table[id]; loc != nil && loc.onDisk {
+			if !pl.layoutAlive() {
+				p.stats.FallbackPageOuts++
+				return p.diskPut(id, data)
+			}
+			p.swap.Delete(uint64(id))
+			delete(p.table, id)
+		}
+		if !pl.layoutAlive() {
+			return pl.diskFallback(id, data)
+		}
+
+		if lastErr = pl.appendAndSend(id, data); lastErr == nil {
+			if pl.degraded() {
+				// Write accepted at reduced tolerance — counted, never
+				// denied; the next join re-plans back to full strength.
+				p.stats.DegradedWrites++
+			}
+			pl.maybeGC()
+			return nil
+		}
+	}
+	// Every layout we were handed failed mid-transfer; keep the page
+	// safe on the local disk instead.
+	if err := pl.diskFallback(id, data); err != nil {
+		return lastErr
+	}
+	return nil
+}
+
+// diskFallback records id as living on the local swap device and
+// writes it there.
+func (pl *rsPolicy) diskFallback(id page.ID, data page.Buf) error {
+	p := pl.p
+	p.stats.FallbackPageOuts++
+	loc := p.table[id]
+	if loc == nil {
+		loc = &location{}
+		p.table[id] = loc
+	}
+	loc.onDisk = true
+	return p.diskPut(id, data)
+}
+
+// appendAndSend runs one pageout through the groups: supersede the
+// previous version, place the data shard, and if the group completed,
+// encode and ship its parity. A transport failure triggers the crash
+// rebuild (via serverDied); the caller re-dispatches afterwards.
+func (pl *rsPolicy) appendAndSend(id page.ID, data page.Buf) error {
+	p := pl.p
+	pl.inflight.valid = true
+	pl.inflight.id = id
+	pl.inflight.data = data
+	defer func() { pl.inflight.valid = false }()
+
+	pl.deactivate(id)
+
+	if pl.open == nil {
+		pl.nextGID++
+		pl.open = &rsGroup{id: pl.nextGID}
+		pl.groups[pl.open.id] = pl.open
+		pl.openData = nil
+	}
+	g := pl.open
+	col := len(g.members)
+	key := p.allocKey()
+	g.members = append(g.members, rsShard{id: id, key: key, active: true})
+	g.active++
+	pl.live[id] = rsRef{gid: g.id, col: col}
+	pl.openData = append(pl.openData, data.Clone())
+
+	if len(g.members) < len(pl.cols) {
+		// Group still filling: ship the data shard alone. Its contents
+		// stay in openData, so no crash can strand it.
+		return p.sendPage(pl.cols[col], key, data, true)
+	}
+
+	// The group is complete: encode the m parity shards and ship them
+	// together with the closing data shard concurrently, so the seal
+	// costs one round trip instead of 1+m serial ones.
+	dataShards := make([][]byte, len(pl.openData))
+	for i, b := range pl.openData {
+		dataShards[i] = b
+	}
+	parity := make([]page.Buf, len(pl.parityIdx))
+	parityShards := make([][]byte, len(parity))
+	for j := range parity {
+		parity[j] = page.NewBuf()
+		parityShards[j] = parity[j]
+	}
+	if err := pl.code.Encode(dataShards, parityShards); err != nil {
+		return err
+	}
+	reqs := make([]sendReq, 0, 1+len(parity))
+	reqs = append(reqs, sendReq{srv: pl.cols[col], key: key, data: data, fresh: true})
+	g.parityKeys = make([]uint64, len(parity))
+	for j := range parity {
+		g.parityKeys[j] = p.allocKey()
+		reqs = append(reqs, sendReq{srv: pl.parityIdx[j], key: g.parityKeys[j], data: parity[j], fresh: true})
+	}
+	g.sealed = true
+	pl.open = nil
+	pl.openData = nil
+	errs := p.sendPages(reqs)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if g.active == 0 {
+		pl.reclaim(g) // every member superseded before the seal landed
+	}
+	return nil
+}
+
+// deactivate marks the stored version of id inactive and reclaims its
+// group once the group is sealed and fully superseded.
+func (pl *rsPolicy) deactivate(id page.ID) {
+	ref, ok := pl.live[id]
+	if !ok {
+		return
+	}
+	delete(pl.live, id)
+	g := pl.groups[ref.gid]
+	if g == nil || !g.members[ref.col].active {
+		return
+	}
+	g.members[ref.col].active = false
+	g.active--
+	if g.sealed && g.active == 0 {
+		pl.reclaim(g)
+	}
+}
+
+// reclaim frees every slot of a fully-superseded sealed group on the
+// servers that still live, and forgets the group.
+func (pl *rsPolicy) reclaim(g *rsGroup) {
+	p := pl.p
+	delete(pl.groups, g.id)
+	perSrv := make(map[int][]uint64)
+	for col, s := range g.members {
+		perSrv[pl.cols[col]] = append(perSrv[pl.cols[col]], s.key)
+	}
+	for j, key := range g.parityKeys {
+		perSrv[pl.parityIdx[j]] = append(perSrv[pl.parityIdx[j]], key)
+	}
+	for srv, keys := range perSrv {
+		if p.servers[srv].alive {
+			p.freeSlots(srv, keys...)
+		}
+	}
+}
+
+func (pl *rsPolicy) pageIn(id page.ID) (page.Buf, error) {
+	p := pl.p
+	p.ensureAllRecovered()
+	for attempt := 0; attempt < 2; attempt++ {
+		if ref, ok := pl.live[id]; ok {
+			g := pl.groups[ref.gid]
+			data, err := p.fetchPage(pl.cols[ref.col], g.members[ref.col].key)
+			if err == nil {
+				return data, nil
+			}
+			if !isConnError(err) {
+				// Persistent checksum failure with the server up:
+				// decode this shard from the rest of its group and
+				// repair the stored copy in place.
+				if isBadChecksum(err) {
+					if rec, ok := pl.reconstructOne(g, ref.col); ok {
+						return rec, nil
+					}
+				}
+				return nil, err
+			}
+			continue // crash rebuild ran; retry through the new layout
+		}
+		if loc := p.table[id]; loc != nil && loc.onDisk {
+			return p.diskGet(id)
+		}
+		if loc := p.table[id]; loc != nil && loc.lost {
+			return nil, fmt.Errorf("%w: %v", ErrPageLost, id)
+		}
+		return nil, ErrNotPagedOut
+	}
+	return nil, fmt.Errorf("client: pagein %v failed after crash recovery", id)
+}
+
+// reconstructOne repairs the shard at column col of group g after a
+// persistent checksum failure: decode the group treating the corrupt
+// shard as erased, rewrite the home slot in place, and hand the
+// caller the recovered bytes. For the open group the client-side
+// buffer is authoritative — no decode needed. ok=false means the
+// group has too few healthy shards and the caller should surface the
+// error.
+func (pl *rsPolicy) reconstructOne(g *rsGroup, col int) (page.Buf, bool) {
+	p := pl.p
+	var rec page.Buf
+	if !g.sealed {
+		rec = pl.openData[col].Clone()
+	} else {
+		shards, present, ok := pl.gatherShards(g, col)
+		if !ok {
+			return nil, false
+		}
+		if err := pl.code.Reconstruct(shards, present); err != nil {
+			return nil, false
+		}
+		rec = page.Buf(shards[col])
+	}
+	p.stats.Recovered++
+	if srv := pl.cols[col]; p.servers[srv].alive {
+		if serr := p.sendPage(srv, g.members[col].key, rec, false); serr == nil {
+			p.stats.Rehomed++
+		}
+	}
+	return rec, true
+}
+
+// gatherShards fetches every reachable shard of a sealed group into
+// positional order (members 0..k-1, parity k..k+m-1). exclude marks
+// one position as erased regardless (-1 for none); dead servers and
+// unreadable shards are likewise absent, backed by fresh buffers for
+// Reconstruct to fill. The pageout in flight is served from memory —
+// during a seal its shard may not have landed yet. ok=false means a
+// server died mid-gather and the caller must re-plan.
+func (pl *rsPolicy) gatherShards(g *rsGroup, exclude int) ([][]byte, []bool, bool) {
+	p := pl.p
+	n := len(g.members) + len(g.parityKeys)
+	shards := make([][]byte, n)
+	present := make([]bool, n)
+	fetch := func(pos, srv int, key uint64) bool {
+		if pos == exclude || !p.servers[srv].alive {
+			shards[pos] = page.NewBuf()
+			return true
+		}
+		data, err := p.fetchPage(srv, key)
+		if err != nil {
+			if isConnError(err) {
+				return false
+			}
+			shards[pos] = page.NewBuf() // unreadable: treat as erased
+			return true
+		}
+		shards[pos] = data
+		present[pos] = true
+		return true
+	}
+	for col, s := range g.members {
+		if pl.inflight.valid && s.id == pl.inflight.id && pl.live[s.id] == (rsRef{g.id, col}) {
+			shards[col] = pl.inflight.data
+			present[col] = true
+			continue
+		}
+		if !fetch(col, pl.cols[col], s.key) {
+			return nil, nil, false
+		}
+	}
+	for j, key := range g.parityKeys {
+		if !fetch(len(g.members)+j, pl.parityIdx[j], key) {
+			return nil, nil, false
+		}
+	}
+	return shards, present, true
+}
+
+func (pl *rsPolicy) free(id page.ID) error {
+	p := pl.p
+	p.ensureAllRecovered()
+	if loc := p.table[id]; loc != nil {
+		p.swap.Delete(uint64(id))
+		delete(p.table, id)
+	}
+	pl.deactivate(id)
+	return nil
+}
+
+// --- overflow garbage collection ----------------------------------------
+
+// maybeGC rewrites the live pages of the most fragmented sealed
+// groups when inactive versions exceed the overflow budget; once a
+// group's last active member is rewritten elsewhere, deactivate
+// reclaims all its k+m slots.
+func (pl *rsPolicy) maybeGC() {
+	stored := 0
+	for _, g := range pl.groups {
+		stored += len(g.members)
+	}
+	budget := int(float64(len(pl.live))*(1+pl.overflowBudget)) + len(pl.cols)
+	excess := stored - budget
+	if excess <= 0 {
+		return
+	}
+	p := pl.p
+	p.stats.GCPasses++
+	var cands []*rsGroup
+	for _, g := range pl.groups {
+		if g.sealed && g.active > 0 && g.active < len(g.members) {
+			cands = append(cands, g)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].active != cands[j].active {
+			return cands[i].active < cands[j].active
+		}
+		return cands[i].id < cands[j].id
+	})
+	for _, g := range cands {
+		if excess <= 0 {
+			return
+		}
+		excess -= len(g.members) - g.active
+		var ids []page.ID
+		for _, s := range g.members {
+			if s.active {
+				ids = append(ids, s.id)
+			}
+		}
+		for _, id := range ids {
+			ref, ok := pl.live[id]
+			if !ok || ref.gid != g.id {
+				continue
+			}
+			data, err := p.fetchPage(pl.cols[ref.col], g.members[ref.col].key)
+			if err != nil {
+				return // crash rebuild ran; GC will retrigger later
+			}
+			if err := pl.appendAndSend(id, data); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// serverJoined: under a full-strength layout a joiner is left out
+// until the next rebuild, like parity logging. Under a degraded
+// layout the joiner may restore tolerance the cluster is currently
+// missing, so the re-plan runs immediately.
+func (pl *rsPolicy) serverJoined(int) {
+	if pl.rebuilding || !pl.degraded() {
+		return
+	}
+	if len(pl.p.aliveServers()) < 2 {
+		return
+	}
+	if err := pl.rebuild(nil); err != nil {
+		pl.p.logf("rs: re-protection after join: %v", err)
+	}
+}
+
+// redundancy classifies every page by whether its group survives one
+// more crash: a sealed group's page is Full when at least k+1 of its
+// k+m shards sit on alive servers (any further single crash still
+// leaves k), Degraded while it remains readable (own shard alive, or
+// k shards somewhere), Lost otherwise. Open-group pages are Full —
+// the client-side buffer survives any server crash.
+func (pl *rsPolicy) redundancy() Redundancy {
+	p := pl.p
+	var r Redundancy
+	for _, ref := range pl.live {
+		g := pl.groups[ref.gid]
+		if !g.sealed {
+			r.Full++
+			continue
+		}
+		avail := 0
+		for col := range g.members {
+			if p.servers[pl.cols[col]].alive {
+				avail++
+			}
+		}
+		for j := range g.parityKeys {
+			if p.servers[pl.parityIdx[j]].alive {
+				avail++
+			}
+		}
+		k := len(g.members)
+		own := p.servers[pl.cols[ref.col]].alive
+		switch {
+		case avail >= k+1:
+			r.Full++
+		case own || avail >= k:
+			r.Degraded++
+		default:
+			r.Lost++
+		}
+	}
+	for _, loc := range p.table {
+		switch {
+		case loc.lost:
+			r.Lost++
+		case loc.onDisk:
+			r.Full++
+		}
+	}
+	return r
+}
+
+// --- crash recovery and migration ----------------------------------------
+
+func (pl *rsPolicy) handleCrash(srv int) error {
+	if pl.rebuilding {
+		pl.retry = true
+		return nil
+	}
+	return pl.rebuild(nil)
+}
+
+func (pl *rsPolicy) evacuate(srv int) error {
+	if pl.rebuilding {
+		return nil
+	}
+	err := pl.rebuild(map[int]bool{srv: true})
+	if err == nil {
+		pl.p.servers[srv].pressured = false
+	}
+	return err
+}
+
+// rebuild snapshots every live page (decoding those on dead servers
+// from any k surviving shards of their group) and replays them into a
+// fresh layout over the alive servers not in exclude. It loops until
+// a full replay completes without another server dying.
+func (pl *rsPolicy) rebuild(exclude map[int]bool) error {
+	p := pl.p
+	pl.rebuilding = true
+	defer func() { pl.rebuilding = false }()
+
+	for attempt := 0; attempt <= len(p.servers)+1; attempt++ {
+		pl.retry = false
+		contents, ok := pl.snapshot()
+		if !ok || pl.retry {
+			continue // a server died during the snapshot; re-plan
+		}
+		if pl.writeback(contents, exclude) && !pl.retry {
+			return nil
+		}
+	}
+	return errors.New("client: RS rebuild did not converge")
+}
+
+// snapshot collects the contents of every live page: from the
+// inflight buffer, from the open group's client-side copies, from
+// healthy shards, or by RS decode for pages on dead (or corrupt)
+// shards — each group decoded at most once. Pages whose group has
+// fewer than k shards left (more crashes than parity width) are
+// recorded as lost. ok=false means a server died mid-snapshot and the
+// caller must re-plan.
+func (pl *rsPolicy) snapshot() (map[page.ID]page.Buf, bool) {
+	p := pl.p
+	contents := make(map[page.ID]page.Buf)
+	type decodeResult struct {
+		shards [][]byte
+		ok     bool
+	}
+	dec := make(map[uint64]decodeResult)
+
+	for id, ref := range pl.live {
+		if pl.inflight.valid && id == pl.inflight.id {
+			contents[id] = pl.inflight.data.Clone()
+			continue
+		}
+		g := pl.groups[ref.gid]
+		if !g.sealed {
+			contents[id] = pl.openData[ref.col].Clone()
+			continue
+		}
+		if srv := pl.cols[ref.col]; p.servers[srv].alive {
+			data, err := p.fetchPage(srv, g.members[ref.col].key)
+			if err == nil {
+				contents[id] = data
+				continue
+			}
+			if isConnError(err) {
+				return nil, false
+			}
+			// Unreadable shard on a live server: decode it below.
+		}
+		res, tried := dec[g.id]
+		if !tried {
+			shards, present, ok := pl.gatherShards(g, -1)
+			if !ok {
+				return nil, false
+			}
+			if err := pl.code.Reconstruct(shards, present); err == nil {
+				res = decodeResult{shards: shards, ok: true}
+			}
+			dec[g.id] = res
+		}
+		if res.ok {
+			contents[id] = page.Buf(res.shards[ref.col])
+			p.stats.Recovered++
+			continue
+		}
+		// Unrecoverable: more shards gone than the group's parity width.
+		p.stats.LostPages++
+		loc := p.table[id]
+		if loc == nil {
+			loc = &location{}
+			p.table[id] = loc
+		}
+		loc.lost = true
+	}
+	return contents, true
+}
+
+// writeback replays contents into a fresh layout over the usable
+// servers, shipping each server's shards in one pipelined batch, then
+// frees the old layout's slots on whichever servers remain alive.
+// Returns false if a server died mid-replay (caller loops).
+func (pl *rsPolicy) writeback(contents map[page.ID]page.Buf, exclude map[int]bool) bool {
+	p := pl.p
+
+	oldGroups := pl.groups
+	oldCols := append([]int(nil), pl.cols...)
+	oldParity := append([]int(nil), pl.parityIdx...)
+
+	var usable []int
+	for _, i := range p.aliveServers() {
+		if !exclude[i] {
+			usable = append(usable, i)
+		}
+	}
+
+	if len(usable) < 2 {
+		// Not enough servers for data + parity: everything goes to the
+		// local disk; reliability is preserved by the disk itself.
+		for id, data := range contents {
+			loc := p.table[id]
+			if loc == nil {
+				loc = &location{}
+				p.table[id] = loc
+			}
+			loc.onDisk = true
+			if err := p.diskPut(id, data); err != nil {
+				p.logf("rebuild: disk fallback for %v: %v", id, err)
+			}
+			p.stats.FallbackPageOuts++
+		}
+		pl.groups = make(map[uint64]*rsGroup)
+		pl.live = make(map[page.ID]rsRef)
+		pl.open, pl.openData = nil, nil
+		pl.cols, pl.parityIdx, pl.code = nil, nil, nil
+		pl.freeLayout(oldGroups, oldCols, oldParity)
+		return true
+	}
+
+	k, m := pl.planShape(len(usable))
+	code, err := rs.New(k, m)
+	if err != nil {
+		return false
+	}
+	cols := usable[:k]
+	parityIdx := usable[k : k+m]
+
+	// Plan the whole new layout client-side first, then ship every
+	// server's shards in one pipelined batch — the rebuild costs about
+	// one round trip per server instead of one per page.
+	newGroups := make(map[uint64]*rsGroup)
+	newLive := make(map[page.ID]rsRef)
+	var newOpen *rsGroup
+	var newOpenData []page.Buf
+	batchKeys := make(map[int][]uint64)
+	batchPages := make(map[int][]page.Buf)
+
+	// Deterministic replay order keeps rebuilds reproducible.
+	ids := make([]page.ID, 0, len(contents))
+	for id := range contents {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	for _, id := range ids {
+		data := contents[id]
+		if newOpen == nil {
+			pl.nextGID++
+			newOpen = &rsGroup{id: pl.nextGID}
+			newGroups[newOpen.id] = newOpen
+			newOpenData = nil
+		}
+		col := len(newOpen.members)
+		key := p.allocKey()
+		newOpen.members = append(newOpen.members, rsShard{id: id, key: key, active: true})
+		newOpen.active++
+		newLive[id] = rsRef{gid: newOpen.id, col: col}
+		newOpenData = append(newOpenData, data.Clone())
+		batchKeys[cols[col]] = append(batchKeys[cols[col]], key)
+		batchPages[cols[col]] = append(batchPages[cols[col]], data)
+		if len(newOpen.members) < k {
+			continue
+		}
+		dataShards := make([][]byte, k)
+		for i, b := range newOpenData {
+			dataShards[i] = b
+		}
+		parity := make([]page.Buf, m)
+		parityShards := make([][]byte, m)
+		for j := range parity {
+			parity[j] = page.NewBuf()
+			parityShards[j] = parity[j]
+		}
+		if err := code.Encode(dataShards, parityShards); err != nil {
+			return false
+		}
+		newOpen.parityKeys = make([]uint64, m)
+		for j := range parity {
+			pk := p.allocKey()
+			newOpen.parityKeys[j] = pk
+			batchKeys[parityIdx[j]] = append(batchKeys[parityIdx[j]], pk)
+			batchPages[parityIdx[j]] = append(batchPages[parityIdx[j]], parity[j])
+		}
+		newOpen.sealed = true
+		newOpen = nil
+		newOpenData = nil
+	}
+
+	// If this attempt dies midway (another server failing under us),
+	// free whatever it managed to write before the caller retries with
+	// yet another fresh layout.
+	abort := func() bool {
+		for srv, keys := range batchKeys {
+			if p.servers[srv].alive {
+				p.freeSlots(srv, keys...)
+			}
+		}
+		return false
+	}
+	for srv, keys := range batchKeys {
+		if err := p.sendPageBatch(srv, keys, batchPages[srv], true); err != nil {
+			return abort() // serverDied set retry via handleCrash guard
+		}
+	}
+	p.stats.Rehomed += uint64(len(contents))
+
+	pl.groups = newGroups
+	pl.live = newLive
+	pl.open = newOpen
+	pl.openData = newOpenData
+	pl.cols = append([]int(nil), cols...)
+	pl.parityIdx = append([]int(nil), parityIdx...)
+	pl.code = code
+	pl.freeLayout(oldGroups, oldCols, oldParity)
+	return true
+}
+
+// freeLayout releases a previous layout's slots on servers that are
+// still alive (dead servers' memory is gone with them).
+func (pl *rsPolicy) freeLayout(groups map[uint64]*rsGroup, cols, parityIdx []int) {
+	p := pl.p
+	perSrv := make(map[int][]uint64)
+	for _, g := range groups {
+		for col, s := range g.members {
+			if col < len(cols) {
+				perSrv[cols[col]] = append(perSrv[cols[col]], s.key)
+			}
+		}
+		for j, key := range g.parityKeys {
+			if j < len(parityIdx) {
+				perSrv[parityIdx[j]] = append(perSrv[parityIdx[j]], key)
+			}
+		}
+	}
+	for srv, keys := range perSrv {
+		if srv >= 0 && srv < len(p.servers) && p.servers[srv].alive {
+			p.freeSlots(srv, keys...)
+		}
+	}
+}

@@ -109,6 +109,10 @@ func (w *writeThroughPolicy) free(id page.ID) error {
 // up on the next placement.
 func (w *writeThroughPolicy) serverJoined(int) {}
 
+// tolerance: the local disk copy survives every server crashing at
+// once; report a value that lands in ExposureAtTol's top bucket.
+func (w *writeThroughPolicy) tolerance() int { return len(w.p.servers) }
+
 // redundancy: the disk copy is authoritative and survives any server
 // crash; a page whose disk write failed has only its remote copy.
 func (w *writeThroughPolicy) redundancy() Redundancy {

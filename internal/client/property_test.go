@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"rmp/internal/chaos"
 	"rmp/internal/client"
 	"rmp/internal/memnet"
 	"rmp/internal/page"
@@ -50,13 +51,7 @@ func genCase(seed int64, servers int) propCase {
 }
 
 // want returns the final expected contents: last write wins.
-func (c propCase) want() map[page.ID]uint64 {
-	m := make(map[page.ID]uint64)
-	for _, w := range c.writes {
-		m[w.id] = w.fill
-	}
-	return m
-}
+func (c propCase) want() map[page.ID]uint64 { return lastWrites(c.writes) }
 
 func fillPage(fill uint64) page.Buf {
 	p := page.NewBuf()
@@ -106,6 +101,7 @@ func TestPropertySingleCrashReconstruction(t *testing.T) {
 		{client.PolicyMirroring, 3},
 		{client.PolicyParity, 4},
 		{client.PolicyParityLogging, 4},
+		{client.PolicyRS, 6},
 	}
 	const rounds = 12
 	for _, tc := range cases {
@@ -190,6 +186,7 @@ func TestPropertyTieredCrashReconstruction(t *testing.T) {
 		{client.PolicyMirroring, 3},
 		{client.PolicyParity, 4},
 		{client.PolicyParityLogging, 4},
+		{client.PolicyRS, 6},
 	}
 	const rounds = 8
 	for _, tc := range cases {
@@ -199,6 +196,142 @@ func TestPropertyTieredCrashReconstruction(t *testing.T) {
 					t.Parallel()
 					runPropCaseTiered(t, tc.pol, genCase(seed, tc.servers))
 				})
+			}
+		})
+	}
+}
+
+// genWrites is genCase's workload generator alone: a seeded random
+// write sequence over a small key space, victims chosen elsewhere
+// (the multi-crash tests draw theirs from a chaos.KillSet instead).
+func genWrites(rng *rand.Rand) []propWrite {
+	n := 10 + rng.Intn(60)
+	keySpace := 1 + rng.Intn(24)
+	writes := make([]propWrite, 0, n)
+	for i := 0; i < n; i++ {
+		writes = append(writes, propWrite{
+			id:   page.ID(rng.Intn(keySpace)),
+			fill: rng.Uint64(),
+		})
+	}
+	return writes
+}
+
+func lastWrites(writes []propWrite) map[page.ID]uint64 {
+	m := make(map[page.ID]uint64)
+	for _, w := range writes {
+		m[w.id] = w.fill
+	}
+	return m
+}
+
+// TestPropertyRSMultiCrashReconstruction: RS(4,2) under a seeded
+// random workload survives a correlated kill-set tick — a random set
+// of j ≤ m = 2 servers crashing in the same instant, connections
+// severed mid-stream — with every page reading back byte-identical to
+// its last written value, and the cluster still writable afterwards.
+func TestPropertyRSMultiCrashReconstruction(t *testing.T) {
+	const rounds = 10
+	for seed := int64(1); seed <= rounds; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			writes := genWrites(rng)
+			cl := newCluster(t, 6, 4096)
+			p := cl.pagerWith(rsConfig(cl, 4, 2))
+			for _, w := range writes {
+				if err := p.PageOut(w.id, fillPage(w.fill)); err != nil {
+					t.Fatalf("seed %d: pageout %d: %v", seed, w.id, err)
+				}
+			}
+
+			ks := chaos.NewKillSet(seed, 2, cl.killTargets()...)
+			victims := ks.Tick()
+			if len(victims) < 1 || len(victims) > 2 {
+				t.Fatalf("seed %d: kill-set tick killed %v", seed, victims)
+			}
+
+			for id, fill := range lastWrites(writes) {
+				got, err := p.PageIn(id)
+				if err != nil {
+					t.Fatalf("seed %d: pagein %d after killing %v: %v",
+						seed, id, victims, err)
+				}
+				if got.Checksum() != fillPage(fill).Checksum() {
+					t.Fatalf("seed %d: page %d reconstructed wrong after killing %v",
+						seed, id, victims)
+				}
+			}
+			if r := p.Redundancy(); r.Lost != 0 {
+				t.Fatalf("seed %d: Redundancy reports %d lost pages", seed, r.Lost)
+			}
+			// Still writable on the shrunken cluster.
+			if err := p.PageOut(page.ID(9000), fillPage(uint64(seed))); err != nil {
+				t.Fatalf("seed %d: pageout denied after killing %v: %v",
+					seed, victims, err)
+			}
+			if got, err := p.PageIn(page.ID(9000)); err != nil ||
+				got.Checksum() != fillPage(uint64(seed)).Checksum() {
+				t.Fatalf("seed %d: post-crash write unreadable: %v", seed, err)
+			}
+		})
+	}
+}
+
+// TestPropertyFailClosedBeyondTolerance: the single-failure policies
+// pushed past their tolerance — two servers killed in the same
+// kill-set tick — must fail closed: every read either returns the
+// exact last-written bytes or a clean error. Garbage never reaches
+// the application, and the pager itself accounts the loss.
+func TestPropertyFailClosedBeyondTolerance(t *testing.T) {
+	cases := []struct {
+		pol     client.Policy
+		servers int
+	}{
+		{client.PolicyMirroring, 3},
+		{client.PolicyParity, 4},
+		{client.PolicyParityLogging, 4},
+	}
+	const rounds = 6
+	for _, tc := range cases {
+		t.Run(tc.pol.String(), func(t *testing.T) {
+			lostReads := 0
+			for seed := int64(1); seed <= rounds; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				writes := genWrites(rng)
+				cl := newCluster(t, tc.servers, 4096)
+				p := cl.pagerWith(cl.config(tc.pol))
+				for _, w := range writes {
+					if err := p.PageOut(w.id, fillPage(w.fill)); err != nil {
+						t.Fatalf("seed %d: pageout %d: %v", seed, w.id, err)
+					}
+				}
+
+				ks := chaos.NewKillSet(seed, 2, cl.killTargets()...)
+				victims := ks.KillExactly(2)
+				for id, fill := range lastWrites(writes) {
+					got, err := p.PageIn(id)
+					if err != nil {
+						lostReads++ // clean failure: acceptable past tolerance
+						continue
+					}
+					if got.Checksum() != fillPage(fill).Checksum() {
+						t.Fatalf("seed %d: page %d read back garbage after killing %v",
+							seed, id, victims)
+					}
+				}
+				// Whatever was unreadable must be accounted as lost, not
+				// silently dropped.
+				if lost := p.Redundancy().Lost; lostReads > 0 && lost == 0 &&
+					p.Stats().LostPages == 0 {
+					t.Fatalf("seed %d: reads failed but no loss accounted", seed)
+				}
+			}
+			// Two simultaneous crashes exceed tolerance=1: across the
+			// rounds at least one page must actually have been lost, or
+			// the property never exercised the fail-closed path.
+			if lostReads == 0 {
+				t.Fatalf("no page was ever lost across %d double-crash rounds", rounds)
 			}
 		})
 	}
@@ -215,6 +348,7 @@ func TestPropertyFreeThenCrash(t *testing.T) {
 		{client.PolicyMirroring, 3},
 		{client.PolicyParity, 4},
 		{client.PolicyParityLogging, 4},
+		{client.PolicyRS, 6},
 	} {
 		t.Run(tc.pol.String(), func(t *testing.T) {
 			t.Parallel()

@@ -203,6 +203,7 @@ func TestCorruptResponsesReconstructed(t *testing.T) {
 		{client.PolicyParity, 3},
 		{client.PolicyParityLogging, 3},
 		{client.PolicyWriteThrough, 2},
+		{client.PolicyRS, 6}, // BAD_CHECKSUM repaired by decode-then-rewrite
 	}
 	for _, tc := range cases {
 		t.Run(tc.pol.String(), func(t *testing.T) {

@@ -1,0 +1,395 @@
+package client_test
+
+import (
+	"testing"
+	"time"
+
+	"rmp/internal/client"
+	"rmp/internal/page"
+	"rmp/internal/server"
+)
+
+// End-to-end tests for the RS(k,m) erasure-coding policy: multi-crash
+// survival, degraded-mode writes, graceful fallback, geometry
+// restoration on join, and the transfer/overhead ratios.
+
+// rsConfig is the baseline RS pager config against cluster c with an
+// explicit (k,m) geometry.
+func rsConfig(c *cluster, k, m int) client.Config {
+	cfg := c.config(client.PolicyRS)
+	cfg.RSDataShards = k
+	cfg.RSParityShards = m
+	return cfg
+}
+
+func TestCrashRSDataShardRecovers(t *testing.T) {
+	// Servers 0..3 are data columns, 4..5 parity.
+	reliableCrashTest(t, client.PolicyRS, 6, 1)
+}
+
+func TestCrashRSParityShardRecovers(t *testing.T) {
+	reliableCrashTest(t, client.PolicyRS, 6, 4)
+}
+
+// TestRSTwoSimultaneousCrashes is the headline: with RS(4,2), two
+// servers dying in the same instant — before the pager touches either
+// — must cost nothing. Every page reconstructs byte-identically from
+// the four survivors and the system stays writable.
+func TestRSTwoSimultaneousCrashes(t *testing.T) {
+	cases := []struct {
+		name   string
+		crash  [2]int
+		within string
+	}{
+		{"two-data", [2]int{0, 2}, "data columns"},
+		{"data-and-parity", [2]int{1, 4}, "one data one parity"},
+		{"two-parity", [2]int{4, 5}, "parity columns"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := newCluster(t, 6, 512)
+			p := c.pagerWith(rsConfig(c, 4, 2))
+			const n = 30
+			for i := uint64(0); i < n; i++ {
+				if err := p.PageOut(page.ID(i), mkPage(i*7)); err != nil {
+					t.Fatalf("pageout %d: %v", i, err)
+				}
+			}
+			// Rewrites create inactive versions in sealed groups.
+			for i := uint64(0); i < n; i += 3 {
+				if err := p.PageOut(page.ID(i), mkPage(i*7+1)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Both servers die before the pager notices either.
+			c.crash(tc.crash[0])
+			c.crash(tc.crash[1])
+			for i := uint64(0); i < n; i++ {
+				want := mkPage(i * 7)
+				if i%3 == 0 {
+					want = mkPage(i*7 + 1)
+				}
+				got, err := p.PageIn(page.ID(i))
+				if err != nil {
+					t.Fatalf("pagein %d after losing %s: %v", i, tc.within, err)
+				}
+				if got.Checksum() != want.Checksum() {
+					t.Fatalf("page %d not byte-identical after double crash", i)
+				}
+			}
+			// The rebuilt (degraded) layout must stay writable.
+			for i := uint64(0); i < n; i++ {
+				if err := p.PageOut(page.ID(i), mkPage(i+9000)); err != nil {
+					t.Fatalf("post-recovery pageout %d: %v", i, err)
+				}
+			}
+			for i := uint64(0); i < n; i++ {
+				got, err := p.PageIn(page.ID(i))
+				if err != nil || got.Checksum() != mkPage(i+9000).Checksum() {
+					t.Fatalf("post-recovery pagein %d: %v", i, err)
+				}
+			}
+		})
+	}
+}
+
+// TestRSThreeCrashesExceedTolerance: losing m+1 servers at once is
+// beyond RS(4,2); pages whose groups kept fewer than k shards must
+// fail closed with ErrPageLost — a clean error, never garbage.
+func TestRSThreeCrashesExceedTolerance(t *testing.T) {
+	c := newCluster(t, 6, 512)
+	p := c.pagerWith(rsConfig(c, 4, 2))
+	const n = 24
+	for i := uint64(0); i < n; i++ {
+		if err := p.PageOut(page.ID(i), mkPage(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.crash(0)
+	c.crash(1)
+	c.crash(2)
+	lost, clean := 0, 0
+	for i := uint64(0); i < n; i++ {
+		got, err := p.PageIn(page.ID(i))
+		switch {
+		case err == nil:
+			if got.Checksum() != mkPage(i).Checksum() {
+				t.Fatalf("page %d returned garbage instead of an error", i)
+			}
+			clean++
+		default:
+			lost++
+		}
+	}
+	if lost == 0 {
+		t.Fatal("three simultaneous crashes lost nothing — tolerance accounting is wrong")
+	}
+	if p.Stats().LostPages == 0 {
+		t.Fatal("LostPages not counted")
+	}
+	_ = clean // pages of groups with >= k surviving shards may still decode
+}
+
+// TestRSDegradedWritesCounted: with k+m-1 servers the policy writes
+// at reduced parity width — counted, never denied — and every page
+// still survives one crash.
+func TestRSDegradedWritesCounted(t *testing.T) {
+	c := newCluster(t, 5, 512) // k+m-1 for (4,2)
+	p := c.pagerWith(rsConfig(c, 4, 2))
+	const n = 20
+	for i := uint64(0); i < n; i++ {
+		if err := p.PageOut(page.ID(i), mkPage(i)); err != nil {
+			t.Fatalf("degraded pageout %d denied: %v", i, err)
+		}
+	}
+	st := p.Stats()
+	if st.DegradedWrites != n {
+		t.Fatalf("DegradedWrites = %d, want %d", st.DegradedWrites, n)
+	}
+	if st.FallbackPageOuts != 0 {
+		t.Fatalf("degraded writes went to disk (%d) instead of the reduced layout", st.FallbackPageOuts)
+	}
+	// The reduced RS(4,1) layout still survives one crash.
+	c.crash(2)
+	for i := uint64(0); i < n; i++ {
+		got, err := p.PageIn(page.ID(i))
+		if err != nil || got.Checksum() != mkPage(i).Checksum() {
+			t.Fatalf("pagein %d under degraded layout after crash: %v", i, err)
+		}
+	}
+}
+
+// TestRSNeverDeniesWrites: crash the cluster down server by server;
+// every pageout along the way must succeed — reduced geometry first,
+// the local disk at the end — and stay readable.
+func TestRSNeverDeniesWrites(t *testing.T) {
+	c := newCluster(t, 6, 512)
+	p := c.pagerWith(rsConfig(c, 4, 2))
+	id := uint64(0)
+	writeBatch := func() {
+		for end := id + 5; id < end; id++ {
+			if err := p.PageOut(page.ID(id), mkPage(id)); err != nil {
+				t.Fatalf("pageout %d denied while the cluster shrinks: %v", id, err)
+			}
+		}
+	}
+	writeBatch()
+	for victim := 0; victim < 6; victim++ {
+		c.crash(victim)
+		writeBatch()
+	}
+	st := p.Stats()
+	if st.DegradedWrites == 0 {
+		t.Fatal("no degraded writes counted on the way down")
+	}
+	if st.FallbackPageOuts == 0 {
+		t.Fatal("no disk fallback with every server dead")
+	}
+	for i := uint64(0); i < id; i++ {
+		got, err := p.PageIn(page.ID(i))
+		if err != nil || got.Checksum() != mkPage(i).Checksum() {
+			t.Fatalf("pagein %d after the cluster died around it: %v", i, err)
+		}
+	}
+}
+
+// TestRSJoinRestoresGeometry: a cluster born with k+m-1 servers runs
+// degraded; the missing server joining must re-plan back to the full
+// RS(4,2) layout immediately, after which two simultaneous crashes
+// cost nothing.
+func TestRSJoinRestoresGeometry(t *testing.T) {
+	c := newCluster(t, 5, 512)
+	p := c.pagerWith(rsConfig(c, 4, 2))
+	const n = 20
+	for i := uint64(0); i < n; i++ {
+		if err := p.PageOut(page.ID(i), mkPage(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Stats().DegradedWrites == 0 {
+		t.Fatal("setup: 5-server cluster not degraded for RS(4,2)")
+	}
+
+	c.addServer(server.Config{Name: "srv5", CapacityPages: 512, OverflowFrac: 0.10})
+	if err := p.AddServer(c.addrs[5]); err != nil {
+		t.Fatalf("join: %v", err)
+	}
+
+	// The join re-plans to full strength; new writes are no longer
+	// degraded, and the re-protected layout survives a double crash.
+	before := p.Stats().DegradedWrites
+	for i := uint64(0); i < n; i++ {
+		if err := p.PageOut(page.ID(i), mkPage(i+500)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := p.Stats().DegradedWrites; after != before {
+		t.Fatalf("writes still degraded after join: %d -> %d", before, after)
+	}
+	c.crash(0)
+	c.crash(3)
+	for i := uint64(0); i < n; i++ {
+		got, err := p.PageIn(page.ID(i))
+		if err != nil || got.Checksum() != mkPage(i+500).Checksum() {
+			t.Fatalf("pagein %d after double crash post-join: %v", i, err)
+		}
+	}
+}
+
+// TestRSFallsBackToWriteThrough: a single-server cluster cannot host
+// any RS group; the pager must start anyway, degraded to the
+// write-through policy, and count the fallback.
+func TestRSFallsBackToWriteThrough(t *testing.T) {
+	c := newCluster(t, 1, 256)
+	p := c.pagerWith(rsConfig(c, 4, 2))
+	if p.Stats().PolicyFallbacks != 1 {
+		t.Fatalf("PolicyFallbacks = %d, want 1", p.Stats().PolicyFallbacks)
+	}
+	for i := uint64(0); i < 10; i++ {
+		if err := p.PageOut(page.ID(i), mkPage(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Write-through semantics: the disk copy survives total server loss.
+	c.crash(0)
+	for i := uint64(0); i < 10; i++ {
+		got, err := p.PageIn(page.ID(i))
+		if err != nil || got.Checksum() != mkPage(i).Checksum() {
+			t.Fatalf("pagein %d after total loss: %v", i, err)
+		}
+	}
+}
+
+// TestRSTransferRatio: unique pageouts cost (k+m)/k transfers
+// amortized — for RS(4,2), 200 pageouts are 200 data + 100 parity
+// shards, against 600 for 3-way mirroring at the same tolerance.
+func TestRSTransferRatio(t *testing.T) {
+	c := newCluster(t, 6, 1024)
+	p := c.pagerWith(rsConfig(c, 4, 2))
+	const outs = 200
+	for i := 0; i < outs; i++ {
+		if err := p.PageOut(page.ID(i), mkPage(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := uint64(outs + outs/4*2)
+	if st := p.Stats(); st.NetTransfers != want {
+		t.Fatalf("NetTransfers = %d for %d pageouts, want %d ((k+m)/k)", st.NetTransfers, outs, want)
+	}
+}
+
+// TestRSCustomGeometry: RS(2,3) on five servers tolerates three
+// simultaneous crashes.
+func TestRSCustomGeometry(t *testing.T) {
+	c := newCluster(t, 5, 512)
+	p := c.pagerWith(rsConfig(c, 2, 3))
+	const n = 16
+	for i := uint64(0); i < n; i++ {
+		if err := p.PageOut(page.ID(i), mkPage(i*11)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.crash(0)
+	c.crash(2)
+	c.crash(3)
+	for i := uint64(0); i < n; i++ {
+		got, err := p.PageIn(page.ID(i))
+		if err != nil || got.Checksum() != mkPage(i*11).Checksum() {
+			t.Fatalf("pagein %d after triple crash under RS(2,3): %v", i, err)
+		}
+	}
+}
+
+// TestRSGC: heavy rewriting of a small working set must trigger
+// garbage collection and keep server memory bounded, like parity
+// logging.
+func TestRSGC(t *testing.T) {
+	c := newCluster(t, 6, 4096)
+	p := c.pagerWith(rsConfig(c, 4, 2))
+	const rounds = 60
+	for k := uint64(0); k < rounds; k++ {
+		if err := p.PageOut(page.ID(0), mkPage(10000+k)); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.PageOut(page.ID(100+k), mkPage(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Stats().GCPasses == 0 {
+		t.Fatal("GC never ran despite heavy fragmentation")
+	}
+	// Stored versions must stay near the live set: live pages, their
+	// m/k parity share, the 10% overflow, and open-group slack.
+	live := 1 + rounds
+	total := 0
+	for _, s := range c.servers {
+		total += s.Store().Len()
+	}
+	bound := live + live/2 + live/5 + 12
+	if total > bound {
+		t.Fatalf("servers hold %d pages for %d live (bound %d): GC ineffective", total, live, bound)
+	}
+	got, err := p.PageIn(page.ID(0))
+	if err != nil || got.Checksum() != mkPage(10000+rounds-1).Checksum() {
+		t.Fatalf("hot page wrong after GC churn: %v", err)
+	}
+	for k := uint64(0); k < rounds; k++ {
+		got, err := p.PageIn(page.ID(100 + k))
+		if err != nil || got.Checksum() != mkPage(k).Checksum() {
+			t.Fatalf("cold page %d wrong after GC churn: %v", k, err)
+		}
+	}
+}
+
+// TestRSExposurePerTolerance: with the membership layer, the window
+// between a confirmed death and its re-protection pass must accrue in
+// the ExposureAtTol bucket of the tolerance that remained — for
+// RS(4,2) with one pending death, bucket m-1 = 1.
+func TestRSExposurePerTolerance(t *testing.T) {
+	pc := newProxiedCluster(t, 6, 512)
+	cfg := client.Config{
+		ClientName:     "rs-exposure-test",
+		Servers:        pc.via,
+		Policy:         client.PolicyRS,
+		RSDataShards:   4,
+		RSParityShards: 2,
+		Membership:     hbConfig(),
+		Dial:           pc.net.DialTimeout,
+	}
+	p, err := client.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	const n = 20
+	for i := uint64(0); i < n; i++ {
+		if err := p.PageOut(page.ID(i), mkPage(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pc.kill(1)
+	waitUntil(t, 5*time.Second, "heartbeat death confirmation", func() bool {
+		return p.Stats().HeartbeatDeaths >= 1
+	})
+	waitUntil(t, 10*time.Second, "re-protection to complete", func() bool {
+		return p.Stats().RebuildPending == 0 && p.Stats().Rebuilds >= 1
+	})
+	st := p.Stats()
+	if st.Exposure <= 0 {
+		t.Fatalf("Exposure = %v, want > 0", st.Exposure)
+	}
+	// One pending death under an m=2 layout: remaining tolerance 1.
+	if st.ExposureAtTol[1] <= 0 {
+		t.Fatalf("ExposureAtTol = %v, want bucket 1 (m-failed) > 0", st.ExposureAtTol)
+	}
+	if st.ExposureAtTol[0] > 0 {
+		t.Fatalf("ExposureAtTol[0] = %v accrued although tolerance remained", st.ExposureAtTol[0])
+	}
+	for i := uint64(0); i < n; i++ {
+		got, err := p.PageIn(page.ID(i))
+		if err != nil || got.Checksum() != mkPage(i).Checksum() {
+			t.Fatalf("pagein %d after re-protection: %v", i, err)
+		}
+	}
+}

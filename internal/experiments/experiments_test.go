@@ -415,3 +415,61 @@ func TestPipelineLiveSpeedup(t *testing.T) {
 		t.Fatal("JSON artifact does not match the in-memory stats")
 	}
 }
+
+// TestRSBenchOverhead: the acceptance bar for erasure coding —
+// RS(4,2) must store at most 0.6x of what mirroring costs at the same
+// 2-crash tolerance, every policy row must be present with sane
+// amplification, and the JSON artifact must round-trip.
+func TestRSBenchOverhead(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_rs.json")
+	tab, stats, err := rsBenchTo(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rs table has %d rows, want 6", len(tab.Rows))
+	}
+	if stats.RS42OverMirrorTol2 > 0.6 {
+		t.Fatalf("RS(4,2) storage = %.2fx of equal-tolerance mirroring, want <= 0.6\n%s",
+			stats.RS42OverMirrorTol2, tab)
+	}
+	byPolicy := map[string]RSPolicyBench{}
+	for _, r := range stats.Policies {
+		byPolicy[r.Policy] = r
+	}
+	// Steady-state amplification of each policy, with slack for the
+	// open-group tail and re-dials.
+	wantAmp := map[string]struct{ lo, hi float64 }{
+		"NO_RELIABILITY": {0.99, 1.05},
+		"MIRRORING":      {1.99, 2.10},
+		"PARITY":         {1.99, 2.20}, // stored/page is lower; transfers are 2
+		"RS":             {1.45, 1.60},
+	}
+	for pol, want := range wantAmp {
+		r, ok := byPolicy[pol]
+		if !ok {
+			t.Fatalf("policy %s missing from the benchmark", pol)
+		}
+		if r.NetTransfersPerPage < want.lo || r.NetTransfersPerPage > want.hi {
+			t.Errorf("%s: %.2f net transfers/page, want %.2f..%.2f",
+				pol, r.NetTransfersPerPage, want.lo, want.hi)
+		}
+	}
+	if rs := byPolicy["RS"]; rs.StoredPagesPerPage < 1.45 || rs.StoredPagesPerPage > 1.60 {
+		t.Errorf("RS stored/page = %.2f, want ~1.5", rs.StoredPagesPerPage)
+	}
+	if mir := byPolicy["MIRRORING"]; mir.StoredPagesPerPage < 1.99 || mir.StoredPagesPerPage > 2.10 {
+		t.Errorf("MIRROR stored/page = %.2f, want ~2.0", mir.StoredPagesPerPage)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back RSBenchStats
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatalf("BENCH_rs.json: %v", err)
+	}
+	if back.RS42OverMirrorTol2 != stats.RS42OverMirrorTol2 || back.Pages != stats.Pages {
+		t.Fatal("JSON artifact does not match the in-memory stats")
+	}
+}

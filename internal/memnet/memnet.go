@@ -99,6 +99,11 @@ func (n *Network) DialTimeout(address string, timeout time.Duration) (net.Conn, 
 	client, server := net.Pipe()
 	cc := &conn{Conn: client, local: addr("client"), remote: addr(address)}
 	sc := &conn{Conn: server, local: addr(address), remote: addr("client")}
+	cc.forget = func() { l.forget(cc) }
+	sc.forget = func() { l.forget(sc) }
+	// Track both ends before the handoff so a Kill racing the dial
+	// cannot leave a half-established connection alive.
+	l.track(cc, sc)
 	var expire <-chan time.Time
 	if timeout > 0 {
 		t := time.NewTimer(timeout)
@@ -109,16 +114,35 @@ func (n *Network) DialTimeout(address string, timeout time.Duration) (net.Conn, 
 	case l.accept <- sc:
 		return cc, nil
 	case <-l.done:
-		client.Close()
-		server.Close()
+		cc.Close()
+		sc.Close()
 		return nil, &net.OpError{Op: "dial", Net: "mem", Addr: addr(address),
 			Err: fmt.Errorf("connection refused")}
 	case <-expire:
-		client.Close()
-		server.Close()
+		cc.Close()
+		sc.Close()
 		return nil, &net.OpError{Op: "dial", Net: "mem", Addr: addr(address),
 			Err: timeoutError{}}
 	}
+}
+
+// Kill simulates a machine crash at address: the listener stops
+// accepting, its address is freed, and every established connection
+// to it is severed at once. Unlike a bare listener Close — which
+// refuses new connections but lets established ones drain — Kill is
+// the in-memory analogue of pulling a server's power cord mid-frame.
+// It returns the number of connections severed. Killing an unknown
+// (or already dead) address is a no-op, so correlated kill schedules
+// need not track which victims overlap.
+func (n *Network) Kill(address string) int {
+	n.mu.Lock()
+	l := n.listeners[address]
+	n.mu.Unlock()
+	if l == nil {
+		return 0
+	}
+	l.Close()
+	return l.severAll()
 }
 
 // timeoutError satisfies net.Error with Timeout() == true, so the
@@ -138,6 +162,44 @@ type listener struct {
 	// done is closed by Close; it unblocks Accept and pending dials.
 	done      chan struct{}
 	closeOnce sync.Once
+
+	// connMu guards conns: both pipe ends of every connection dialed
+	// through this listener, so Kill can sever them all at once.
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+}
+
+func (l *listener) track(cs ...net.Conn) {
+	l.connMu.Lock()
+	defer l.connMu.Unlock()
+	if l.conns == nil {
+		l.conns = make(map[net.Conn]struct{})
+	}
+	for _, c := range cs {
+		l.conns[c] = struct{}{}
+	}
+}
+
+func (l *listener) forget(c net.Conn) {
+	l.connMu.Lock()
+	delete(l.conns, c)
+	l.connMu.Unlock()
+}
+
+// severAll closes every live connection dialed through this listener
+// and reports how many pipe pairs it cut.
+func (l *listener) severAll() int {
+	l.connMu.Lock()
+	conns := make([]net.Conn, 0, len(l.conns))
+	for c := range l.conns {
+		conns = append(conns, c)
+	}
+	l.conns = nil
+	l.connMu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	return len(conns) / 2
 }
 
 func (l *listener) Accept() (net.Conn, error) {
@@ -163,10 +225,22 @@ func (l *listener) Close() error {
 
 func (l *listener) Addr() net.Addr { return l.addr }
 
-// conn wraps a pipe end with meaningful endpoint addresses.
+// conn wraps a pipe end with meaningful endpoint addresses and
+// unregisters itself from its listener's live-connection set on Close.
 type conn struct {
 	net.Conn
 	local, remote net.Addr
+	forget        func()
+	forgetOnce    sync.Once
+}
+
+func (c *conn) Close() error {
+	c.forgetOnce.Do(func() {
+		if c.forget != nil {
+			c.forget()
+		}
+	})
+	return c.Conn.Close()
 }
 
 func (c *conn) LocalAddr() net.Addr  { return c.local }

@@ -104,6 +104,88 @@ func TestAutoAddressesAreUnique(t *testing.T) {
 	}
 }
 
+// TestKillSeversEstablishedConns: Kill is a machine crash, not a
+// graceful stop — established connections die with the listener, new
+// dials are refused, and the address frees for a restart.
+func TestKillSeversEstablishedConns(t *testing.T) {
+	n := New()
+	ln := n.MustListen("srv:1")
+	accepted := make(chan net.Conn, 2)
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			accepted <- c
+		}
+	}()
+	var clients []net.Conn
+	for i := 0; i < 2; i++ {
+		c, err := n.Dial("srv:1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, c)
+	}
+	if got := n.Kill("srv:1"); got != 2 {
+		t.Fatalf("Kill severed %d connections, want 2", got)
+	}
+	for i, c := range clients {
+		c.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, err := c.Read(make([]byte, 1)); err == nil {
+			t.Fatalf("client %d read from killed server succeeded", i)
+		}
+	}
+	for len(accepted) > 0 {
+		c := <-accepted
+		c.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, err := c.Read(make([]byte, 1)); err == nil {
+			t.Fatal("server-side read on killed conn succeeded")
+		}
+	}
+	if _, err := n.Dial("srv:1"); err == nil {
+		t.Fatal("dial to killed server succeeded")
+	}
+	if n.Kill("srv:1") != 0 {
+		t.Fatal("double kill severed connections")
+	}
+	// The crashed server can restart on its old address.
+	ln2, err := n.Listen("srv:1")
+	if err != nil {
+		t.Fatalf("re-listen after kill: %v", err)
+	}
+	ln2.Close()
+}
+
+// TestCloseLeavesEstablishedConnsAlive pins the contrast with Kill: a
+// plain listener Close stops new dials but lets live conns drain.
+func TestCloseLeavesEstablishedConnsAlive(t *testing.T) {
+	n := New()
+	ln := n.MustListen("srv:1")
+	srvSide := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			srvSide <- c
+		}
+	}()
+	c, err := n.Dial("srv:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := <-srvSide
+	ln.Close()
+	go sc.Write([]byte("x"))
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := c.Read(buf); err != nil || buf[0] != 'x' {
+		t.Fatalf("established conn dead after graceful close: %v", err)
+	}
+	c.Close()
+	sc.Close()
+}
+
 func TestDeadlinesWork(t *testing.T) {
 	n := New()
 	ln := n.MustListen("srv:1")

@@ -1,0 +1,145 @@
+package rs
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The GF(256) kernels are the RS policy's hot path: every pageout
+// multiplies one 8 KB page into m parity buffers, every multi-crash
+// recovery decodes whole groups. These benchmarks pin their cost and
+// the zero-allocation tests pin their allocation behaviour — the
+// first installment of the ROADMAP allocation-free hot-path item.
+
+const benchShard = 8192 // one page.Size shard
+
+func benchCode(b *testing.B, k, m int) (*Code, [][]byte, []bool) {
+	b.Helper()
+	c, err := New(k, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	shards := make([][]byte, c.Total())
+	for i := range shards {
+		shards[i] = make([]byte, benchShard)
+		if i < k {
+			rng.Read(shards[i])
+		}
+	}
+	if err := c.Encode(shards[:k], shards[k:]); err != nil {
+		b.Fatal(err)
+	}
+	present := make([]bool, c.Total())
+	return c, shards, present
+}
+
+func BenchmarkRSEncode4x2(b *testing.B) {
+	c, shards, _ := benchCode(b, 4, 2)
+	b.SetBytes(int64(4 * benchShard))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Encode(shards[:4], shards[4:]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRSEncodeOne4x2(b *testing.B) {
+	c, shards, _ := benchCode(b, 4, 2)
+	parity := shards[4:]
+	b.SetBytes(benchShard)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.EncodeOne(parity, i%4, shards[i%4]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRSReconstruct4x2TwoLost(b *testing.B) {
+	c, shards, present := benchCode(b, 4, 2)
+	for i := range present {
+		present[i] = true
+	}
+	present[1], present[3] = false, false // two data shards gone
+	b.SetBytes(int64(2 * benchShard))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Reconstruct(shards, present); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRSMulAdd(b *testing.B) {
+	src := make([]byte, benchShard)
+	dst := make([]byte, benchShard)
+	rand.New(rand.NewSource(2)).Read(src)
+	b.SetBytes(benchShard)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mulAdd(dst, src, 0x53)
+	}
+}
+
+// TestEncodeZeroAllocs / TestReconstructZeroAllocs gate the hot path:
+// the kernels and the inversion scratch must not allocate per
+// operation. testing.AllocsPerRun gives the exact figure; the bar is
+// zero, not "a pinned constant".
+func TestEncodeZeroAllocs(t *testing.T) {
+	c, err := New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := make([][]byte, c.Total())
+	for i := range shards {
+		shards[i] = make([]byte, benchShard)
+	}
+	rand.New(rand.NewSource(3)).Read(shards[0])
+	data, parity := shards[:4], shards[4:]
+	if avg := testing.AllocsPerRun(100, func() {
+		if err := c.Encode(data, parity); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("Encode allocates %.1f objects/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		if err := c.EncodeOne(parity, 2, data[2]); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("EncodeOne allocates %.1f objects/op, want 0", avg)
+	}
+}
+
+func TestReconstructZeroAllocs(t *testing.T) {
+	c, err := New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	shards := make([][]byte, c.Total())
+	for i := range shards {
+		shards[i] = make([]byte, benchShard)
+		if i < 4 {
+			rng.Read(shards[i])
+		}
+	}
+	if err := c.Encode(shards[:4], shards[4:]); err != nil {
+		t.Fatal(err)
+	}
+	present := []bool{true, false, true, false, true, true}
+	if avg := testing.AllocsPerRun(100, func() {
+		if err := c.Reconstruct(shards, present); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("Reconstruct allocates %.1f objects/op, want 0", avg)
+	}
+}

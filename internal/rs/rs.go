@@ -1,0 +1,463 @@
+// Package rs implements Reed-Solomon erasure coding over GF(2^8) for
+// the RS(k,m) redundancy policy: k data shards plus m parity shards,
+// any k of the k+m surviving shards reconstruct the rest. With m = 1
+// it degenerates to the XOR parity the paper ships; with m > 1 the
+// pager survives m simultaneous server crashes at (k+m)/k storage
+// overhead — far below the m+1 copies mirroring would need.
+//
+// The field is GF(256) with the usual AES-adjacent polynomial x^8 +
+// x^4 + x^3 + x^2 + 1 (0x11d). Scalar multiplies go through log/exp
+// tables; the bulk encode/decode kernels use one 256-byte product row
+// per coefficient and the same eight-way unrolled loop idiom as
+// page.XORInto, so a shard multiply-accumulate runs at byte-table
+// speed with zero allocations.
+//
+// The encode matrix is the systematic Cauchy construction: data shard
+// i is the identity row e_i, parity row j is 1/(x_j + y_i) with
+// x_j = k+j and y_i = i. Every square submatrix of a Cauchy matrix is
+// nonsingular, so every k-subset of the k+m rows is invertible — the
+// MDS property the decode path relies on. Decoding inverts the k×k
+// matrix of the surviving rows (Gauss-Jordan over GF(256), in scratch
+// buffers allocated once at New) and multiplies the survivors back
+// through it.
+//
+// Code is pure math over caller-provided buffers: it decides nothing
+// about placement and performs no I/O, mirroring the split between
+// parity.Log and the pager.
+package rs
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MaxShards bounds k+m: the Cauchy points live in GF(256) and the
+// construction needs k+m distinct field elements.
+const MaxShards = 255
+
+// gf tables, built once at package init.
+var (
+	logTbl [256]byte
+	expTbl [510]byte // doubled so mul can skip the mod-255 reduction
+	// mulTbl[c] is the 256-byte product row of coefficient c; the bulk
+	// kernels index it per source byte.
+	mulTbl [256][256]byte
+)
+
+func init() {
+	// Generate GF(256) with generator 2 over polynomial 0x11d.
+	x := 1
+	for i := 0; i < 255; i++ {
+		expTbl[i] = byte(x)
+		expTbl[i+255] = byte(x)
+		logTbl[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= 0x11d
+		}
+	}
+	for c := 1; c < 256; c++ {
+		lc := int(logTbl[c])
+		for v := 1; v < 256; v++ {
+			mulTbl[c][v] = expTbl[lc+int(logTbl[v])]
+		}
+	}
+}
+
+// mul multiplies two field elements.
+func mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return expTbl[int(logTbl[a])+int(logTbl[b])]
+}
+
+// inv returns the multiplicative inverse of a (a must be nonzero).
+func inv(a byte) byte {
+	return expTbl[255-int(logTbl[a])]
+}
+
+// mulAdd computes dst ^= c·src over equal-length shards — the
+// mul-accumulate kernel at the heart of encode and decode. It is the
+// GF(256) generalization of page.XORInto and uses the same eight-way
+// unrolled loop; c == 1 reduces exactly to XOR and c == 0 to a no-op.
+func mulAdd(dst, src []byte, c byte) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("rs: mulAdd on %d/%d byte shards", len(dst), len(src)))
+	}
+	switch c {
+	case 0:
+		return
+	case 1:
+		xorInto(dst, src)
+		return
+	}
+	mt := &mulTbl[c]
+	n := len(src) &^ 7
+	for i := 0; i < n; i += 8 {
+		dst[i+0] ^= mt[src[i+0]]
+		dst[i+1] ^= mt[src[i+1]]
+		dst[i+2] ^= mt[src[i+2]]
+		dst[i+3] ^= mt[src[i+3]]
+		dst[i+4] ^= mt[src[i+4]]
+		dst[i+5] ^= mt[src[i+5]]
+		dst[i+6] ^= mt[src[i+6]]
+		dst[i+7] ^= mt[src[i+7]]
+	}
+	for i := n; i < len(src); i++ {
+		dst[i] ^= mt[src[i]]
+	}
+}
+
+// xorInto is the c == 1 fast path (identical loop to page.XORInto,
+// duplicated here so the package stays dependency-free).
+func xorInto(dst, src []byte) {
+	n := len(src) &^ 7
+	for i := 0; i < n; i += 8 {
+		dst[i+0] ^= src[i+0]
+		dst[i+1] ^= src[i+1]
+		dst[i+2] ^= src[i+2]
+		dst[i+3] ^= src[i+3]
+		dst[i+4] ^= src[i+4]
+		dst[i+5] ^= src[i+5]
+		dst[i+6] ^= src[i+6]
+		dst[i+7] ^= src[i+7]
+	}
+	for i := n; i < len(src); i++ {
+		dst[i] ^= src[i]
+	}
+}
+
+// mulAssign computes dst = c·src (overwriting dst).
+func mulAssign(dst, src []byte, c byte) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("rs: mulAssign on %d/%d byte shards", len(dst), len(src)))
+	}
+	switch c {
+	case 0:
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	case 1:
+		copy(dst, src)
+		return
+	}
+	mt := &mulTbl[c]
+	n := len(src) &^ 7
+	for i := 0; i < n; i += 8 {
+		dst[i+0] = mt[src[i+0]]
+		dst[i+1] = mt[src[i+1]]
+		dst[i+2] = mt[src[i+2]]
+		dst[i+3] = mt[src[i+3]]
+		dst[i+4] = mt[src[i+4]]
+		dst[i+5] = mt[src[i+5]]
+		dst[i+6] = mt[src[i+6]]
+		dst[i+7] = mt[src[i+7]]
+	}
+	for i := n; i < len(src); i++ {
+		dst[i] = mt[src[i]]
+	}
+}
+
+// Code is an RS(k,m) encoder/decoder. Not safe for concurrent use:
+// Reconstruct shares scratch buffers across calls (the pager
+// serializes through its single lock, like every other policy
+// structure). Encode is read-only on the Code and safe to share.
+type Code struct {
+	k, m int
+	// enc[j][i] is the coefficient of data shard i in parity row j.
+	enc [][]byte
+
+	// Decode scratch, allocated once so Reconstruct is allocation-free.
+	mat    []byte // k×k matrix of the chosen survivor rows
+	invMat []byte // its inverse
+	chosen []int  // which shard index feeds each matrix row
+}
+
+// New builds an RS code with k data and m parity shards.
+func New(k, m int) (*Code, error) {
+	if k < 1 {
+		return nil, errors.New("rs: need at least one data shard")
+	}
+	if m < 1 {
+		return nil, errors.New("rs: need at least one parity shard")
+	}
+	if k+m > MaxShards {
+		return nil, fmt.Errorf("rs: k+m = %d exceeds %d", k+m, MaxShards)
+	}
+	c := &Code{
+		k:      k,
+		m:      m,
+		mat:    make([]byte, k*k),
+		invMat: make([]byte, k*k),
+		chosen: make([]int, k),
+	}
+	c.enc = make([][]byte, m)
+	for j := 0; j < m; j++ {
+		c.enc[j] = make([]byte, k)
+		for i := 0; i < k; i++ {
+			// Cauchy: 1/(x_j + y_i), x_j = k+j, y_i = i. In GF(2^8)
+			// addition is XOR and the points are distinct, so the
+			// denominator is never zero.
+			c.enc[j][i] = inv(byte(k+j) ^ byte(i))
+		}
+	}
+	return c, nil
+}
+
+// K returns the number of data shards.
+func (c *Code) K() int { return c.k }
+
+// M returns the number of parity shards.
+func (c *Code) M() int { return c.m }
+
+// Total returns k+m.
+func (c *Code) Total() int { return c.k + c.m }
+
+// checkShards validates a shard set: want rows, all non-nil rows of
+// one equal length.
+func checkShards(shards [][]byte, want int) (int, error) {
+	if len(shards) != want {
+		return 0, fmt.Errorf("rs: got %d shards, want %d", len(shards), want)
+	}
+	size := -1
+	for i, s := range shards {
+		if s == nil {
+			continue
+		}
+		if size == -1 {
+			size = len(s)
+		} else if len(s) != size {
+			return 0, fmt.Errorf("rs: shard %d is %d bytes, want %d", i, len(s), size)
+		}
+	}
+	if size <= 0 {
+		return 0, errors.New("rs: no shard data")
+	}
+	return size, nil
+}
+
+// Encode computes the m parity shards from the k data shards. parity
+// buffers are caller-provided (and overwritten); all k+m shards must
+// have equal length. Allocation-free.
+func (c *Code) Encode(data, parity [][]byte) error {
+	if _, err := checkShards(data, c.k); err != nil {
+		return err
+	}
+	if _, err := checkShards(parity, c.m); err != nil {
+		return err
+	}
+	if len(parity[0]) != len(data[0]) {
+		return fmt.Errorf("rs: parity shards are %d bytes, data %d", len(parity[0]), len(data[0]))
+	}
+	for j := 0; j < c.m; j++ {
+		mulAssign(parity[j], data[0], c.enc[j][0])
+		for i := 1; i < c.k; i++ {
+			mulAdd(parity[j], data[i], c.enc[j][i])
+		}
+	}
+	return nil
+}
+
+// EncodeOne accumulates data shard i's contribution into every parity
+// buffer: parity[j] ^= enc[j][i]·data. Feeding shards 0..k-1 through
+// EncodeOne over zeroed parity buffers equals one Encode call — the
+// log-structured update path, where a group's members arrive one
+// pageout at a time and holding all k in memory is unnecessary.
+func (c *Code) EncodeOne(parity [][]byte, i int, data []byte) error {
+	if i < 0 || i >= c.k {
+		return fmt.Errorf("rs: data shard %d out of range 0..%d", i, c.k-1)
+	}
+	if len(parity) != c.m {
+		return fmt.Errorf("rs: got %d parity shards, want %d", len(parity), c.m)
+	}
+	for j := 0; j < c.m; j++ {
+		if len(parity[j]) != len(data) {
+			return fmt.Errorf("rs: parity shard %d is %d bytes, data %d", j, len(parity[j]), len(data))
+		}
+		mulAdd(parity[j], data, c.enc[j][i])
+	}
+	return nil
+}
+
+// ErrTooFewShards is returned by Reconstruct when fewer than k shards
+// survive — the data is unrecoverable.
+var ErrTooFewShards = errors.New("rs: fewer than k shards present")
+
+// Reconstruct fills in the missing shards in place. shards holds all
+// k+m rows in index order (data 0..k-1, parity k..k+m-1); present[i]
+// reports whether row i holds valid bytes. Rows with present[i] ==
+// false must still be allocated to the shard length — they are
+// overwritten with the reconstruction. At least k rows must be
+// present. Allocation-free: the decode matrix and its inverse live in
+// scratch owned by the Code.
+func (c *Code) Reconstruct(shards [][]byte, present []bool) error {
+	if len(present) != c.k+c.m {
+		return fmt.Errorf("rs: got %d presence flags, want %d", len(present), c.k+c.m)
+	}
+	if _, err := checkShards(shards, c.k+c.m); err != nil {
+		return err
+	}
+	have := 0
+	dataMissing := false
+	for i, p := range present {
+		if p {
+			have++
+		} else if i < c.k {
+			dataMissing = true
+		}
+	}
+	if have < c.k {
+		return ErrTooFewShards
+	}
+
+	if dataMissing {
+		// Pick the first k present rows and build their encode matrix.
+		n := 0
+		for i := 0; i < c.k+c.m && n < c.k; i++ {
+			if present[i] {
+				c.chosen[n] = i
+				n++
+			}
+		}
+		for r := 0; r < c.k; r++ {
+			row := c.mat[r*c.k : (r+1)*c.k]
+			src := c.chosen[r]
+			if src < c.k {
+				for i := range row {
+					row[i] = 0
+				}
+				row[src] = 1
+			} else {
+				copy(row, c.enc[src-c.k])
+			}
+		}
+		if err := c.invert(); err != nil {
+			return err
+		}
+		// data_d = Σ_r invMat[d][r] · shards[chosen[r]].
+		for d := 0; d < c.k; d++ {
+			if present[d] {
+				continue
+			}
+			out := shards[d]
+			mulAssign(out, shards[c.chosen[0]], c.invMat[d*c.k])
+			for r := 1; r < c.k; r++ {
+				mulAdd(out, shards[c.chosen[r]], c.invMat[d*c.k+r])
+			}
+		}
+	}
+
+	// With the data rows complete, re-encode any missing parity rows.
+	for j := 0; j < c.m; j++ {
+		if present[c.k+j] {
+			continue
+		}
+		out := shards[c.k+j]
+		mulAssign(out, shards[0], c.enc[j][0])
+		for i := 1; i < c.k; i++ {
+			mulAdd(out, shards[i], c.enc[j][i])
+		}
+	}
+	return nil
+}
+
+// invert computes invMat = mat^-1 by Gauss-Jordan elimination over
+// GF(256). mat is destroyed. The Cauchy construction guarantees the
+// matrix is invertible for every survivor choice, so a singular
+// matrix means caller corruption, reported as an error rather than a
+// panic.
+func (c *Code) invert() error {
+	k := c.k
+	a, b := c.mat, c.invMat
+	for i := range b {
+		b[i] = 0
+	}
+	for i := 0; i < k; i++ {
+		b[i*k+i] = 1
+	}
+	for col := 0; col < k; col++ {
+		// Find a pivot row at or below col.
+		pivot := -1
+		for r := col; r < k; r++ {
+			if a[r*k+col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return errors.New("rs: singular decode matrix")
+		}
+		if pivot != col {
+			swapRows(a, k, pivot, col)
+			swapRows(b, k, pivot, col)
+		}
+		// Scale the pivot row to 1.
+		if p := a[col*k+col]; p != 1 {
+			ip := inv(p)
+			scaleRow(a, k, col, ip)
+			scaleRow(b, k, col, ip)
+		}
+		// Eliminate the column from every other row.
+		for r := 0; r < k; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r*k+col]
+			if f == 0 {
+				continue
+			}
+			addRows(a, k, r, col, f)
+			addRows(b, k, r, col, f)
+		}
+	}
+	return nil
+}
+
+func swapRows(m []byte, k, r1, r2 int) {
+	for i := 0; i < k; i++ {
+		m[r1*k+i], m[r2*k+i] = m[r2*k+i], m[r1*k+i]
+	}
+}
+
+func scaleRow(m []byte, k, r int, f byte) {
+	for i := 0; i < k; i++ {
+		m[r*k+i] = mul(m[r*k+i], f)
+	}
+}
+
+// addRows folds f·row src into row dst.
+func addRows(m []byte, k, dst, src int, f byte) {
+	for i := 0; i < k; i++ {
+		m[dst*k+i] ^= mul(f, m[src*k+i])
+	}
+}
+
+// Verify recomputes the parity shards into scratch and reports
+// whether they match the stored ones. Used by tests and the decode
+// self-checks; allocates its scratch per call.
+func (c *Code) Verify(shards [][]byte) (bool, error) {
+	size, err := checkShards(shards, c.k+c.m)
+	if err != nil {
+		return false, err
+	}
+	for _, s := range shards {
+		if s == nil {
+			return false, errors.New("rs: nil shard in Verify")
+		}
+	}
+	tmp := make([]byte, size)
+	for j := 0; j < c.m; j++ {
+		mulAssign(tmp, shards[0], c.enc[j][0])
+		for i := 1; i < c.k; i++ {
+			mulAdd(tmp, shards[i], c.enc[j][i])
+		}
+		for i, v := range tmp {
+			if v != shards[c.k+j][i] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
