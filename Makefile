@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test race vet lint bench fuzz-smoke clean
+.PHONY: all build test race vet vet-json lint escapes bench fuzz-smoke clean
 
-all: build vet lint test
+all: build vet lint escapes test
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,19 @@ lint:
 	else \
 		echo "staticcheck not installed; skipping (rmpvet still enforced)"; \
 	fi
+
+# vet-json: the same rmpvet pass with machine-readable output — one
+# JSON object per line ({"file","line","col","analyzer","message"}).
+# CI pipes this through jq to emit GitHub error annotations on the
+# offending lines; editors and other tooling can consume it directly.
+vet-json:
+	$(GO) run ./cmd/rmpvet -json ./...
+
+# escapes: the compiler-backed allocation gate. Compiles the tree with
+# -gcflags='-m -m' and fails if any //rmpvet:hotpath function
+# heap-allocates beyond the reviewed baseline in .rmpvet-escapes.
+escapes:
+	$(GO) run ./cmd/rmpvet -escapes ./...
 
 # bench: regenerate the committed benchmark artifacts at the repo
 # root. Each experiment writes its BENCH_*.json next to the table it

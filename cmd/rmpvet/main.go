@@ -8,26 +8,43 @@
 //	wireswitch — switches over wire.Type are exhaustive or defaulted
 //	errwrap    — errors cross boundaries with %w, never %v/%s
 //	lifecycle  — looping goroutines always have a cancellation path
+//	lockgraph  — no lock-order cycles across the whole program; no
+//	             unbounded blocking reachable while a lock is held
+//	goleak     — every goroutine is tied to an owner that Close/Stop
+//	             provably cancels; no mixed atomic/plain field access
+//	escapegate — //rmpvet:hotpath functions do not heap-allocate
+//	             (compiler-verified; see -escapes)
 //
 // Usage:
 //
-//	rmpvet [-strict-lifecycle] [packages]
+//	rmpvet [-strict-lifecycle] [-json] [packages]
+//	rmpvet -escapes [-baseline file] [-json] [packages]
 //
-// Patterns default to ./... relative to the current directory.
+// Patterns default to ./... relative to the current directory. The
+// first form runs the seven syntax/type-driven analyzers (lockgraph
+// and goleak see the whole program at once). The second form compiles
+// the packages with -gcflags='-m -m' and fails if any function marked
+// //rmpvet:hotpath heap-allocates, modulo the committed baseline.
+//
 // Diagnostics print in the go vet file:line:col style so editors and
-// CI annotate them directly.
+// CI annotate them directly; -json switches to one JSON object per
+// line ({"file","line","col","analyzer","message"}) for tooling.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"rmp/internal/analysis"
 	"rmp/internal/analysis/errwrap"
+	"rmp/internal/analysis/escapegate"
+	"rmp/internal/analysis/goleak"
 	"rmp/internal/analysis/lifecycle"
 	"rmp/internal/analysis/load"
 	"rmp/internal/analysis/lockcheck"
+	"rmp/internal/analysis/lockgraph"
 	"rmp/internal/analysis/wireswitch"
 )
 
@@ -35,6 +52,12 @@ func main() {
 	strictLifecycle := flag.Bool("strict-lifecycle", false,
 		"additionally require a deferred recover handler in every goroutine")
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	jsonOut := flag.Bool("json", false,
+		"emit one JSON diagnostic per line instead of file:line:col text")
+	escapes := flag.Bool("escapes", false,
+		"run the escapegate: compile with -gcflags='-m -m' and reject heap allocations in //rmpvet:hotpath functions")
+	baseline := flag.String("baseline", escapegate.DefaultBaseline,
+		"committed allow-list of reviewed hotpath escapes (with -escapes)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: rmpvet [flags] [packages]\n\n")
 		flag.PrintDefaults()
@@ -47,10 +70,18 @@ func main() {
 		errwrap.Analyzer,
 		lifecycle.NewAnalyzer(*strictLifecycle),
 	}
+	programAnalyzers := []*analysis.ProgramAnalyzer{
+		lockgraph.Analyzer,
+		goleak.Analyzer,
+	}
 	if *list {
 		for _, a := range analyzers {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
+		for _, a := range programAnalyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		fmt.Printf("%-12s %s\n", "escapegate", escapegate.Doc)
 		return
 	}
 
@@ -60,31 +91,77 @@ func main() {
 	}
 	dir, err := os.Getwd()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "rmpvet:", err)
-		os.Exit(2)
+		fatal(err)
+	}
+
+	emit := func(d analysis.Diagnostic) {
+		if *jsonOut {
+			out, err := json.Marshal(struct {
+				File     string `json:"file"`
+				Line     int    `json:"line"`
+				Col      int    `json:"col"`
+				Analyzer string `json:"analyzer"`
+				Message  string `json:"message"`
+			}{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(string(out))
+			return
+		}
+		fmt.Println(d)
+	}
+
+	if *escapes {
+		diags, err := escapegate.Check(dir, patterns, *baseline)
+		if err != nil {
+			fatal(err)
+		}
+		for _, d := range diags {
+			emit(d)
+		}
+		if len(diags) > 0 {
+			os.Exit(1)
+		}
+		return
 	}
 
 	pkgs, fset, err := load.Packages(dir, patterns)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "rmpvet:", err)
-		os.Exit(2)
+		fatal(err)
 	}
 	if len(pkgs) == 0 {
-		fmt.Fprintln(os.Stderr, "rmpvet: no packages matched", patterns)
-		os.Exit(2)
+		fatal(fmt.Errorf("no packages matched %v", patterns))
 	}
 
 	exit := 0
 	for _, pkg := range pkgs {
 		diags, err := analysis.Run(analyzers, fset, pkg.Files, pkg.Pkg, pkg.Info)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "rmpvet:", err)
-			os.Exit(2)
+			fatal(err)
 		}
 		for _, d := range diags {
-			fmt.Println(d)
+			emit(d)
 			exit = 1
 		}
 	}
+
+	units := make([]*analysis.Unit, len(pkgs))
+	for i, pkg := range pkgs {
+		units[i] = &analysis.Unit{ImportPath: pkg.ImportPath, Files: pkg.Files, Pkg: pkg.Pkg, Info: pkg.Info}
+	}
+	diags, err := analysis.RunProgram(programAnalyzers, fset, units)
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		emit(d)
+		exit = 1
+	}
 	os.Exit(exit)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rmpvet:", err)
+	os.Exit(2)
 }

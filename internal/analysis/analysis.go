@@ -97,38 +97,25 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // allowDirective matches "rmpvet:allow name1,name2 optional reason".
 var allowDirective = regexp.MustCompile(`^//\s*rmpvet:allow\s+([\w,\s]+?)(?:\s+--.*)?$`)
 
+// allowNames reports whether the comment text is an rmpvet:allow
+// directive naming analyzer.
+func allowNames(text, analyzer string) bool {
+	m := allowDirective.FindStringSubmatch(text)
+	if m == nil {
+		return false
+	}
+	for _, n := range strings.FieldsFunc(m[1], func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+		if n == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
 func (p *Pass) allowedAt(pos token.Position) bool {
 	if p.allow == nil {
 		p.allow = make(map[string]map[int]bool)
-		for _, f := range p.Files {
-			fname := p.Fset.Position(f.Pos()).Filename
-			lines := p.allow[fname]
-			for _, cg := range f.Comments {
-				for _, c := range cg.List {
-					m := allowDirective.FindStringSubmatch(c.Text)
-					if m == nil {
-						continue
-					}
-					names := strings.FieldsFunc(m[1], func(r rune) bool { return r == ',' || r == ' ' || r == '\t' })
-					ok := false
-					for _, n := range names {
-						if n == p.Analyzer.Name {
-							ok = true
-						}
-					}
-					if !ok {
-						continue
-					}
-					if lines == nil {
-						lines = make(map[int]bool)
-						p.allow[fname] = lines
-					}
-					line := p.Fset.Position(c.Pos()).Line
-					lines[line] = true
-					lines[line+1] = true
-				}
-			}
-		}
+		collectAllows(p.Fset, p.Files, p.Analyzer.Name, p.allow)
 	}
 	return p.allow[pos.Filename][pos.Line]
 }

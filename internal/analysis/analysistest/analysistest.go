@@ -69,6 +69,48 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, pkg string) {
 	checkDiagnostics(t, diags, wants)
 }
 
+// RunProgram analyzes the fixture packages at testdata/src/<pkg>
+// under dir as one whole program and compares diagnostics against the
+// want comments collected across every listed package. Every fixture
+// package the program uses must be listed, dependencies before their
+// importers; one shared importer keeps package identity (fixture and
+// stdlib alike) consistent across the whole program.
+func RunProgram(t *testing.T, dir string, a *analysis.ProgramAnalyzer, pkgs ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	root := filepath.Join(dir, "testdata", "src")
+
+	imp, err := newFixtureImporter(fset, root, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var units []*analysis.Unit
+	var allFiles []*ast.File
+	for _, pkg := range pkgs {
+		target, _, err := loadFixtures(fset, root, pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		info := load.NewInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(pkg, fset, target, info)
+		if err != nil {
+			t.Fatalf("type-checking fixture %s: %v", pkg, err)
+		}
+		imp.local[pkg] = tpkg
+		units = append(units, &analysis.Unit{ImportPath: pkg, Files: target, Pkg: tpkg, Info: info})
+		allFiles = append(allFiles, target...)
+	}
+
+	diags, err := analysis.RunProgram([]*analysis.ProgramAnalyzer{a}, fset, units)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wants := collectWants(t, fset, allFiles)
+	checkDiagnostics(t, diags, wants)
+}
+
 // loadFixtures parses the target fixture package and records which
 // sibling fixture packages it imports.
 func loadFixtures(fset *token.FileSet, root, pkg string) (files []*ast.File, deps []string, err error) {

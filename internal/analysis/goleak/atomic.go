@@ -1,0 +1,159 @@
+package goleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"rmp/internal/analysis"
+)
+
+// checkAtomicMix flags struct fields that are accessed through
+// sync/atomic functions in one place and by plain reads or writes in
+// another. The plain access does not synchronize with the atomic one:
+// under the memory model that is a data race even if a mutex guards
+// the plain side, because the atomic side does not take it.
+//
+// Typed atomics (atomic.Uint64 fields) cannot mix — their value is
+// unexported — so only the function-style API (atomic.AddUint64(&x.f,
+// ...)) needs checking. Accesses inside the function that constructs
+// the object (x := &T{...}) are exempt: nothing else can see it yet.
+func checkAtomicMix(pass *analysis.ProgramPass) {
+	// key -> position of one atomic access, program-wide.
+	atomicAt := map[string]token.Pos{}
+	// selector nodes consumed as &x.f arguments of atomic calls.
+	consumed := map[*ast.SelectorExpr]bool{}
+
+	type plainSite struct {
+		key string
+		pos token.Pos
+	}
+	var plains []plainSite
+
+	for _, u := range pass.Units {
+		for _, f := range u.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				owned := constructed(u, fd.Body)
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					sel, ok := call.Fun.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					pkg, ok := u.Info.Uses[firstIdent(sel.X)].(*types.PkgName)
+					if !ok || pkg.Imported().Path() != "sync/atomic" {
+						return true
+					}
+					for _, arg := range call.Args {
+						un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+						if !ok || un.Op != token.AND {
+							continue
+						}
+						fsel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+						if !ok {
+							continue
+						}
+						consumed[fsel] = true
+						if key := fieldKey(u, fsel); key != "" && !ownedBase(u, fsel, owned) {
+							if _, seen := atomicAt[key]; !seen {
+								atomicAt[key] = fsel.Pos()
+							}
+						}
+					}
+					return true
+				})
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					fsel, ok := n.(*ast.SelectorExpr)
+					if !ok || consumed[fsel] {
+						return true
+					}
+					// Only field selections, not method values/calls.
+					v, ok := u.Info.Uses[fsel.Sel].(*types.Var)
+					if !ok || !v.IsField() {
+						return true
+					}
+					if ownedBase(u, fsel, owned) {
+						return true
+					}
+					if key := fieldKey(u, fsel); key != "" {
+						plains = append(plains, plainSite{key, fsel.Pos()})
+					}
+					return true
+				})
+			}
+		}
+	}
+
+	for _, p := range plains {
+		if at, ok := atomicAt[p.key]; ok {
+			pass.Reportf(p.pos, "field %s is accessed with sync/atomic at %s but directly here — mixed atomic/plain access tears; pick one discipline",
+				shorten(p.key), pass.Fset.Position(at))
+		}
+	}
+}
+
+// constructed returns the objects this function builds from composite
+// literals (x := &T{...} or x := T{...}): accesses through them are
+// pre-publication initialization.
+func constructed(u *analysis.Unit, body *ast.BlockStmt) map[types.Object]bool {
+	owned := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || i >= len(as.Rhs) {
+				continue
+			}
+			rhs := ast.Unparen(as.Rhs[i])
+			if un, ok := rhs.(*ast.UnaryExpr); ok && un.Op == token.AND {
+				rhs = ast.Unparen(un.X)
+			}
+			if _, ok := rhs.(*ast.CompositeLit); ok {
+				if obj := u.Info.Defs[id]; obj != nil {
+					owned[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return owned
+}
+
+// ownedBase reports whether the root identifier of a selector chain
+// is one of the function's constructed objects.
+func ownedBase(u *analysis.Unit, sel *ast.SelectorExpr, owned map[types.Object]bool) bool {
+	id := firstIdent(sel.X)
+	if id == nil {
+		return false
+	}
+	return owned[u.Info.Uses[id]]
+}
+
+// firstIdent unwraps a selector/star chain to its leftmost
+// identifier.
+func firstIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}

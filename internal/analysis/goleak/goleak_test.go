@@ -1,0 +1,12 @@
+package goleak_test
+
+import (
+	"testing"
+
+	"rmp/internal/analysis/analysistest"
+	"rmp/internal/analysis/goleak"
+)
+
+func TestGoleak(t *testing.T) {
+	analysistest.RunProgram(t, ".", goleak.Analyzer, "gldep", "gl")
+}

@@ -1,0 +1,21 @@
+// Package gldep hosts a worker whose goroutine is spawned from the
+// gl fixture package: goleak must resolve the go callee and the
+// shutdown evidence across the package boundary.
+package gldep
+
+type Pumper struct {
+	stop chan struct{}
+}
+
+func New() *Pumper { return &Pumper{stop: make(chan struct{})} }
+
+func (p *Pumper) Loop() {
+	for {
+		select {
+		case <-p.stop:
+			return
+		}
+	}
+}
+
+func (p *Pumper) Close() { close(p.stop) }

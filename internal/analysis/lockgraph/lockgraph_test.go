@@ -1,0 +1,12 @@
+package lockgraph_test
+
+import (
+	"testing"
+
+	"rmp/internal/analysis/analysistest"
+	"rmp/internal/analysis/lockgraph"
+)
+
+func TestLockgraph(t *testing.T) {
+	analysistest.RunProgram(t, ".", lockgraph.Analyzer, "lgdep", "lg")
+}

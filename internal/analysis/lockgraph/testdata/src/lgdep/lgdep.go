@@ -1,0 +1,24 @@
+// Package lgdep is the cross-package half of the lockgraph fixture:
+// blocking operations that package lg reaches through calls into this
+// package while holding a lock.
+package lgdep
+
+import "net"
+
+// ch is fed by peers; receiving parks until one sends.
+var ch chan int
+
+// Wait parks on a peer-fed channel with no bound.
+func Wait() {
+	<-ch
+}
+
+// Chain reaches Wait's park through one more hop.
+func Chain() {
+	Wait()
+}
+
+// Recv reads from a conn with no deadline armed.
+func Recv(c net.Conn, buf []byte) {
+	c.Read(buf)
+}

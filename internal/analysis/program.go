@@ -1,0 +1,134 @@
+// Whole-program analysis support. A ProgramAnalyzer sees every loaded
+// package at once instead of one package per pass — the shape needed
+// by checks whose facts cross package boundaries, like the repo-wide
+// lock-acquisition graph (lockgraph), where a client function holding
+// a mutex can reach a blocking operation three calls away in another
+// package.
+//
+// Cross-package identity: a target package type-checked from source
+// and the same package seen through export data by its importers do
+// NOT share types.Object identity. Whole-program analyzers therefore
+// key functions and locks by stable strings — types.Func.FullName()
+// for functions ("(*rmp/internal/store.Tiered).Get") and
+// "pkgpath.Type.field" for locks — never by object pointer.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// ProgramAnalyzer is one named check over the whole loaded program.
+type ProgramAnalyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// rmpvet:allow directives.
+	Name string
+	// Doc is a one-paragraph description (shown by rmpvet -list).
+	Doc string
+	// Run performs the check, reporting findings via prog.Reportf.
+	Run func(prog *ProgramPass) error
+}
+
+// Unit is one type-checked package inside a ProgramPass.
+type Unit struct {
+	ImportPath string
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// ProgramPass carries every loaded package through one program
+// analyzer.
+type ProgramPass struct {
+	Analyzer *ProgramAnalyzer
+	Fset     *token.FileSet
+	Units    []*Unit
+
+	// report receives diagnostics; installed by the driver.
+	report func(Diagnostic)
+
+	// allow maps filename -> lines suppressed for this analyzer,
+	// collected across every unit's files. Built lazily.
+	allow map[string]map[int]bool
+}
+
+// Reportf records a finding at pos unless an rmpvet:allow directive
+// suppresses this analyzer on that line.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.allow == nil {
+		p.allow = make(map[string]map[int]bool)
+		for _, u := range p.Units {
+			collectAllows(p.Fset, u.Files, p.Analyzer.Name, p.allow)
+		}
+	}
+	if p.allow[position.Filename][position.Line] {
+		return
+	}
+	p.report(Diagnostic{Pos: position, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// collectAllows records, into out, the suppressed lines (the
+// directive's line and the line below) of every rmpvet:allow comment
+// naming analyzer in files.
+func collectAllows(fset *token.FileSet, files []*ast.File, analyzer string, out map[string]map[int]bool) {
+	for _, f := range files {
+		fname := fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !allowNames(c.Text, analyzer) {
+					continue
+				}
+				lines := out[fname]
+				if lines == nil {
+					lines = make(map[int]bool)
+					out[fname] = lines
+				}
+				line := fset.Position(c.Pos()).Line
+				lines[line] = true
+				lines[line+1] = true
+			}
+		}
+	}
+}
+
+// RunProgram executes each whole-program analyzer over the loaded
+// units, returning all diagnostics sorted by position. Duplicate
+// diagnostics (same position, analyzer, and message — e.g. one
+// blocking callee reachable through two recorded call forms) are
+// collapsed.
+func RunProgram(analyzers []*ProgramAnalyzer, fset *token.FileSet, units []*Unit) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &ProgramPass{
+			Analyzer: a,
+			Fset:     fset,
+			Units:    units,
+			report:   func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 && d == diags[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}

@@ -7,9 +7,11 @@ import (
 
 	"rmp/internal/analysis"
 	"rmp/internal/analysis/errwrap"
+	"rmp/internal/analysis/goleak"
 	"rmp/internal/analysis/lifecycle"
 	"rmp/internal/analysis/load"
 	"rmp/internal/analysis/lockcheck"
+	"rmp/internal/analysis/lockgraph"
 	"rmp/internal/analysis/wireswitch"
 )
 
@@ -45,6 +47,23 @@ func TestRepoClean(t *testing.T) {
 		for _, d := range diags {
 			t.Errorf("%s", d)
 		}
+	}
+
+	// The whole-program passes see every package at once: lock-order
+	// cycles and goroutine ownership cross package boundaries.
+	units := make([]*analysis.Unit, len(pkgs))
+	for i, pkg := range pkgs {
+		units[i] = &analysis.Unit{ImportPath: pkg.ImportPath, Files: pkg.Files, Pkg: pkg.Pkg, Info: pkg.Info}
+	}
+	diags, err := analysis.RunProgram([]*analysis.ProgramAnalyzer{
+		lockgraph.Analyzer,
+		goleak.Analyzer,
+	}, fset, units)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
 	}
 }
 

@@ -51,6 +51,10 @@ type Conn struct {
 	// sendCh feeds the writer goroutine. Created by startMux;
 	// immutable afterwards.
 	sendCh chan *wire.Msg
+	// scratch is the writer goroutine's reusable frame-encode buffer;
+	// only writeLoop touches it, so one pageout batch costs zero
+	// steady-state allocations (see writeFrame).
+	scratch []byte
 	// done is closed exactly once when the mux dies (transport error
 	// or Close); it unblocks every waiter. Created by startMux;
 	// immutable afterwards.
@@ -459,14 +463,14 @@ func (c *Conn) writeLoop() {
 	for {
 		select {
 		case m := <-c.sendCh:
-			if err := wire.Encode(bw, m); err != nil {
+			if err := c.writeFrame(bw, m); err != nil {
 				c.failMux(err)
 				return
 			}
 			for batched := true; batched; {
 				select {
 				case m2 := <-c.sendCh:
-					if err := wire.Encode(bw, m2); err != nil {
+					if err := c.writeFrame(bw, m2); err != nil {
 						c.failMux(err)
 						return
 					}
@@ -484,6 +488,22 @@ func (c *Conn) writeLoop() {
 	}
 }
 
+// writeFrame encodes m into the writer goroutine's scratch buffer and
+// hands it to the batching writer. The buffer is reused across
+// frames, so a sustained pageout stream allocates nothing after the
+// buffer reaches the working frame size.
+//
+//rmpvet:hotpath
+func (c *Conn) writeFrame(bw *bufio.Writer, m *wire.Msg) error {
+	buf, err := wire.AppendFrame(c.scratch[:0], m)
+	if err != nil {
+		return err
+	}
+	c.scratch = buf[:0]
+	_, err = bw.Write(buf)
+	return err
+}
+
 // readLoop decodes acks off the wire and resolves them against the
 // demux table by id. An ack with no pending entry — the late reply to
 // a request that timed out and was abandoned — is counted and
@@ -497,19 +517,28 @@ func (c *Conn) readLoop() {
 			c.failMux(err)
 			return
 		}
-		c.latchFlags(m.Flags)
-		c.muxMu.Lock()
-		ch, ok := c.pending[m.ID]
-		if ok {
-			delete(c.pending, m.ID)
-		}
-		c.muxMu.Unlock()
-		if !ok {
-			c.lateDrops.Add(1)
-			continue
-		}
-		ch <- m // 1-buffered; never blocks
+		c.dispatch(m)
 	}
+}
+
+// dispatch resolves one decoded ack against the demux table. It runs
+// once per inbound frame on the read loop, so it must not allocate:
+// a map lookup, a delete, and a send into a 1-buffered channel.
+//
+//rmpvet:hotpath
+func (c *Conn) dispatch(m *wire.Msg) {
+	c.latchFlags(m.Flags)
+	c.muxMu.Lock()
+	ch, ok := c.pending[m.ID]
+	if ok {
+		delete(c.pending, m.ID)
+	}
+	c.muxMu.Unlock()
+	if !ok {
+		c.lateDrops.Add(1)
+		return
+	}
+	ch <- m // 1-buffered; never blocks
 }
 
 // registerReq allocates a request id, stamps req as a tagged frame,

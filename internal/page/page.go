@@ -44,9 +44,17 @@ func NewBuf() Buf { return make(Buf, Size) }
 // CheckLen reports whether b holds exactly one page.
 func (b Buf) CheckLen() error {
 	if len(b) != Size {
-		return fmt.Errorf("page: buffer is %d bytes, want %d", len(b), Size)
+		return errWrongLen(len(b))
 	}
 	return nil
+}
+
+// errWrongLen stays out of line so CheckLen's fast path inlines into
+// allocation-gated callers without dragging fmt boxing with it.
+//
+//go:noinline
+func errWrongLen(n int) error {
+	return fmt.Errorf("page: buffer is %d bytes, want %d", n, Size)
 }
 
 // Clone returns an independent copy of the page.

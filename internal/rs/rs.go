@@ -238,9 +238,41 @@ func checkShards(shards [][]byte, want int) (int, error) {
 	return size, nil
 }
 
+// The cold-path error constructors live out of line, are kept out of
+// line (//go:noinline), and take concrete ints: boxing fmt arguments
+// escapes to the heap, and the escapegate holds the
+// encode/reconstruct bodies to zero heap allocations.
+//
+//go:noinline
+func errParitySize(p, d int) error {
+	return fmt.Errorf("rs: parity shards are %d bytes, data %d", p, d)
+}
+
+//go:noinline
+func errShardRange(i, max int) error {
+	return fmt.Errorf("rs: data shard %d out of range 0..%d", i, max)
+}
+
+//go:noinline
+func errParityCount(got, want int) error {
+	return fmt.Errorf("rs: got %d parity shards, want %d", got, want)
+}
+
+//go:noinline
+func errParityShardSize(j, p, d int) error {
+	return fmt.Errorf("rs: parity shard %d is %d bytes, data %d", j, p, d)
+}
+
+//go:noinline
+func errPresenceCount(got, want int) error {
+	return fmt.Errorf("rs: got %d presence flags, want %d", got, want)
+}
+
 // Encode computes the m parity shards from the k data shards. parity
 // buffers are caller-provided (and overwritten); all k+m shards must
 // have equal length. Allocation-free.
+//
+//rmpvet:hotpath
 func (c *Code) Encode(data, parity [][]byte) error {
 	if _, err := checkShards(data, c.k); err != nil {
 		return err
@@ -249,7 +281,7 @@ func (c *Code) Encode(data, parity [][]byte) error {
 		return err
 	}
 	if len(parity[0]) != len(data[0]) {
-		return fmt.Errorf("rs: parity shards are %d bytes, data %d", len(parity[0]), len(data[0]))
+		return errParitySize(len(parity[0]), len(data[0]))
 	}
 	for j := 0; j < c.m; j++ {
 		mulAssign(parity[j], data[0], c.enc[j][0])
@@ -265,16 +297,18 @@ func (c *Code) Encode(data, parity [][]byte) error {
 // EncodeOne over zeroed parity buffers equals one Encode call — the
 // log-structured update path, where a group's members arrive one
 // pageout at a time and holding all k in memory is unnecessary.
+//
+//rmpvet:hotpath
 func (c *Code) EncodeOne(parity [][]byte, i int, data []byte) error {
 	if i < 0 || i >= c.k {
-		return fmt.Errorf("rs: data shard %d out of range 0..%d", i, c.k-1)
+		return errShardRange(i, c.k-1)
 	}
 	if len(parity) != c.m {
-		return fmt.Errorf("rs: got %d parity shards, want %d", len(parity), c.m)
+		return errParityCount(len(parity), c.m)
 	}
 	for j := 0; j < c.m; j++ {
 		if len(parity[j]) != len(data) {
-			return fmt.Errorf("rs: parity shard %d is %d bytes, data %d", j, len(parity[j]), len(data))
+			return errParityShardSize(j, len(parity[j]), len(data))
 		}
 		mulAdd(parity[j], data, c.enc[j][i])
 	}
@@ -292,9 +326,11 @@ var ErrTooFewShards = errors.New("rs: fewer than k shards present")
 // overwritten with the reconstruction. At least k rows must be
 // present. Allocation-free: the decode matrix and its inverse live in
 // scratch owned by the Code.
+//
+//rmpvet:hotpath
 func (c *Code) Reconstruct(shards [][]byte, present []bool) error {
 	if len(present) != c.k+c.m {
-		return fmt.Errorf("rs: got %d presence flags, want %d", len(present), c.k+c.m)
+		return errPresenceCount(len(present), c.k+c.m)
 	}
 	if _, err := checkShards(shards, c.k+c.m); err != nil {
 		return err

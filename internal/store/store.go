@@ -326,6 +326,8 @@ func (s *Tiered) Len() int {
 // in whatever tier it lived. New pages land hot; tier targets are
 // enforced in a bounded inline step. ErrNoSpace only when the store
 // is at hard capacity across all tiers.
+//
+//rmpvet:hotpath
 func (s *Tiered) Put(key uint64, data page.Buf) error {
 	if err := data.CheckLen(); err != nil {
 		return err
@@ -395,6 +397,8 @@ func (s *Tiered) dropDiskLocked(key uint64) {
 // the hot tier when it was demoted. A disk-tier page that fails
 // verification is dropped and reported with ErrCorrupt — a clean
 // loss, never silent corruption.
+//
+//rmpvet:hotpath
 func (s *Tiered) Get(key uint64) (page.Buf, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
