@@ -52,6 +52,7 @@ bench:
 	$(GO) run ./cmd/rmpbench -exp pipeline
 	$(GO) run ./cmd/rmpbench -exp tier
 	$(GO) run ./cmd/rmpbench -exp rs
+	$(GO) run ./cmd/rmpbench -exp hotpath
 
 # fuzz-smoke: a short deterministic pass over every fuzz target's seed
 # corpus plus a brief mutation run, mirroring the CI fuzz step.

@@ -1,7 +1,7 @@
 package client
 
 import (
-	"bufio"
+	"bytes"
 	"io"
 	"testing"
 
@@ -9,12 +9,12 @@ import (
 	"rmp/internal/wire"
 )
 
-// The mux hot path — frame encode, the batch writer, demux dispatch —
-// runs once per 4 KB page fault; these gates pin its per-frame
-// allocation count at zero, the figure the escapegate proves
-// statically and these tests re-measure at runtime. White-box on
-// purpose: writeFrame and dispatch are the factored hot-path
-// internals of the write and read loops.
+// The mux hot path — frame encode, the batching writev writer, pooled
+// demux decode, dispatch — runs once per 4 KB page fault; these gates
+// pin its steady-state per-frame allocation count at zero, the figure
+// the escapegate proves statically and these tests re-measure at
+// runtime. White-box on purpose: FrameWriter and dispatch are the
+// factored hot-path internals of the write and read loops.
 
 func muxTestMsg() *wire.Msg {
 	data := make([]byte, page.Size)
@@ -41,19 +41,35 @@ func TestFrameEncodeZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestBatchWriteZeroAllocs gates the write loop's steady state: once
+// the FrameWriter's internal head/vector buffers have grown to batch
+// size, Queue+Flush of a pipelined batch performs no allocation — the
+// payload rides in the writev vector by reference, never through a
+// scratch copy.
 func TestBatchWriteZeroAllocs(t *testing.T) {
-	c := &Conn{}
-	bw := bufio.NewWriterSize(io.Discard, 64<<10)
+	fw := wire.NewFrameWriter(io.Discard)
 	m := muxTestMsg()
+	const batch = 8
+	// Prime: first flush grows heads/ends/datas/vecs to batch size.
+	for i := 0; i < batch; i++ {
+		if err := fw.Queue(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
 	if avg := testing.AllocsPerRun(200, func() {
-		if err := c.writeFrame(bw, m); err != nil {
+		for i := 0; i < batch; i++ {
+			if err := fw.Queue(m); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := fw.Flush(); err != nil {
 			t.Fatal(err)
 		}
 	}); avg != 0 {
-		t.Fatalf("writeFrame allocates %.1f objects/frame, want 0", avg)
-	}
-	if err := bw.Flush(); err != nil {
-		t.Fatal(err)
+		t.Fatalf("Queue+Flush allocates %.1f objects/batch, want 0", avg)
 	}
 }
 
@@ -70,5 +86,46 @@ func TestDispatchZeroAllocs(t *testing.T) {
 	}
 	if n := c.lateDrops.Load(); n != 0 {
 		t.Fatalf("dispatch dropped %d acks that were registered", n)
+	}
+}
+
+// TestDemuxReadZeroAllocs gates the read loop's steady state end to
+// end: pooled decode of a full page ack off the stream, dispatch to
+// the pending waiter, and recycle by the consumer — zero allocations
+// per frame once the pools are warm.
+func TestDemuxReadZeroAllocs(t *testing.T) {
+	var raw bytes.Buffer
+	ackData := make([]byte, page.Size)
+	ack := &wire.Msg{Type: wire.TPageInAck, Version: wire.Version2, ID: 7, Key: 42, Data: ackData}
+	if err := wire.Encode(&raw, ack); err != nil {
+		t.Fatal(err)
+	}
+	c := &Conn{pending: map[uint32]chan *wire.Msg{}}
+	ch := make(chan *wire.Msg, 1)
+	r := bytes.NewReader(raw.Bytes())
+	// Prime the frame and Msg pools.
+	for i := 0; i < 4; i++ {
+		r.Reset(raw.Bytes())
+		m, err := wire.DecodePooled(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wire.Recycle(m)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		r.Reset(raw.Bytes())
+		m, err := wire.DecodePooled(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.pending[m.ID] = ch
+		c.dispatch(m)
+		got := <-ch
+		if got.Key != 42 || len(got.Data) != page.Size {
+			t.Fatal("demux delivered a mangled ack")
+		}
+		wire.Recycle(got)
+	}); avg != 0 {
+		t.Fatalf("decode+dispatch allocates %.1f objects/ack, want 0", avg)
 	}
 }

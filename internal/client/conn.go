@@ -17,7 +17,6 @@
 package client
 
 import (
-	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -51,10 +50,6 @@ type Conn struct {
 	// sendCh feeds the writer goroutine. Created by startMux;
 	// immutable afterwards.
 	sendCh chan *wire.Msg
-	// scratch is the writer goroutine's reusable frame-encode buffer;
-	// only writeLoop touches it, so one pageout batch costs zero
-	// steady-state allocations (see writeFrame).
-	scratch []byte
 	// done is closed exactly once when the mux dies (transport error
 	// or Close); it unblocks every waiter. Created by startMux;
 	// immutable afterwards.
@@ -251,7 +246,9 @@ func DialWithOptions(addr, clientName, token string, opts DialOptions) (*Conn, e
 		return nil, fmt.Errorf("client: hello %s: %w", addr, err)
 	}
 	c.serverFree = ack.N
-	if !opts.ForceV1 && ack.Flags&wire.FlagV2 != 0 {
+	v2 := !opts.ForceV1 && ack.Flags&wire.FlagV2 != 0
+	wire.Recycle(ack)
+	if v2 {
 		c.startMux()
 	}
 	return c, nil
@@ -386,7 +383,9 @@ func (c *Conn) roundTripV1(req *wire.Msg) (*wire.Msg, error) {
 	}
 	c.observeRTT(time.Since(start).Nanoseconds())
 	if ack.Type != req.Type.Ack() {
-		return nil, fmt.Errorf("client: got %v in reply to %v", ack.Type, req.Type)
+		typ := ack.Type
+		wire.Recycle(ack)
+		return nil, fmt.Errorf("client: got %v in reply to %v", typ, req.Type)
 	}
 	c.latchFlags(ack.Flags)
 	return ack, nil
@@ -454,23 +453,28 @@ func (c *Conn) muxError() error {
 }
 
 // writeLoop drains the send channel onto the wire, batching every
-// frame already queued into one buffered flush — a burst of pipelined
-// pageouts leaves as a handful of large writes instead of one write
-// per frame. The loop exits when the mux dies; a blocked Write is
-// unblocked by failMux closing the transport.
+// frame already queued into one vectored flush: the FrameWriter
+// encodes only headers into scratch and ships header + payload (for
+// the whole batch) through one writev, so a burst of pipelined
+// pageouts leaves as a single scatter/gather write with the page
+// bytes never copied. A queued request's Data is referenced until the
+// flush completes — safe, because the requester blocks on its ack
+// (and so cannot reuse the buffer) for at least that long. The loop
+// exits when the mux dies; a blocked write is unblocked by failMux
+// closing the transport.
 func (c *Conn) writeLoop() {
-	bw := bufio.NewWriterSize(c.conn, 64<<10)
+	fw := wire.NewFrameWriter(c.conn)
 	for {
 		select {
 		case m := <-c.sendCh:
-			if err := c.writeFrame(bw, m); err != nil {
+			if err := fw.Queue(m); err != nil {
 				c.failMux(err)
 				return
 			}
 			for batched := true; batched; {
 				select {
 				case m2 := <-c.sendCh:
-					if err := c.writeFrame(bw, m2); err != nil {
+					if err := fw.Queue(m2); err != nil {
 						c.failMux(err)
 						return
 					}
@@ -478,7 +482,7 @@ func (c *Conn) writeLoop() {
 					batched = false
 				}
 			}
-			if err := bw.Flush(); err != nil {
+			if err := fw.Flush(); err != nil {
 				c.failMux(err)
 				return
 			}
@@ -488,31 +492,18 @@ func (c *Conn) writeLoop() {
 	}
 }
 
-// writeFrame encodes m into the writer goroutine's scratch buffer and
-// hands it to the batching writer. The buffer is reused across
-// frames, so a sustained pageout stream allocates nothing after the
-// buffer reaches the working frame size.
-//
-//rmpvet:hotpath
-func (c *Conn) writeFrame(bw *bufio.Writer, m *wire.Msg) error {
-	buf, err := wire.AppendFrame(c.scratch[:0], m)
-	if err != nil {
-		return err
-	}
-	c.scratch = buf[:0]
-	_, err = bw.Write(buf)
-	return err
-}
-
 // readLoop decodes acks off the wire and resolves them against the
-// demux table by id. An ack with no pending entry — the late reply to
-// a request that timed out and was abandoned — is counted and
+// demux table by id. Frames decode into pooled buffers (DecodePooled)
+// and are recycled by whoever consumes the ack — the Conn method that
+// unblocks, or dispatch itself for late acks — so a steady-state ack
+// stream allocates nothing. An ack with no pending entry (the late
+// reply to a timed-out, abandoned request) is counted, recycled, and
 // dropped; the stream stays framed and every other in-flight request
 // is unaffected. The loop exits on the first decode error (including
 // the transport close performed by failMux).
 func (c *Conn) readLoop() {
 	for {
-		m, err := wire.Decode(c.conn)
+		m, err := wire.DecodePooled(c.conn)
 		if err != nil {
 			c.failMux(err)
 			return
@@ -524,6 +515,8 @@ func (c *Conn) readLoop() {
 // dispatch resolves one decoded ack against the demux table. It runs
 // once per inbound frame on the read loop, so it must not allocate:
 // a map lookup, a delete, and a send into a 1-buffered channel.
+// Ownership of a delivered ack (and its pooled frame buffer) passes
+// to the waiter; a late ack is recycled here.
 //
 //rmpvet:hotpath
 func (c *Conn) dispatch(m *wire.Msg) {
@@ -536,6 +529,7 @@ func (c *Conn) dispatch(m *wire.Msg) {
 	c.muxMu.Unlock()
 	if !ok {
 		c.lateDrops.Add(1)
+		wire.Recycle(m)
 		return
 	}
 	ch <- m // 1-buffered; never blocks
@@ -598,7 +592,9 @@ func (c *Conn) muxRoundTrip(req *wire.Msg, d time.Duration, sampleRTT bool) (*wi
 			c.observeRTT(time.Since(start).Nanoseconds())
 		}
 		if ack.Type != req.Type.Ack() {
-			return nil, fmt.Errorf("client: got %v in reply to %v", ack.Type, req.Type)
+			typ := ack.Type
+			wire.Recycle(ack)
+			return nil, fmt.Errorf("client: got %v in reply to %v", typ, req.Type)
 		}
 		return ack, nil
 	case <-c.done:
@@ -625,10 +621,13 @@ func (c *Conn) Stat() (wire.StatInfo, error) {
 		return wire.StatInfo{}, err
 	}
 	if err := ack.Status.Err(); err != nil {
+		wire.Recycle(ack)
 		return wire.StatInfo{}, err
 	}
 	var info wire.StatInfo
-	if err := json.Unmarshal(ack.Data, &info); err != nil {
+	err = json.Unmarshal(ack.Data, &info)
+	wire.Recycle(ack)
+	if err != nil {
 		return wire.StatInfo{}, fmt.Errorf("client: stat: %w", err)
 	}
 	return info, nil
@@ -657,13 +656,15 @@ func (c *Conn) Alloc(n int) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	if ack.Status == wire.StatusNoSpace {
-		return int(ack.N), nil
+	n, status := int(ack.N), ack.Status
+	wire.Recycle(ack)
+	if status == wire.StatusNoSpace {
+		return n, nil
 	}
-	if err := ack.Status.Err(); err != nil {
+	if err := status.Err(); err != nil {
 		return 0, err
 	}
-	return int(ack.N), nil
+	return n, nil
 }
 
 // PageOut stores data under key on the server.
@@ -676,25 +677,36 @@ func (c *Conn) PageOut(key uint64, data page.Buf) error {
 	if err != nil {
 		return err
 	}
-	return ack.Status.Err()
+	status := ack.Status
+	wire.Recycle(ack)
+	return status.Err()
 }
 
-// PageIn fetches the page stored under key.
+// PageIn fetches the page stored under key. The returned buffer is a
+// pooled page-class copy owned by the caller, who may page.Put it
+// once done with the contents (and simply drop it otherwise).
 func (c *Conn) PageIn(key uint64) (page.Buf, error) {
 	ack, err := c.roundTrip(&wire.Msg{Type: wire.TPageIn, Key: key})
 	if err != nil {
 		return nil, err
 	}
 	if err := ack.Status.Err(); err != nil {
+		wire.Recycle(ack)
 		return nil, err
 	}
 	if err := ack.VerifyData(); err != nil {
+		wire.Recycle(ack)
 		return nil, err
 	}
-	buf := page.Buf(ack.Data)
-	if err := buf.CheckLen(); err != nil {
+	if err := page.Buf(ack.Data).CheckLen(); err != nil {
+		wire.Recycle(ack)
 		return nil, err
 	}
+	// Copy out of the pooled frame so the frame recycles immediately:
+	// one word-speed memcpy trades for keeping a 12 KB frame buffer
+	// hostage to the caller's page lifetime.
+	buf := page.Buf(ack.Data).ClonePooled()
+	wire.Recycle(ack)
 	return buf, nil
 }
 
@@ -743,6 +755,7 @@ func (c *Conn) PageOutBatch(keys []uint64, pages []page.Buf) error {
 		if e := ack.Status.Err(); e != nil && firstErr == nil {
 			firstErr = e
 		}
+		wire.Recycle(ack)
 	}
 	// One batch = one latency sample per page on average.
 	c.observeRTT(time.Since(start).Nanoseconds() / int64(len(keys)))
@@ -792,6 +805,7 @@ func (c *Conn) pageOutBatchMux(keys []uint64, pages []page.Buf) error {
 			if e := ack.Status.Err(); e != nil && firstErr == nil {
 				firstErr = e
 			}
+			wire.Recycle(ack)
 		case <-c.done:
 			abandon(i)
 			return c.muxError()
@@ -814,7 +828,9 @@ func (c *Conn) Free(keys ...uint64) error {
 	if err != nil {
 		return err
 	}
-	return ack.Status.Err()
+	status := ack.Status
+	wire.Recycle(ack)
+	return status.Err()
 }
 
 // Load polls the server's free-page count.
@@ -826,7 +842,9 @@ func (c *Conn) Load() (free int, err error) {
 	c.pressureMu.Lock()
 	c.serverFree = ack.N
 	c.pressureMu.Unlock()
-	return int(ack.N), ack.Status.Err()
+	n, status := int(ack.N), ack.Status
+	wire.Recycle(ack)
+	return n, status.Err()
 }
 
 // ServerFree returns the last free-page count the server reported
@@ -854,7 +872,9 @@ func (c *Conn) XorWrite(key uint64, data page.Buf, parityAddr string, parityKey 
 	if err != nil {
 		return err
 	}
-	return ack.Status.Err()
+	status := ack.Status
+	wire.Recycle(ack)
+	return status.Err()
 }
 
 // XorDelta merges data into the page at key on the server (used
@@ -869,7 +889,9 @@ func (c *Conn) XorDelta(key uint64, data page.Buf) error {
 	if err != nil {
 		return err
 	}
-	return ack.Status.Err()
+	status := ack.Status
+	wire.Recycle(ack)
+	return status.Err()
 }
 
 // Ping performs one heartbeat probe bounded by timeout. It returns
@@ -900,6 +922,7 @@ func (c *Conn) Ping(timeout time.Duration) (free int, draining bool, peers []str
 		}
 	}
 	if err := ack.Status.Err(); err != nil {
+		wire.Recycle(ack)
 		return 0, false, nil, err
 	}
 	draining = ack.Flags&wire.FlagDrain != 0
@@ -909,7 +932,9 @@ func (c *Conn) Ping(timeout time.Duration) (free int, draining bool, peers []str
 			peers = info.Peers
 		}
 	}
-	return int(ack.N), draining, peers, nil
+	free = int(ack.N)
+	wire.Recycle(ack)
+	return free, draining, peers, nil
 }
 
 // pingV1 is the strict request/response heartbeat exchange.
@@ -943,7 +968,9 @@ func (c *Conn) Join(addr string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	return int(ack.N), ack.Status.Err()
+	n, status := int(ack.N), ack.Status
+	wire.Recycle(ack)
+	return n, status.Err()
 }
 
 // Drain asks the server to leave gracefully: it stops granting swap
@@ -954,14 +981,17 @@ func (c *Conn) Drain() error {
 	if err != nil {
 		return err
 	}
-	return ack.Status.Err()
+	status := ack.Status
+	wire.Recycle(ack)
+	return status.Err()
 }
 
 // Bye performs the graceful goodbye exchange and closes the
 // connection. After the last BYE from a client, the server discards
 // the client's pages and reservation.
 func (c *Conn) Bye() error {
-	_, err := c.roundTrip(&wire.Msg{Type: wire.TBye})
+	ack, err := c.roundTrip(&wire.Msg{Type: wire.TBye})
+	wire.Recycle(ack)
 	c.Close()
 	return err
 }

@@ -319,24 +319,30 @@ func (pp *parityPolicy) repairGroup(g *parityGroup) {
 	if !p.servers[pp.parityIdx].alive {
 		return // a parity-server crash handler will rebuild everything
 	}
-	parityPage := page.NewBuf()
+	parityPage := page.GetZero()
 	for srv, id := range g.members {
 		home, ok := pp.homes[id]
 		if !ok || !p.servers[srv].alive {
+			page.Put(parityPage)
 			return
 		}
 		data, err := p.fetchPage(srv, home.key)
 		if err != nil {
+			page.Put(parityPage)
 			return
 		}
 		page.XORInto(parityPage, data)
+		page.Put(data)
 	}
 	oldKey := g.parityKey
 	g.parityKey = p.allocKey()
 	if err := p.sendPage(pp.parityIdx, g.parityKey, parityPage, true); err != nil {
+		// A failed (possibly timed-out) send may still be queued on the
+		// write loop; the buffer leaks to the GC instead of the pool.
 		g.parityKey = oldKey
 		return
 	}
+	page.Put(parityPage)
 	g.stale = false
 	p.freeSlots(pp.parityIdx, oldKey)
 }
@@ -363,9 +369,10 @@ func (pp *parityPolicy) free(id page.ID) error {
 	}
 	g := pp.groups[home.slot]
 	if p.servers[home.srv].alive {
-		zero := page.NewBuf()
+		zero := page.GetZero()
 		if err := pp.xorWrite(home.srv, home.key, zero, g.parityKey, false); err == nil {
 			p.freeSlots(home.srv, home.key)
+			page.Put(zero) // acked: the write loop no longer references it
 		}
 	}
 	pp.dropMemberBookkeeping(id)
@@ -438,7 +445,7 @@ func (pp *parityPolicy) recomputeAndShipParity(recovered bool) error {
 	pages := make([]page.Buf, 0, len(pp.groups))
 	shipped := make([]*parityGroup, 0, len(pp.groups))
 	for _, g := range pp.groups {
-		parityPage := page.NewBuf()
+		parityPage := page.GetZero()
 		complete := true
 		for srv, id := range g.members {
 			home := pp.homes[id]
@@ -451,6 +458,7 @@ func (pp *parityPolicy) recomputeAndShipParity(recovered bool) error {
 				continue
 			}
 			page.XORInto(parityPage, data)
+			page.Put(data)
 		}
 		// A parity page missing a registered member's contribution must
 		// never serve reconstructions: it would fabricate bytes with no
@@ -464,7 +472,13 @@ func (pp *parityPolicy) recomputeAndShipParity(recovered bool) error {
 			p.stats.Recovered++
 		}
 	}
-	if err := p.sendPageBatch(pp.parityIdx, keys, pages, true); err != nil {
+	err := p.sendPageBatch(pp.parityIdx, keys, pages, true)
+	if err == nil {
+		for _, b := range pages {
+			page.Put(b)
+		}
+	}
+	if err != nil {
 		for _, g := range shipped {
 			g.stale = true
 		}
@@ -695,6 +709,7 @@ func (pp *parityPolicy) reconstruct(g *parityGroup, dead int) (page.Buf, error) 
 			return nil, err
 		}
 		page.XORInto(out, data)
+		page.Put(data)
 	}
 	return out, nil
 }

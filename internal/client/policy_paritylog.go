@@ -454,7 +454,7 @@ func (pl *parityLogPolicy) snapshot() (map[page.ID]page.Buf, bool) {
 
 	for _, id := range pl.log.Pages() {
 		if pl.inflight.valid && id == pl.inflight.id {
-			contents[id] = pl.inflight.data.Clone()
+			contents[id] = pl.inflight.data.ClonePooled()
 			continue
 		}
 		if data, ok := rebuilt[id]; ok {

@@ -269,7 +269,7 @@ func (pl *rsPolicy) appendAndSend(id page.ID, data page.Buf) error {
 	g.members = append(g.members, rsShard{id: id, key: key, active: true})
 	g.active++
 	pl.live[id] = rsRef{gid: g.id, col: col}
-	pl.openData = append(pl.openData, data.Clone())
+	pl.openData = append(pl.openData, data.ClonePooled())
 
 	if len(g.members) < len(pl.cols) {
 		// Group still filling: ship the data shard alone. Its contents
@@ -287,10 +287,15 @@ func (pl *rsPolicy) appendAndSend(id page.ID, data page.Buf) error {
 	parity := make([]page.Buf, len(pl.parityIdx))
 	parityShards := make([][]byte, len(parity))
 	for j := range parity {
-		parity[j] = page.NewBuf()
+		// Encode overwrites every parity byte (mulAssign first), so a
+		// dirty pooled buffer is fine.
+		parity[j] = page.Get()
 		parityShards[j] = parity[j]
 	}
 	if err := pl.code.Encode(dataShards, parityShards); err != nil {
+		for _, b := range parity {
+			page.Put(b)
+		}
 		return err
 	}
 	reqs := make([]sendReq, 0, 1+len(parity))
@@ -302,8 +307,18 @@ func (pl *rsPolicy) appendAndSend(id page.ID, data page.Buf) error {
 	}
 	g.sealed = true
 	pl.open = nil
+	// The client-side copies served their purpose (the encode above);
+	// the sealed group is reconstructible from its shards.
+	for _, b := range pl.openData {
+		page.Put(b)
+	}
 	pl.openData = nil
 	errs := p.sendPages(reqs)
+	for j, b := range parity {
+		if errs[1+j] == nil { // reqs[0] is the closing data shard
+			page.Put(b)
+		}
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -398,16 +413,24 @@ func (pl *rsPolicy) reconstructOne(g *rsGroup, col int) (page.Buf, bool) {
 	p := pl.p
 	var rec page.Buf
 	if !g.sealed {
-		rec = pl.openData[col].Clone()
+		rec = pl.openData[col].ClonePooled()
 	} else {
 		shards, present, ok := pl.gatherShards(g, col)
 		if !ok {
 			return nil, false
 		}
 		if err := pl.code.Reconstruct(shards, present); err != nil {
+			for _, sh := range shards {
+				page.Put(sh)
+			}
 			return nil, false
 		}
 		rec = page.Buf(shards[col])
+		for i, sh := range shards {
+			if i != col {
+				page.Put(sh)
+			}
+		}
 	}
 	p.stats.Recovered++
 	if srv := pl.cols[col]; p.servers[srv].alive {
@@ -424,7 +447,9 @@ func (pl *rsPolicy) reconstructOne(g *rsGroup, col int) (page.Buf, bool) {
 // unreadable shards are likewise absent, backed by fresh buffers for
 // Reconstruct to fill. The pageout in flight is served from memory —
 // during a seal its shard may not have landed yet. ok=false means a
-// server died mid-gather and the caller must re-plan.
+// server died mid-gather and the caller must re-plan. Every returned
+// shard is a pooled buffer owned by the caller, who may page.Put the
+// ones it does not keep.
 func (pl *rsPolicy) gatherShards(g *rsGroup, exclude int) ([][]byte, []bool, bool) {
 	p := pl.p
 	n := len(g.members) + len(g.parityKeys)
@@ -432,7 +457,7 @@ func (pl *rsPolicy) gatherShards(g *rsGroup, exclude int) ([][]byte, []bool, boo
 	present := make([]bool, n)
 	fetch := func(pos, srv int, key uint64) bool {
 		if pos == exclude || !p.servers[srv].alive {
-			shards[pos] = page.NewBuf()
+			shards[pos] = page.GetZero()
 			return true
 		}
 		data, err := p.fetchPage(srv, key)
@@ -440,7 +465,7 @@ func (pl *rsPolicy) gatherShards(g *rsGroup, exclude int) ([][]byte, []bool, boo
 			if isConnError(err) {
 				return false
 			}
-			shards[pos] = page.NewBuf() // unreadable: treat as erased
+			shards[pos] = page.GetZero() // unreadable: treat as erased
 			return true
 		}
 		shards[pos] = data
@@ -449,7 +474,9 @@ func (pl *rsPolicy) gatherShards(g *rsGroup, exclude int) ([][]byte, []bool, boo
 	}
 	for col, s := range g.members {
 		if pl.inflight.valid && s.id == pl.inflight.id && pl.live[s.id] == (rsRef{g.id, col}) {
-			shards[col] = pl.inflight.data
+			// Copy rather than alias the inflight buffer, so every
+			// gathered shard is uniformly caller-owned and poolable.
+			shards[col] = pl.inflight.data.ClonePooled()
 			present[col] = true
 			continue
 		}
@@ -658,12 +685,12 @@ func (pl *rsPolicy) snapshot() (map[page.ID]page.Buf, bool) {
 
 	for id, ref := range pl.live {
 		if pl.inflight.valid && id == pl.inflight.id {
-			contents[id] = pl.inflight.data.Clone()
+			contents[id] = pl.inflight.data.ClonePooled()
 			continue
 		}
 		g := pl.groups[ref.gid]
 		if !g.sealed {
-			contents[id] = pl.openData[ref.col].Clone()
+			contents[id] = pl.openData[ref.col].ClonePooled()
 			continue
 		}
 		if srv := pl.cols[ref.col]; p.servers[srv].alive {
@@ -784,7 +811,7 @@ func (pl *rsPolicy) writeback(contents map[page.ID]page.Buf, exclude map[int]boo
 		newOpen.members = append(newOpen.members, rsShard{id: id, key: key, active: true})
 		newOpen.active++
 		newLive[id] = rsRef{gid: newOpen.id, col: col}
-		newOpenData = append(newOpenData, data.Clone())
+		newOpenData = append(newOpenData, data.ClonePooled())
 		batchKeys[cols[col]] = append(batchKeys[cols[col]], key)
 		batchPages[cols[col]] = append(batchPages[cols[col]], data)
 		if len(newOpen.members) < k {
@@ -797,7 +824,7 @@ func (pl *rsPolicy) writeback(contents map[page.ID]page.Buf, exclude map[int]boo
 		parity := make([]page.Buf, m)
 		parityShards := make([][]byte, m)
 		for j := range parity {
-			parity[j] = page.NewBuf()
+			parity[j] = page.Get() // Encode overwrites every byte
 			parityShards[j] = parity[j]
 		}
 		if err := code.Encode(dataShards, parityShards); err != nil {

@@ -1,0 +1,31 @@
+package experiments
+
+import "testing"
+
+// TestHotpathAcceptance runs the hot-path benchmark (no JSON output)
+// and holds the PR's acceptance claims: the word-wide XOR kernel is at
+// least 4x the byte loop, and the steady-state mux encode (FrameWriter
+// Queue+Flush) and demux decode (DecodePooled+Recycle) paths allocate
+// nothing per frame.
+func TestHotpathAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed; skipped in -short")
+	}
+	_, st, err := hotpathTo("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.XORSpeedup < 4 {
+		t.Errorf("word XOR kernel speedup %.2fx, want >= 4x (words %.0f MB/s, bytes %.0f MB/s)",
+			st.XORSpeedup, st.XORWordsMBps, st.XORBytesMBps)
+	}
+	if st.FrameWriterAllocsPerOp != 0 {
+		t.Errorf("FrameWriter allocates %.1f objects/frame in steady state, want 0", st.FrameWriterAllocsPerOp)
+	}
+	if st.DecodePooledAllocsPerOp != 0 {
+		t.Errorf("DecodePooled+Recycle allocates %.1f objects/frame in steady state, want 0", st.DecodePooledAllocsPerOp)
+	}
+	if st.RSEncodeMBps <= 0 {
+		t.Errorf("RS encode throughput %.0f MB/s, want > 0", st.RSEncodeMBps)
+	}
+}

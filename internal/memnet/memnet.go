@@ -245,3 +245,37 @@ func (c *conn) Close() error {
 
 func (c *conn) LocalAddr() net.Addr  { return c.local }
 func (c *conn) RemoteAddr() net.Addr { return c.remote }
+
+// WriteBuffers is the vectored-write hook (wire.BuffersWriter,
+// satisfied structurally): the in-memory analogue of writev. A real
+// TCP conn receives a wire.FrameWriter flush as one scatter/gather
+// syscall via net.Buffers; a net.Pipe write rendezvouses with a
+// reader per Write call, so here the vector is coalesced into a
+// single buffer (one test-only copy) and shipped as one Write — the
+// batching behavior production sees, with one rendezvous per flush
+// instead of one per frame. Consumes v the way net.Buffers.WriteTo
+// does: written elements are nil-ed and the slice advances.
+func (c *conn) WriteBuffers(v *net.Buffers) (int64, error) {
+	total := 0
+	for _, b := range *v {
+		total += len(b)
+	}
+	buf := make([]byte, 0, total)
+	for _, b := range *v {
+		buf = append(buf, b...)
+	}
+	n, err := c.Write(buf)
+	// Consume the written prefix of the vector.
+	left := int64(n)
+	for len(*v) > 0 {
+		b := (*v)[0]
+		if int64(len(b)) > left {
+			(*v)[0] = b[left:]
+			break
+		}
+		left -= int64(len(b))
+		(*v)[0] = nil
+		*v = (*v)[1:]
+	}
+	return int64(n), err
+}

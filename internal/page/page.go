@@ -8,6 +8,7 @@
 package page
 
 import (
+	"encoding/binary"
 	"fmt"
 	"hash/crc32"
 )
@@ -75,27 +76,80 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // XORInto computes dst ^= src over one page. It is the core primitive
 // of both the basic parity policy and parity logging. dst and src must
-// both be exactly one page long.
+// both be exactly one page long, and either identical or disjoint
+// (partial overlap is unsupported, as for XORWords).
+//
+//rmpvet:hotpath
 func XORInto(dst, src Buf) {
 	if len(dst) != Size || len(src) != Size {
-		panic(fmt.Sprintf("page: XORInto on %d/%d byte buffers", len(dst), len(src)))
+		panicXORLen(len(dst), len(src))
 	}
-	// Word-at-a-time XOR; the backing arrays come from make([]byte,8192)
-	// so they are machine-word aligned in practice, but the loop below
-	// is correct regardless because it indexes bytes in groups of 8.
-	for i := 0; i < Size; i += 8 {
-		dst[i+0] ^= src[i+0]
-		dst[i+1] ^= src[i+1]
-		dst[i+2] ^= src[i+2]
-		dst[i+3] ^= src[i+3]
-		dst[i+4] ^= src[i+4]
-		dst[i+5] ^= src[i+5]
-		dst[i+6] ^= src[i+6]
-		dst[i+7] ^= src[i+7]
+	XORWords(dst, src)
+}
+
+// panicXORLen stays out of line so XORInto's fast path inlines without
+// dragging fmt boxing into allocation-gated callers.
+//
+//go:noinline
+func panicXORLen(d, s int) {
+	panic(fmt.Sprintf("page: XORInto on %d/%d byte buffers", d, s))
+}
+
+// XORWords computes dst[i] ^= src[i] for i < min(len(dst), len(src))
+// and returns the number of bytes processed. The kernel works eight
+// bytes at a time through encoding/binary (which the compiler lowers
+// to single word loads and stores — no unsafe involved), with a byte
+// tail for lengths that are not a multiple of 8.
+//
+// dst and src must be either the same slice or disjoint: with exact
+// aliasing every word XORs with itself (yielding zeros, as the byte
+// loop would), but partially overlapping buffers see whole-word
+// read-modify-write ordering and diverge from the byte-at-a-time
+// reference. No caller in this repo overlaps pages partially; the
+// fuzz suite pins the exact-alias and disjoint behaviors.
+//
+//rmpvet:hotpath
+func XORWords(dst, src []byte) int {
+	n := len(dst)
+	if len(src) < n {
+		n = len(src)
 	}
+	i := 0
+	for ; i+32 <= n; i += 32 {
+		d, s := dst[i:i+32:i+32], src[i:i+32:i+32]
+		binary.LittleEndian.PutUint64(d[0:8], binary.LittleEndian.Uint64(d[0:8])^binary.LittleEndian.Uint64(s[0:8]))
+		binary.LittleEndian.PutUint64(d[8:16], binary.LittleEndian.Uint64(d[8:16])^binary.LittleEndian.Uint64(s[8:16]))
+		binary.LittleEndian.PutUint64(d[16:24], binary.LittleEndian.Uint64(d[16:24])^binary.LittleEndian.Uint64(s[16:24]))
+		binary.LittleEndian.PutUint64(d[24:32], binary.LittleEndian.Uint64(d[24:32])^binary.LittleEndian.Uint64(s[24:32]))
+	}
+	for ; i+8 <= n; i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:i+8], binary.LittleEndian.Uint64(dst[i:i+8])^binary.LittleEndian.Uint64(src[i:i+8]))
+	}
+	for ; i < n; i++ {
+		dst[i] ^= src[i]
+	}
+	return n
+}
+
+// XORBytesRef is the byte-at-a-time reference kernel XORWords is
+// checked against (differential fuzz and the hotpath benchmark's
+// before/after ratio). It is not used on any production path.
+func XORBytesRef(dst, src []byte) int {
+	n := len(dst)
+	if len(src) < n {
+		n = len(src)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] ^= src[i]
+	}
+	return n
 }
 
 // XOR returns a fresh page equal to a ^ b.
+//
+// Deprecated: XOR allocates a page per call. Production paths use
+// Get/GetZero + XORInto over pooled buffers; XOR survives for tests,
+// where an extra allocation buys clarity.
 func XOR(a, b Buf) Buf {
 	out := a.Clone()
 	XORInto(out, b)

@@ -1,0 +1,185 @@
+// Buffer pooling for the paging fast path. Steady-state pagein and
+// pageout traffic recycles page buffers through a sync.Pool instead of
+// allocating one per frame: when the pager is busy it is because host
+// memory is scarce, which is exactly when per-frame garbage is least
+// affordable.
+//
+// Two size classes exist:
+//
+//   - the page class (Size bytes) backs stored pages, parity
+//     accumulators and XOR deltas;
+//   - the frame class (FrameClass bytes) backs whole decoded wire
+//     frames — header, request id and maximum payload — so the decoder
+//     can read an entire frame into one pooled buffer.
+//
+// Ownership contract (see DESIGN.md "Hot path"): a buffer obtained
+// from Get/GetFrame/GetN has exactly one owner at a time. Only the
+// current owner may Put it, and Put transfers ownership to the pool —
+// the caller must not retain any reference (including sub-slices)
+// afterwards. Buffers received across an API boundary (a decoded
+// frame's Data, a store lookup's result) are owned by whoever the API
+// documents, never implicitly by the receiver. Put routes by capacity:
+// a buffer whose capacity matches no class (for example a sub-slice
+// that does not start at the buffer's origin) is discarded to the GC,
+// counted in PoolStats.Discards — so a stray Put of foreign memory
+// degrades to garbage, not corruption.
+package page
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// FrameClass is the byte size of the frame pool class: room for a
+// maximum wire payload plus the frame header and request id, so one
+// pooled buffer holds an entire decoded frame. The wire package
+// asserts at compile time that its frame limit fits.
+const FrameClass = Size + 4096 + 16
+
+// PoolStats is a point-in-time snapshot of one pool class's activity.
+type PoolStats struct {
+	Gets     uint64 // buffers handed out
+	Misses   uint64 // Gets that had to allocate (pool was empty)
+	Puts     uint64 // buffers accepted back
+	Discards uint64 // Put calls rejected (capacity matched no class)
+}
+
+// Hits is the number of Gets served from the pool without allocating.
+func (s PoolStats) Hits() uint64 { return s.Gets - s.Misses }
+
+// poolCounters is the live atomic form of PoolStats.
+type poolCounters struct {
+	gets     atomic.Uint64
+	misses   atomic.Uint64
+	puts     atomic.Uint64
+	discards atomic.Uint64
+}
+
+func (c *poolCounters) snapshot() PoolStats {
+	return PoolStats{
+		Gets:     c.gets.Load(),
+		Misses:   c.misses.Load(),
+		Puts:     c.puts.Load(),
+		Discards: c.discards.Load(),
+	}
+}
+
+var (
+	pageCtr  poolCounters
+	frameCtr poolCounters
+
+	// The pools store *[N]byte rather than []byte: a pointer fits in an
+	// interface without allocating, while boxing a slice header would
+	// cost one allocation per Put — on the very path the pool exists to
+	// keep allocation-free.
+	pagePool  = sync.Pool{New: newPageArray}
+	framePool = sync.Pool{New: newFrameArray}
+)
+
+// The New funcs live at package level (not as closures inside Get) so
+// the escapegate attributes their inherent allocation to them, not to
+// the hotpath Get functions.
+func newPageArray() any {
+	pageCtr.misses.Add(1)
+	return new([Size]byte)
+}
+
+func newFrameArray() any {
+	frameCtr.misses.Add(1)
+	return new([FrameClass]byte)
+}
+
+// Get returns one page-sized buffer (len == Size) from the pool. The
+// contents are arbitrary — callers that do not overwrite the whole
+// page want GetZero. The caller owns the buffer until it calls Put.
+//
+//rmpvet:hotpath
+func Get() Buf {
+	pageCtr.gets.Add(1)
+	arr := pagePool.Get().(*[Size]byte)
+	return arr[:]
+}
+
+// GetZero returns a zeroed page-sized buffer from the pool, for use as
+// a parity accumulator or any consumer that assumes fresh-buffer
+// semantics.
+//
+//rmpvet:hotpath
+func GetZero() Buf {
+	b := Get()
+	for i := range b {
+		b[i] = 0
+	}
+	return b
+}
+
+// GetFrame returns one frame-class buffer (len == FrameClass), sized
+// to hold an entire wire frame. Contents are arbitrary.
+//
+//rmpvet:hotpath
+func GetFrame() []byte {
+	frameCtr.gets.Add(1)
+	arr := framePool.Get().(*[FrameClass]byte)
+	return arr[:]
+}
+
+// GetN returns a pooled buffer of length n, backed by the smallest
+// class that fits; lengths beyond FrameClass fall back to the
+// allocator (and a later Put will discard them).
+//
+//rmpvet:hotpath
+func GetN(n int) []byte {
+	switch {
+	case n < 0:
+		panic("page: GetN with negative length")
+	case n <= Size:
+		return Get()[:n]
+	case n <= FrameClass:
+		return GetFrame()[:n]
+	default:
+		return make([]byte, n)
+	}
+}
+
+// Put returns a buffer to its pool, routing by capacity. Buffers whose
+// capacity matches no class — including sub-slices that do not start
+// at a pooled buffer's origin — are discarded to the GC and counted,
+// never pooled, so a mistaken Put cannot alias two owners onto the
+// same memory. Put(nil) is a no-op. After Put the caller must drop
+// every reference into the buffer.
+//
+//rmpvet:hotpath
+func Put(b []byte) {
+	switch cap(b) {
+	case 0:
+		return
+	case Size:
+		pageCtr.puts.Add(1)
+		pagePool.Put((*[Size]byte)(b[:Size]))
+	case FrameClass:
+		frameCtr.puts.Add(1)
+		framePool.Put((*[FrameClass]byte)(b[:FrameClass]))
+	default:
+		// Wrong-capacity buffers — including sub-slices off a pooled
+		// buffer's origin and ordinary heap slices (JSON blobs, error
+		// details) flowing through shared cleanup paths — fall to the
+		// GC. The counter makes an unexpectedly cold pool diagnosable.
+		pageCtr.discards.Add(1)
+	}
+}
+
+// ClonePooled returns a pooled copy of b (same length), routed through
+// GetN. The caller owns the copy and should Put it when done.
+//
+//rmpvet:hotpath
+func (b Buf) ClonePooled() Buf {
+	c := GetN(len(b))
+	copy(c, b)
+	return c
+}
+
+// Stats returns snapshots of the page-class and frame-class pool
+// counters, in that order.
+func Stats() (pageClass, frameClass PoolStats) {
+	return pageCtr.snapshot(), frameCtr.snapshot()
+}

@@ -132,16 +132,20 @@ func (s *Store) Put(key uint64, data page.Buf) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, exists := s.pages[key]; !exists && len(s.pages) >= s.capacity {
+	old, exists := s.pages[key]
+	if !exists && len(s.pages) >= s.capacity {
 		s.stats.Denied++
 		return ErrNoSpace
 	}
-	s.pages[key] = data.Clone()
+	s.pages[key] = data.ClonePooled()
+	page.Put(old)
 	s.stats.Puts++
 	return nil
 }
 
-// Get returns a copy of the page stored under key.
+// Get returns a copy of the page stored under key. The copy is a
+// pooled page-class buffer owned exclusively by the caller, who may
+// page.Put it when done (or drop it to the GC).
 func (s *Store) Get(key uint64) (page.Buf, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -151,7 +155,7 @@ func (s *Store) Get(key uint64) (page.Buf, error) {
 		return nil, ErrNotFound
 	}
 	s.stats.Gets++
-	return p.Clone(), nil
+	return p.ClonePooled(), nil
 }
 
 // Delete removes keys; missing keys are ignored (frees are idempotent
@@ -160,8 +164,9 @@ func (s *Store) Delete(keys ...uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, k := range keys {
-		if _, ok := s.pages[k]; ok {
+		if old, ok := s.pages[k]; ok {
 			delete(s.pages, k)
+			page.Put(old)
 			s.stats.Deletes++
 		}
 	}
@@ -182,11 +187,12 @@ func (s *Store) XorWrite(key uint64, data page.Buf) (page.Buf, error) {
 		s.stats.Denied++
 		return nil, ErrNoSpace
 	}
-	delta := data.Clone()
+	delta := data.ClonePooled()
 	if exists {
 		page.XORInto(delta, old)
 	}
-	s.pages[key] = data.Clone()
+	s.pages[key] = data.ClonePooled()
+	page.Put(old)
 	s.stats.XorWrites++
 	return delta, nil
 }
@@ -206,13 +212,13 @@ func (s *Store) XorMerge(key uint64, data page.Buf) error {
 			s.stats.Denied++
 			return ErrNoSpace
 		}
-		s.pages[key] = data.Clone()
+		s.pages[key] = data.ClonePooled()
 		s.stats.Puts++
 		return nil
 	}
-	merged := old.Clone()
-	page.XORInto(merged, data)
-	s.pages[key] = merged
+	// The stored buffer is never aliased outside the map (Get returns
+	// clones), so the merge mutates it in place — no allocation at all.
+	page.XORInto(old, data)
 	s.stats.XorWrites++
 	return nil
 }

@@ -1,0 +1,76 @@
+package rs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// mulAddRef is the scalar reference for the nibble-table kernel: one
+// log/exp multiply per byte, no tables beyond the generator's.
+func mulAddRef(dst, src []byte, c byte) {
+	for i := range src {
+		dst[i] ^= mulSlow(c, src[i])
+	}
+}
+
+// FuzzMulAddNibbleTables cross-checks the split low/high-nibble
+// multiply-accumulate kernel against the log/exp reference on
+// arbitrary coefficients, odd lengths and misaligned tails, plus the
+// exact-aliasing dst == src case the XOR fast path takes.
+func FuzzMulAddNibbleTables(f *testing.F) {
+	f.Add([]byte{}, byte(0))
+	f.Add([]byte{1}, byte(1))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7}, byte(2))
+	f.Add(bytes.Repeat([]byte{0xff}, 33), byte(0x1d))
+	f.Add(bytes.Repeat([]byte{0x5a}, 257), byte(255))
+	f.Fuzz(func(t *testing.T, data []byte, c byte) {
+		src := append([]byte(nil), data...)
+		dst := make([]byte, len(src))
+		for i := range dst {
+			dst[i] = byte(i * 31)
+		}
+
+		want := append([]byte(nil), dst...)
+		mulAddRef(want, src, c)
+		got := append([]byte(nil), dst...)
+		mulAdd(got, src, c)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("mulAdd(c=%#x) diverges from log/exp reference", c)
+		}
+
+		wantAssign := make([]byte, len(src))
+		for i := range wantAssign {
+			wantAssign[i] = mulSlow(c, src[i])
+		}
+		gotAssign := append([]byte(nil), dst...)
+		mulAssign(gotAssign, src, c)
+		if !bytes.Equal(gotAssign, wantAssign) {
+			t.Fatalf("mulAssign(c=%#x) diverges from log/exp reference", c)
+		}
+
+		// c == 1 aliasing: mulAdd(x, x, 1) runs the word-wide XOR path
+		// and must zero the buffer like the byte reference.
+		alias := append([]byte(nil), src...)
+		mulAdd(alias, alias, 1)
+		for i, v := range alias {
+			if v != 0 {
+				t.Fatalf("aliased mulAdd c=1 left %#x at byte %d", v, i)
+			}
+		}
+	})
+}
+
+// TestNibbleTablesMatchFullProduct exhaustively pins the nibble
+// decomposition: for every (c, b), lo[c][b&15]^hi[c][b>>4] equals the
+// log/exp product. This is the identity the bulk kernels rely on.
+func TestNibbleTablesMatchFullProduct(t *testing.T) {
+	for c := 0; c < 256; c++ {
+		for b := 0; b < 256; b++ {
+			want := mulSlow(byte(c), byte(b))
+			got := mulLo[c][b&15] ^ mulHi[c][b>>4]
+			if got != want {
+				t.Fatalf("nibble tables: %d·%d = %#x, want %#x", c, b, got, want)
+			}
+		}
+	}
+}

@@ -7,10 +7,12 @@
 //
 // The field is GF(256) with the usual AES-adjacent polynomial x^8 +
 // x^4 + x^3 + x^2 + 1 (0x11d). Scalar multiplies go through log/exp
-// tables; the bulk encode/decode kernels use one 256-byte product row
-// per coefficient and the same eight-way unrolled loop idiom as
-// page.XORInto, so a shard multiply-accumulate runs at byte-table
-// speed with zero allocations.
+// tables; the bulk encode/decode kernels use split low/high-nibble
+// product tables (16 bytes per nibble per coefficient — 8 KB total
+// instead of a 64 KB full product table, so both rows stay resident
+// in L1) and the same eight-way unrolled loop idiom as page.XORInto,
+// with the c == 1 path running the word-wide XOR kernel. Zero
+// allocations throughout.
 //
 // The encode matrix is the systematic Cauchy construction: data shard
 // i is the identity row e_i, parity row j is 1/(x_j + y_i) with
@@ -27,6 +29,7 @@
 package rs
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 )
@@ -39,9 +42,15 @@ const MaxShards = 255
 var (
 	logTbl [256]byte
 	expTbl [510]byte // doubled so mul can skip the mod-255 reduction
-	// mulTbl[c] is the 256-byte product row of coefficient c; the bulk
-	// kernels index it per source byte.
-	mulTbl [256][256]byte
+	// mulLo[c][n] = c·n and mulHi[c][n] = c·(n<<4): split low/high
+	// nibble product tables. GF(256) multiplication distributes over
+	// XOR, so c·b = mulLo[c][b&15] ^ mulHi[c][b>>4]. Two 16-byte rows
+	// per coefficient (8 KB for all 256) replace the 64 KB full product
+	// table — the working set of one mulAdd drops from a 256-byte row
+	// per coefficient in a 64 KB table to 32 bytes that L1 never
+	// evicts.
+	mulLo [256][16]byte
+	mulHi [256][16]byte
 )
 
 func init() {
@@ -57,20 +66,24 @@ func init() {
 		}
 	}
 	for c := 1; c < 256; c++ {
-		lc := int(logTbl[c])
-		for v := 1; v < 256; v++ {
-			mulTbl[c][v] = expTbl[lc+int(logTbl[v])]
+		for n := 1; n < 16; n++ {
+			mulLo[c][n] = mulSlow(byte(c), byte(n))
+			mulHi[c][n] = mulSlow(byte(c), byte(n<<4))
 		}
 	}
 }
 
-// mul multiplies two field elements.
-func mul(a, b byte) byte {
+// mulSlow multiplies through the log/exp tables; used only to build
+// the nibble tables and by the matrix math via mul.
+func mulSlow(a, b byte) byte {
 	if a == 0 || b == 0 {
 		return 0
 	}
 	return expTbl[int(logTbl[a])+int(logTbl[b])]
 }
+
+// mul multiplies two field elements.
+func mul(a, b byte) byte { return mulSlow(a, b) }
 
 // inv returns the multiplicative inverse of a (a must be nonzero).
 func inv(a byte) byte {
@@ -92,38 +105,40 @@ func mulAdd(dst, src []byte, c byte) {
 		xorInto(dst, src)
 		return
 	}
-	mt := &mulTbl[c]
+	lo, hi := &mulLo[c], &mulHi[c]
 	n := len(src) &^ 7
 	for i := 0; i < n; i += 8 {
-		dst[i+0] ^= mt[src[i+0]]
-		dst[i+1] ^= mt[src[i+1]]
-		dst[i+2] ^= mt[src[i+2]]
-		dst[i+3] ^= mt[src[i+3]]
-		dst[i+4] ^= mt[src[i+4]]
-		dst[i+5] ^= mt[src[i+5]]
-		dst[i+6] ^= mt[src[i+6]]
-		dst[i+7] ^= mt[src[i+7]]
+		dst[i+0] ^= lo[src[i+0]&15] ^ hi[src[i+0]>>4]
+		dst[i+1] ^= lo[src[i+1]&15] ^ hi[src[i+1]>>4]
+		dst[i+2] ^= lo[src[i+2]&15] ^ hi[src[i+2]>>4]
+		dst[i+3] ^= lo[src[i+3]&15] ^ hi[src[i+3]>>4]
+		dst[i+4] ^= lo[src[i+4]&15] ^ hi[src[i+4]>>4]
+		dst[i+5] ^= lo[src[i+5]&15] ^ hi[src[i+5]>>4]
+		dst[i+6] ^= lo[src[i+6]&15] ^ hi[src[i+6]>>4]
+		dst[i+7] ^= lo[src[i+7]&15] ^ hi[src[i+7]>>4]
 	}
 	for i := n; i < len(src); i++ {
-		dst[i] ^= mt[src[i]]
+		dst[i] ^= lo[src[i]&15] ^ hi[src[i]>>4]
 	}
 }
 
-// xorInto is the c == 1 fast path (identical loop to page.XORInto,
-// duplicated here so the package stays dependency-free).
+// xorInto is the c == 1 fast path: the same word-wide kernel as
+// page.XORWords (8-byte loads/stores through encoding/binary),
+// duplicated here so the package stays dependency-free.
 func xorInto(dst, src []byte) {
-	n := len(src) &^ 7
-	for i := 0; i < n; i += 8 {
-		dst[i+0] ^= src[i+0]
-		dst[i+1] ^= src[i+1]
-		dst[i+2] ^= src[i+2]
-		dst[i+3] ^= src[i+3]
-		dst[i+4] ^= src[i+4]
-		dst[i+5] ^= src[i+5]
-		dst[i+6] ^= src[i+6]
-		dst[i+7] ^= src[i+7]
+	n := len(src)
+	i := 0
+	for ; i+32 <= n; i += 32 {
+		d, s := dst[i:i+32:i+32], src[i:i+32:i+32]
+		binary.LittleEndian.PutUint64(d[0:8], binary.LittleEndian.Uint64(d[0:8])^binary.LittleEndian.Uint64(s[0:8]))
+		binary.LittleEndian.PutUint64(d[8:16], binary.LittleEndian.Uint64(d[8:16])^binary.LittleEndian.Uint64(s[8:16]))
+		binary.LittleEndian.PutUint64(d[16:24], binary.LittleEndian.Uint64(d[16:24])^binary.LittleEndian.Uint64(s[16:24]))
+		binary.LittleEndian.PutUint64(d[24:32], binary.LittleEndian.Uint64(d[24:32])^binary.LittleEndian.Uint64(s[24:32]))
 	}
-	for i := n; i < len(src); i++ {
+	for ; i+8 <= n; i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:i+8], binary.LittleEndian.Uint64(dst[i:i+8])^binary.LittleEndian.Uint64(src[i:i+8]))
+	}
+	for ; i < n; i++ {
 		dst[i] ^= src[i]
 	}
 }
@@ -143,20 +158,20 @@ func mulAssign(dst, src []byte, c byte) {
 		copy(dst, src)
 		return
 	}
-	mt := &mulTbl[c]
+	lo, hi := &mulLo[c], &mulHi[c]
 	n := len(src) &^ 7
 	for i := 0; i < n; i += 8 {
-		dst[i+0] = mt[src[i+0]]
-		dst[i+1] = mt[src[i+1]]
-		dst[i+2] = mt[src[i+2]]
-		dst[i+3] = mt[src[i+3]]
-		dst[i+4] = mt[src[i+4]]
-		dst[i+5] = mt[src[i+5]]
-		dst[i+6] = mt[src[i+6]]
-		dst[i+7] = mt[src[i+7]]
+		dst[i+0] = lo[src[i+0]&15] ^ hi[src[i+0]>>4]
+		dst[i+1] = lo[src[i+1]&15] ^ hi[src[i+1]>>4]
+		dst[i+2] = lo[src[i+2]&15] ^ hi[src[i+2]>>4]
+		dst[i+3] = lo[src[i+3]&15] ^ hi[src[i+3]>>4]
+		dst[i+4] = lo[src[i+4]&15] ^ hi[src[i+4]>>4]
+		dst[i+5] = lo[src[i+5]&15] ^ hi[src[i+5]>>4]
+		dst[i+6] = lo[src[i+6]&15] ^ hi[src[i+6]>>4]
+		dst[i+7] = lo[src[i+7]&15] ^ hi[src[i+7]>>4]
 	}
 	for i := n; i < len(src); i++ {
-		dst[i] = mt[src[i]]
+		dst[i] = lo[src[i]&15] ^ hi[src[i]>>4]
 	}
 }
 

@@ -20,7 +20,6 @@
 package server
 
 import (
-	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -523,6 +522,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	// gets the strict serial session it always had. The HELLO_ACK
 	// itself is always v1-framed — it is the switchover point.
 	v2 := m.Flags&wire.FlagV2 != 0
+	wire.Recycle(m)
 	helloAck := &wire.Msg{Type: wire.THelloAck, N: uint32(s.store.Free())}
 	if v2 {
 		helloAck.Flags |= wire.FlagV2
@@ -537,7 +537,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 
 	for {
-		m, err := wire.Decode(conn)
+		m, err := wire.DecodePooled(conn)
 		if err != nil {
 			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
 				s.logf("%s: client %q read: %v", s.cfg.Name, sess.name, err)
@@ -545,10 +545,14 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		resp := s.handle(sess, m)
-		if err := s.reply(sess, resp); err != nil {
-			return
-		}
-		if m.Type == wire.TBye {
+		bye := m.Type == wire.TBye
+		wire.Recycle(m)
+		err = s.reply(sess, resp)
+		// Every ack's Data is server-owned (a store copy or fresh JSON)
+		// and fully on the wire after reply, so it recycles here.
+		page.Put(resp.Data)
+		wire.Recycle(resp)
+		if err != nil || bye {
 			return
 		}
 	}
@@ -584,13 +588,14 @@ func (s *Server) serveConnV2(conn net.Conn, sess *session) {
 		// FIFO ordering domain: one worker, channel arrival order.
 		for m := range xorCh {
 			out <- s.respondV2(sess, m)
+			wire.Recycle(m)
 		}
 	}()
 	sem := make(chan struct{}, maxSessionInflight)
 	sawBye := false
 	var bye *wire.Msg
 	for !sawBye {
-		m, err := wire.Decode(conn)
+		m, err := wire.DecodePooled(conn)
 		if err != nil {
 			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
 				s.logf("%s: client %q read: %v", s.cfg.Name, sess.name, err)
@@ -610,6 +615,7 @@ func (s *Server) serveConnV2(conn net.Conn, sess *session) {
 			go func(m *wire.Msg) {
 				defer func() { <-sem; wg.Done() }()
 				out <- s.respondV2(sess, m)
+				wire.Recycle(m)
 			}(m)
 		}
 	}
@@ -617,13 +623,16 @@ func (s *Server) serveConnV2(conn net.Conn, sess *session) {
 	wg.Wait()
 	if sawBye {
 		out <- s.respondV2(sess, bye)
+		wire.Recycle(bye)
 	}
 	close(out)
 	<-writerDone
 }
 
 // respondV2 services one request and tags the ack with the request's
-// id and advisory flags.
+// id and advisory flags. When it returns, nothing retains the request
+// or its payload (handlers copy what they store), so callers recycle
+// m afterwards.
 func (s *Server) respondV2(sess *session, m *wire.Msg) *wire.Msg {
 	resp := s.handle(sess, m)
 	resp.Version = wire.Version2
@@ -633,21 +642,37 @@ func (s *Server) respondV2(sess *session, m *wire.Msg) *wire.Msg {
 }
 
 // writeReplies drains the reply channel onto the wire, batching every
-// queued reply into one buffered flush. After a write error it keeps
-// draining (discarding) so no handler ever blocks on a dead
+// queued reply into one vectored write (writev on TCP): the
+// FrameWriter queues head encodings and references each ack's Data in
+// place, so an 8 KB PAGEIN payload is never copied into scratch. Acks
+// are recycled — payload to the page pool, frame to the Msg pool —
+// only after the flush that shipped them, honoring the FrameWriter
+// aliasing contract. After a write error it keeps draining
+// (discarding, still recycling) so no handler ever blocks on a dead
 // connection; the read loop sees the same broken conn and winds the
 // session down.
 func (s *Server) writeReplies(conn net.Conn, out chan *wire.Msg) {
-	bw := bufio.NewWriterSize(conn, 64<<10)
+	fw := wire.NewFrameWriter(conn)
 	broken := false
+	batch := make([]*wire.Msg, 0, maxSessionInflight)
+	recycle := func() {
+		for i, m := range batch {
+			page.Put(m.Data)
+			wire.Recycle(m)
+			batch[i] = nil
+		}
+		batch = batch[:0]
+	}
 	for m := range out {
 		if broken {
+			page.Put(m.Data)
+			wire.Recycle(m)
 			continue
 		}
-		if err := wire.Encode(bw, m); err != nil {
+		if err := fw.Queue(m); err != nil {
 			broken = true
-			continue
 		}
+		batch = append(batch, m)
 		for batching := true; batching && !broken; {
 			select {
 			case m2, ok := <-out:
@@ -655,19 +680,18 @@ func (s *Server) writeReplies(conn net.Conn, out chan *wire.Msg) {
 					batching = false
 					break
 				}
-				if err := wire.Encode(bw, m2); err != nil {
+				if err := fw.Queue(m2); err != nil {
 					broken = true
 				}
+				batch = append(batch, m2)
 			default:
 				batching = false
 			}
 		}
-		if !broken && bw.Flush() != nil {
+		if !broken && fw.Flush() != nil {
 			broken = true
 		}
-	}
-	if !broken {
-		bw.Flush()
+		recycle()
 	}
 }
 
@@ -796,6 +820,7 @@ func (s *Server) handle(sess *session, m *wire.Msg) *wire.Msg {
 			ack.Status = wire.StatusInternal
 			ack.Data = []byte(err.Error())
 		}
+		page.Put(delta)
 
 	case wire.TXorDelta:
 		if err := m.VerifyData(); err != nil {
@@ -924,7 +949,9 @@ func (s *Server) forwardDelta(addr, clientName string, parityKey uint64, delta p
 		s.invalidateParityConn(cacheKey, pc)
 		return err
 	}
-	return ack.Status.Err()
+	status := ack.Status
+	wire.Recycle(ack)
+	return status.Err()
 }
 
 func (s *Server) parityConnFor(cacheKey, addr, clientName string) (*parityConn, error) {

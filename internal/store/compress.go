@@ -48,15 +48,17 @@ func (c *compressor) compress(data page.Buf) coldPage {
 	return coldPage{data: data.Clone(), raw: true}
 }
 
-// decompress restores a cold page to its 8 KB form.
+// decompress restores a cold page to its 8 KB form in a pooled
+// page-class buffer owned by the caller.
 func decompress(cp coldPage) (page.Buf, error) {
 	if cp.raw {
-		return page.Buf(cp.data).Clone(), nil
+		return page.Buf(cp.data).ClonePooled(), nil
 	}
 	r := flate.NewReader(bytes.NewReader(cp.data))
 	defer r.Close()
-	buf := page.NewBuf()
+	buf := page.Get()
 	if _, err := io.ReadFull(r, buf); err != nil {
+		page.Put(buf)
 		return nil, fmt.Errorf("store: decompress cold page: %w", err)
 	}
 	return buf, nil

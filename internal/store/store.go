@@ -394,7 +394,9 @@ func (s *Tiered) dropDiskLocked(key uint64) {
 }
 
 // Get returns a copy of the page stored under key, promoting it to
-// the hot tier when it was demoted. A disk-tier page that fails
+// the hot tier when it was demoted. The copy is a pooled page-class
+// buffer owned exclusively by the caller, who may page.Put it when
+// done (or drop it to the GC). A disk-tier page that fails
 // verification is dropped and reported with ErrCorrupt — a clean
 // loss, never silent corruption.
 //
@@ -417,10 +419,12 @@ func (s *Tiered) Get(key uint64) (page.Buf, error) {
 		if err != nil {
 			return nil, err
 		}
+		// promoteLocked stores its own copy hot, so data is exclusively
+		// the caller's — no second clone.
 		s.promoteLocked(key, data, TierCold)
 		s.stats.Gets++
 		s.stats.ColdHits++
-		return data.Clone(), nil
+		return data, nil
 	}
 	if _, ok := s.onDisk[key]; ok {
 		data, err := s.disk.Get(key)
@@ -435,7 +439,7 @@ func (s *Tiered) Get(key uint64) (page.Buf, error) {
 		s.promoteLocked(key, data, TierDisk)
 		s.stats.Gets++
 		s.stats.DiskHits++
-		return data.Clone(), nil
+		return data, nil
 	}
 	s.stats.Misses++
 	return nil, ErrNotFound
@@ -513,10 +517,11 @@ func (s *Tiered) XorWrite(key uint64, data page.Buf) (page.Buf, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	old, err := s.peekLocked(key)
-	delta := data.Clone()
+	delta := data.ClonePooled()
 	switch {
 	case err == nil:
 		page.XORInto(delta, old)
+		page.Put(old)
 	case errorsIsNotFound(err):
 		// absent old page = zeros
 	default:
@@ -539,17 +544,22 @@ func (s *Tiered) XorMerge(key uint64, data page.Buf) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	old, err := s.peekLocked(key)
-	merged := data
+	merged, owned := data, false
 	switch {
 	case err == nil:
-		merged = old.Clone()
+		// peekLocked returned a fresh copy: merge into it in place.
+		merged, owned = old, true
 		page.XORInto(merged, data)
 	case errorsIsNotFound(err):
 		// first delta lands verbatim
 	default:
 		return err
 	}
-	if err := s.storeLocked(key, merged); err != nil {
+	err = s.storeLocked(key, merged)
+	if owned {
+		page.Put(merged)
+	}
+	if err != nil {
 		return err
 	}
 	s.stats.XorWrites++
@@ -699,6 +709,7 @@ func (s *Tiered) demoteOneLocked() bool {
 		return true
 	}
 	cp := s.comp.compress(data)
+	page.Put(data)
 	s.cold[key] = cp
 	s.coldElem[key] = s.coldLRU.PushFront(key)
 	s.coldBytes += int64(len(cp.data))
@@ -728,8 +739,10 @@ func (s *Tiered) spillOneLocked() bool {
 	}
 	if err := s.disk.Put(key, data); err != nil {
 		s.logf("store: spill of page %d failed: %v", key, err)
+		page.Put(data)
 		return false
 	}
+	page.Put(data)
 	s.onDisk[key] = struct{}{}
 	s.dropColdLocked(key)
 	s.stats.Spills++
@@ -771,8 +784,10 @@ func (s *Tiered) promoteOneLocked() bool {
 			return true
 		}
 		if s.hot.Put(key, data) != nil {
+			page.Put(data)
 			return false
 		}
+		page.Put(data)
 		s.dropColdLocked(key)
 		s.touchHotLocked(key)
 		s.stats.Promotions++
@@ -787,8 +802,10 @@ func (s *Tiered) promoteOneLocked() bool {
 			return true
 		}
 		if s.hot.Put(key, data) != nil {
+			page.Put(data)
 			return false
 		}
+		page.Put(data)
 		s.dropDiskLocked(key)
 		s.touchHotLocked(key)
 		s.stats.Promotions++

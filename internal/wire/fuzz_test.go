@@ -83,15 +83,52 @@ func FuzzDecode(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		m, err := Decode(bytes.NewReader(raw))
+		pm, perr := DecodePooled(bytes.NewReader(raw))
+		// The pooled decoder must agree with the plain one bit for bit:
+		// same error verdict, same message.
+		if (err == nil) != (perr == nil) {
+			t.Fatalf("Decode err=%v but DecodePooled err=%v", err, perr)
+		}
 		if err != nil {
 			return
 		}
+		if !sameMsg(m, pm) {
+			t.Fatalf("pooled decode diverges:\n plain  %+v\n pooled %+v", m, pm)
+		}
+		Recycle(pm)
 		// A successfully decoded frame must re-encode.
 		var buf bytes.Buffer
 		if err := Encode(&buf, m); err != nil && err != ErrTooLarge {
 			t.Fatalf("decoded frame failed to re-encode: %v", err)
 		}
+		// Buffer reuse must not leak bytes across frames: decode the
+		// re-encoded frame through the pool again (likely reusing the
+		// buffer just recycled) and require the identical message.
+		pm2, err := DecodePooled(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("pooled re-decode: %v", err)
+		}
+		if !sameMsg(m, pm2) {
+			t.Fatalf("pooled buffer reuse leaked bytes across frames:\n want %+v\n got  %+v", m, pm2)
+		}
+		Recycle(pm2)
 	})
+}
+
+// sameMsg compares every wire-visible field of two decoded messages.
+func sameMsg(a, b *Msg) bool {
+	if a.Type != b.Type || a.Flags != b.Flags || a.Status != b.Status ||
+		a.Version != b.Version || a.ID != b.ID || a.Key != b.Key ||
+		a.N != b.N || a.Checksum != b.Checksum || a.ParityKey != b.ParityKey ||
+		a.Host != b.Host || len(a.Keys) != len(b.Keys) || !bytes.Equal(a.Data, b.Data) {
+		return false
+	}
+	for i := range a.Keys {
+		if a.Keys[i] != b.Keys[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // FuzzRoundTrip: any encodable message decodes to itself, in both
@@ -167,15 +204,28 @@ func FuzzStreamDemux(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		pending := map[uint32]bool{1: true, 2: true, 3: true}
+		// The mux read loop decodes through the pool: run the pooled
+		// decoder on the stream, with the plain decoder shadowing it on
+		// an identical reader. Recycling between frames means every
+		// iteration likely reuses the previous frame's buffer — any
+		// cross-frame byte leak shows up as a divergence.
 		r := bytes.NewReader(raw)
+		shadow := bytes.NewReader(raw)
 		for i := 0; i < 1024; i++ {
 			before := r.Len()
-			m, err := Decode(r)
+			m, err := DecodePooled(r)
+			sm, serr := Decode(shadow)
+			if (err == nil) != (serr == nil) {
+				t.Fatalf("frame %d: pooled err=%v plain err=%v", i, err, serr)
+			}
 			if err != nil {
 				return // stream broken: the mux fails the conn here
 			}
 			if r.Len() == before {
 				t.Fatal("decode consumed no bytes but returned a frame")
+			}
+			if !sameMsg(m, sm) {
+				t.Fatalf("frame %d: pooled decode diverges (buffer reuse leak?)\n plain  %+v\n pooled %+v", i, sm, m)
 			}
 			if m.Version == Version2 {
 				// Demux: a pending id is resolved once; anything else
@@ -189,6 +239,7 @@ func FuzzStreamDemux(f *testing.F) {
 			if err := Encode(&buf, m); err != nil && err != ErrTooLarge {
 				t.Fatalf("decoded frame failed to re-encode: %v", err)
 			}
+			Recycle(m)
 		}
 	})
 }

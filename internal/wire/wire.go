@@ -35,6 +35,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"rmp/internal/page"
 )
@@ -63,6 +64,12 @@ const (
 	// every fixed field and a long host name.
 	MaxPayload = page.Size + 4096
 )
+
+// A whole frame — header, v2 request id, maximum payload — must fit in
+// one frame-class pool buffer, so DecodePooled can read an entire
+// frame into pooled memory. Compile-time assertion: the array length
+// below is negative (a compile error) if the invariant breaks.
+var _ [page.FrameClass - (headerLen + idLen + MaxPayload)]struct{}
 
 // Type enumerates message types. Requests have odd values' acks
 // immediately following for readability in traces.
@@ -235,6 +242,11 @@ type Msg struct {
 	Keys []uint64
 	// Data is the page payload, or an error detail for StatusError.
 	Data []byte
+
+	// payload is the pooled frame buffer backing Data when the message
+	// came from DecodePooled; Recycle returns it to the page pool. Nil
+	// for messages built by hand or decoded by Decode.
+	payload []byte
 }
 
 // Errors returned by the codec.
@@ -277,6 +289,24 @@ func Encode(w io.Writer, m *Msg) error {
 //
 //rmpvet:hotpath
 func AppendFrame(dst []byte, m *Msg) ([]byte, error) {
+	dst, err := AppendFrameHead(dst, m)
+	if err != nil {
+		return dst, err
+	}
+	return append(dst, m.Data...), nil
+}
+
+// AppendFrameHead appends everything of m's frame except the final
+// data bytes: header, v2 request id, fixed fields, host, keys, and the
+// 4-byte data length. The frame on the wire is AppendFrameHead's bytes
+// immediately followed by m.Data — which is what FrameWriter exploits
+// to ship header and payload through one writev without copying the
+// payload into scratch. The encoded payload length in the header
+// includes the data, so a head+data pair is indistinguishable from an
+// AppendFrame encoding.
+//
+//rmpvet:hotpath
+func AppendFrameHead(dst []byte, m *Msg) ([]byte, error) {
 	plen := m.payloadSize()
 	if plen > MaxPayload {
 		return dst, ErrTooLarge
@@ -285,17 +315,19 @@ func AppendFrame(dst []byte, m *Msg) ([]byte, error) {
 	if m.Version == Version2 {
 		ver, hlen = Version2, headerLen+idLen
 	}
+	headLen := hlen + plen - len(m.Data)
 	start := len(dst)
-	for cap(dst)-start < hlen+plen {
+	for cap(dst)-start < headLen {
 		dst = append(dst[:cap(dst)], 0)
 	}
-	dst = dst[:start+hlen+plen]
+	dst = dst[:start+headLen]
 	buf := dst[start:]
 	binary.BigEndian.PutUint16(buf[0:], Magic)
 	buf[2] = ver
 	buf[3] = uint8(m.Type)
 	buf[4] = m.Flags
 	buf[5] = uint8(m.Status)
+	buf[6], buf[7] = 0, 0
 	binary.BigEndian.PutUint32(buf[8:], uint32(plen))
 	if ver == Version2 {
 		binary.BigEndian.PutUint32(buf[headerLen:], m.ID)
@@ -317,8 +349,6 @@ func AppendFrame(dst []byte, m *Msg) ([]byte, error) {
 		off += 8
 	}
 	binary.BigEndian.PutUint32(p[off:], uint32(len(m.Data)))
-	off += 4
-	copy(p[off:], m.Data)
 
 	return dst, nil
 }
@@ -327,9 +357,14 @@ func AppendFrame(dst []byte, m *Msg) ([]byte, error) {
 // The returned message records the version it arrived in (and, for
 // v2, its request id), so a decoded frame re-encodes identically.
 //
-// Decode's payload buffer and Msg are handed to the caller, so those
-// two allocations are inherent to the API; they are the reviewed
-// baseline entries for this function.
+// Ownership: Decode allocates a fresh payload buffer and Msg per call
+// and hands both to the caller outright — they are ordinary
+// garbage-collected memory, never pooled, and passing the Msg to
+// Recycle is allowed but recovers nothing. Steady-state readers on
+// the paging fast path use DecodePooled instead, which carries the
+// pooled-ownership contract documented there. The two allocations
+// here are inherent to this API and are the reviewed baseline entries
+// for this function.
 //
 //rmpvet:hotpath
 func Decode(r io.Reader) (*Msg, error) {
@@ -367,8 +402,118 @@ func Decode(r io.Reader) (*Msg, error) {
 		Version: hdr[2],
 		ID:      id,
 	}
+	if err := m.parsePayload(p, false); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// msgPool recycles Msg structs through DecodePooled/Recycle. Like the
+// page pools, its New lives at package level so the escapegate
+// attributes the inherent allocation here, not to the hotpath decode.
+var msgPool = sync.Pool{New: newPooledMsg}
+
+func newPooledMsg() any { return new(Msg) }
+
+// DecodePooled reads one frame from r like Decode, but backs the
+// payload with a pooled frame-class buffer and the Msg with a pooled
+// struct, so a steady-state read loop performs zero allocations per
+// frame (control frames carrying Host or Keys still allocate those
+// two fields).
+//
+// Ownership contract: the returned Msg and everything it references —
+// in particular Data, which aliases the pooled buffer — belong to the
+// caller until it calls Recycle(m), which must happen exactly once
+// and only after every use of the frame's bytes is complete. After
+// Recycle the buffer is reused for a future frame; a retained Data
+// slice would watch its contents change. Callers that need the data
+// to outlive the frame copy it out (page.Buf.ClonePooled) before
+// recycling. Dropping a Msg without Recycle is safe but leaks the
+// buffer to the garbage collector.
+//
+//rmpvet:hotpath
+func DecodePooled(r io.Reader) (*Msg, error) {
+	// The header is read into the pooled frame buffer itself (not a
+	// stack array): io.ReadFull's indirection would force a stack
+	// header to escape, and the frame class reserves room for it.
+	buf := page.GetFrame()
+	hdr := buf[:headerLen]
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		page.Put(buf)
+		return nil, err
+	}
+	if binary.BigEndian.Uint16(hdr[0:]) != Magic {
+		page.Put(buf)
+		return nil, ErrBadMagic
+	}
+	if hdr[2] != Version && hdr[2] != Version2 {
+		page.Put(buf)
+		return nil, ErrBadVersion
+	}
+	plen := binary.BigEndian.Uint32(hdr[8:])
+	if plen > MaxPayload {
+		page.Put(buf)
+		return nil, ErrTooLarge
+	}
+	off := headerLen
+	var id uint32
+	if hdr[2] == Version2 {
+		if _, err := io.ReadFull(r, buf[off:off+idLen]); err != nil {
+			page.Put(buf)
+			return nil, err
+		}
+		id = binary.BigEndian.Uint32(buf[off:])
+		off += idLen
+	}
+	p := buf[off : off+int(plen)]
+	if _, err := io.ReadFull(r, p); err != nil {
+		page.Put(buf)
+		return nil, err
+	}
+
+	m := msgPool.Get().(*Msg)
+	m.Type = Type(hdr[3])
+	m.Flags = hdr[4]
+	m.Status = Status(hdr[5])
+	m.Version = hdr[2]
+	m.ID = id
+	m.payload = buf
+	if err := m.parsePayload(p, true); err != nil {
+		Recycle(m)
+		return nil, err
+	}
+	return m, nil
+}
+
+// Recycle returns a message obtained from DecodePooled (and its
+// pooled payload buffer) to the pools. It must be called exactly once
+// per message, after the caller is completely done with every slice
+// the Msg hands out — Data in particular. Messages built by hand or
+// decoded by Decode may also be Recycled (their struct is pooled, the
+// GC keeps their buffers), which lets shared cleanup paths recycle
+// unconditionally.
+//
+//rmpvet:hotpath
+func Recycle(m *Msg) {
+	if m == nil {
+		return
+	}
+	buf := m.payload
+	*m = Msg{}
+	msgPool.Put(m)
+	page.Put(buf)
+}
+
+// parsePayload decodes the payload section p into m. When pooled, the
+// Data slice is left uncapped (its capacity runs to the end of the
+// pooled buffer rather than exactly len) so an erroneous page.Put of
+// a received Data slice routes to the discard counter instead of
+// poisoning the page pool with interior memory.
+//
+//rmpvet:hotpath
+func (m *Msg) parsePayload(p []byte, pooled bool) error {
 	if len(p) < 24+2 {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
 	m.Key = binary.BigEndian.Uint64(p[0:])
 	m.N = binary.BigEndian.Uint32(p[8:])
@@ -378,15 +523,20 @@ func Decode(r io.Reader) (*Msg, error) {
 	hlen := int(binary.BigEndian.Uint16(p[off:]))
 	off += 2
 	if off+hlen+4 > len(p) {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
-	m.Host = string(p[off : off+hlen])
+	if hlen > 0 {
+		m.Host = string(p[off : off+hlen])
+	} else {
+		m.Host = ""
+	}
 	off += hlen
 	nkeys := int(binary.BigEndian.Uint32(p[off:]))
 	off += 4
+	m.Keys = nil
 	if nkeys > 0 {
 		if off+8*nkeys+4 > len(p) {
-			return nil, ErrTruncated
+			return ErrTruncated
 		}
 		m.Keys = make([]uint64, nkeys)
 		for i := range m.Keys {
@@ -395,17 +545,22 @@ func Decode(r io.Reader) (*Msg, error) {
 		}
 	}
 	if off+4 > len(p) {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
 	dlen := int(binary.BigEndian.Uint32(p[off:]))
 	off += 4
 	if off+dlen > len(p) {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
+	m.Data = nil
 	if dlen > 0 {
-		m.Data = p[off : off+dlen : off+dlen]
+		if pooled {
+			m.Data = p[off : off+dlen]
+		} else {
+			m.Data = p[off : off+dlen : off+dlen]
+		}
 	}
-	return m, nil
+	return nil
 }
 
 // VerifyData checks the message checksum against its data; messages
