@@ -53,6 +53,7 @@ bench:
 	$(GO) run ./cmd/rmpbench -exp tier
 	$(GO) run ./cmd/rmpbench -exp rs
 	$(GO) run ./cmd/rmpbench -exp hotpath
+	$(GO) run ./cmd/rmpbench -exp scale
 
 # fuzz-smoke: a short deterministic pass over every fuzz target's seed
 # corpus plus a brief mutation run, mirroring the CI fuzz step.
@@ -60,6 +61,7 @@ fuzz-smoke:
 	$(GO) test ./internal/wire/ -run 'Fuzz' -fuzz FuzzDecode -fuzztime 20s
 	$(GO) test ./internal/wire/ -run 'Fuzz' -fuzz FuzzRoundTrip -fuzztime 20s
 	$(GO) test ./internal/wire/ -run 'Fuzz' -fuzz FuzzStreamDemux -fuzztime 20s
+	$(GO) test ./internal/chaos/ -run 'Fuzz' -fuzz FuzzSchedule -fuzztime 20s
 
 clean:
 	$(GO) clean ./...

@@ -26,7 +26,7 @@ var asCSV bool
 func main() {
 	experiments.MaybeSpin() // child role for the busy-server experiment
 	fig := flag.Int("fig", 0, "regenerate one figure (1-5); 0 = all")
-	exp := flag.String("exp", "", "run one experiment: latency|busy|loadednet|multiclient|decomp|recovery|wtablation|swidth|overflow|avail|pipeline|tier|rs|hotpath")
+	exp := flag.String("exp", "", "run one experiment: latency|busy|loadednet|multiclient|decomp|recovery|wtablation|swidth|overflow|avail|pipeline|tier|rs|hotpath|scale")
 	flag.BoolVar(&asCSV, "csv", false, "emit CSV instead of aligned text")
 	flag.Parse()
 
@@ -109,6 +109,8 @@ func runExp(name string) {
 		t, err = experiments.RS()
 	case "hotpath":
 		t, err = experiments.Hotpath()
+	case "scale":
+		t, err = experiments.Scale()
 	default:
 		log.Fatalf("rmpbench: unknown experiment %q", name)
 	}

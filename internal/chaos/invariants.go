@@ -1,0 +1,118 @@
+// Machine-checked invariants: the pass/fail criteria every chaos
+// schedule is judged against. They are ordinary functions returning
+// errors (not testing.T helpers) so the same checks run inside `go
+// test` property tests and inside the rmpbench scale harness, where a
+// violation fails the experiment rather than a test.
+package chaos
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"rmp/internal/page"
+)
+
+// NoLostPage is the core durability invariant: every acknowledged
+// page — want maps page ID to the fill pattern of its last
+// acknowledged write — must read back byte-identical. read is the
+// recovery path under test (typically Pager.PageIn). The first
+// unreadable or corrupt page is returned as an error; nil means no
+// acknowledged page was lost.
+func NoLostPage(want map[page.ID]uint64, read func(page.ID) (page.Buf, error)) error {
+	for id, fill := range want {
+		got, err := read(id)
+		if err != nil {
+			return fmt.Errorf("invariant NoLostPage: page %d unreadable: %w", id, err)
+		}
+		w := page.NewBuf()
+		w.Fill(fill)
+		ok := got.Checksum() == w.Checksum()
+		page.Put(got) // read buffers are pooled, caller-owned
+		if !ok {
+			return fmt.Errorf("invariant NoLostPage: page %d read back wrong bytes (want fill %#x)", id, fill)
+		}
+	}
+	return nil
+}
+
+// BoundedExposure checks the graded re-protection exposure windows
+// (client Stats.ExposureAtTol): atTol[i] is the total time spent with
+// exactly i further crashes survivable, atTol[0] the fully-exposed
+// window where one more crash loses pages. limits has the same shape;
+// a negative limit leaves that grade unchecked. The invariant holds
+// when every checked grade accrued no more than its limit.
+func BoundedExposure(atTol, limits [5]time.Duration) error {
+	for i := range atTol {
+		if limits[i] < 0 {
+			continue
+		}
+		if atTol[i] > limits[i] {
+			return fmt.Errorf("invariant BoundedExposure: %v at remaining tolerance %d exceeds limit %v",
+				atTol[i], i, limits[i])
+		}
+	}
+	return nil
+}
+
+// Baseline is a point-in-time snapshot of process-wide resources,
+// taken before a scenario builds its cluster, against which
+// CleanShutdown judges teardown. The underlying counters
+// (runtime.NumGoroutine, page.Stats) are process-global, so baseline
+// deltas are only meaningful for scenarios that run serially — the
+// scale harness and end-to-end chaos runs, not parallel subtests.
+type Baseline struct {
+	Goroutines int
+	Page       page.PoolStats
+	Frame      page.PoolStats
+}
+
+// CaptureBaseline snapshots the current goroutine count and pool
+// counters.
+func CaptureBaseline() Baseline {
+	p, f := page.Stats()
+	return Baseline{Goroutines: runtime.NumGoroutine(), Page: p, Frame: f}
+}
+
+// CleanShutdown verifies that a torn-down scenario released its
+// resources: the goroutine count returns to within 2 of the baseline
+// inside grace (polling, since conn teardown is asynchronous), and
+// the pooled buffers handed out since the baseline and never returned
+// (Gets − Puts − Discards, both classes) number at most
+// maxOutstanding. The allowance exists because some buffers leave the
+// pool legitimately — pages still resident in a store at teardown are
+// garbage-collected with it, and timed-out request payloads are
+// deliberately leaked to the GC rather than re-pooled — so the caller
+// states how many such buffers its scenario can justify; anything
+// beyond that is a leak.
+func (b Baseline) CleanShutdown(grace time.Duration, maxOutstanding uint64) error {
+	deadline := time.Now().Add(grace)
+	goroutines := runtime.NumGoroutine()
+	for goroutines > b.Goroutines+2 {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("invariant CleanShutdown: %d goroutines still running %v after teardown (baseline %d)",
+				goroutines, grace, b.Goroutines)
+		}
+		time.Sleep(10 * time.Millisecond)
+		goroutines = runtime.NumGoroutine()
+	}
+	p, f := page.Stats()
+	outstanding := poolDelta(b.Page, p) + poolDelta(b.Frame, f)
+	if outstanding > maxOutstanding {
+		return fmt.Errorf("invariant CleanShutdown: %d pooled buffers unaccounted for after teardown (allowance %d)",
+			outstanding, maxOutstanding)
+	}
+	return nil
+}
+
+// poolDelta is the number of buffers handed out since the baseline
+// that were neither returned nor discarded — buffers some owner still
+// holds (or leaked).
+func poolDelta(base, now page.PoolStats) uint64 {
+	gets := now.Gets - base.Gets
+	returned := (now.Puts - base.Puts) + (now.Discards - base.Discards)
+	if returned >= gets {
+		return 0
+	}
+	return gets - returned
+}

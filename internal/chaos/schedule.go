@@ -1,0 +1,567 @@
+package chaos
+
+// This file is the scripted-schedule engine: a seeded, deterministic
+// timeline of composable fault events that replaces one-shot KillSet
+// ticks with whole adversarial scenarios — rolling restarts,
+// asymmetric partitions, flapping servers, correlated rack failures.
+//
+// A schedule is written in a small line grammar (one event per line,
+// '#' comments):
+//
+//	@<tick> kill <server>                  # power-cord crash (memory lost)
+//	@<tick> restart <server>               # revive on the same address, empty
+//	@<tick> partition <from> -> <to> [for <n>]   # directional block, auto-heal after n
+//	@<tick> heal <from> -> <to>
+//	@<tick> rackfail <rack> [for <n>]      # isolate a whole failure domain
+//	@<tick> rackheal <rack>
+//	@<tick> flap <server> period <p> count <c>   # kill/revive cycles
+//	@<tick> rolling every <e> down <d>     # rolling restart over all servers
+//	@<tick> settle                         # barrier: wait for re-protection
+//
+// kill/flap accept the target '?': a server drawn from the compile
+// seed, so a fuzzer-shaped scenario replays exactly from its logged
+// seed. rackfail isolates (partitions "*" -> member) rather than
+// killing: it models a rack switch outage — members keep their memory
+// and rejoin on heal — which is the correlated failure a redundancy
+// policy can and must survive without loss. Rack power loss beyond
+// the policy's tolerance is expressible with explicit kills.
+//
+// Parse builds a Schedule; Compile(seed, servers, racks) expands the
+// directives (flap, rolling, rackfail) into a primitive Timeline and
+// state-checks it (no kill of a down server, no restart of a live
+// one, no overlapping partition, durations > 0). Fire(tick, env)
+// executes due primitives against an Env and appends to a
+// deterministic event log — the byte-identical replay artifact the
+// determinism tests compare.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Op is a schedule event kind. The first block are primitives (they
+// survive compilation); the rest are directives expanded by Compile.
+type Op int
+
+const (
+	OpKill Op = iota
+	OpRestart
+	OpPartition
+	OpHeal
+	OpSettle
+	OpRackFail
+	OpRackHeal
+	OpFlap
+	OpRolling
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpKill:
+		return "kill"
+	case OpRestart:
+		return "restart"
+	case OpPartition:
+		return "partition"
+	case OpHeal:
+		return "heal"
+	case OpSettle:
+		return "settle"
+	case OpRackFail:
+		return "rackfail"
+	case OpRackHeal:
+		return "rackheal"
+	case OpFlap:
+		return "flap"
+	case OpRolling:
+		return "rolling"
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// MaxTick bounds every tick and count in a schedule, so a malformed
+// or fuzzed input cannot demand a near-infinite expansion or run.
+const MaxTick = 1_000_000
+
+// Event is one parsed schedule line.
+type Event struct {
+	Tick int
+	Op   Op
+	// Target is the server (kill/restart/flap), rack (rackfail/
+	// rackheal), or source endpoint (partition/heal). Empty for
+	// settle and rolling.
+	Target string
+	// To is the destination endpoint of partition/heal.
+	To string
+	// For is the auto-heal duration of partition/rackfail (0 = none).
+	For int
+	// Period and Count parametrize flap.
+	Period, Count int
+	// Every and Down parametrize rolling.
+	Every, Down int
+}
+
+// String renders the event in canonical grammar form, one line, no
+// terminator.
+func (e Event) String() string {
+	switch e.Op {
+	case OpKill, OpRestart:
+		return fmt.Sprintf("@%d %s %s", e.Tick, e.Op, e.Target)
+	case OpPartition:
+		if e.For > 0 {
+			return fmt.Sprintf("@%d partition %s -> %s for %d", e.Tick, e.Target, e.To, e.For)
+		}
+		return fmt.Sprintf("@%d partition %s -> %s", e.Tick, e.Target, e.To)
+	case OpHeal:
+		return fmt.Sprintf("@%d heal %s -> %s", e.Tick, e.Target, e.To)
+	case OpSettle:
+		return fmt.Sprintf("@%d settle", e.Tick)
+	case OpRackFail:
+		if e.For > 0 {
+			return fmt.Sprintf("@%d rackfail %s for %d", e.Tick, e.Target, e.For)
+		}
+		return fmt.Sprintf("@%d rackfail %s", e.Tick, e.Target)
+	case OpRackHeal:
+		return fmt.Sprintf("@%d rackheal %s", e.Tick, e.Target)
+	case OpFlap:
+		return fmt.Sprintf("@%d flap %s period %d count %d", e.Tick, e.Target, e.Period, e.Count)
+	case OpRolling:
+		return fmt.Sprintf("@%d rolling every %d down %d", e.Tick, e.Every, e.Down)
+	}
+	return fmt.Sprintf("@%d %s", e.Tick, e.Op)
+}
+
+// Schedule is a parsed fault timeline, events in source order.
+type Schedule struct {
+	Events []Event
+}
+
+// String renders the schedule in canonical form: Parse(s.String()) is
+// the identity, which the fuzz target holds as an invariant.
+func (s *Schedule) String() string {
+	var b strings.Builder
+	for _, e := range s.Events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Parse reads the schedule grammar. Field errors (bad numbers,
+// missing operands, out-of-range ticks, zero durations) are caught
+// here; cross-event consistency (overlaps, restart-before-kill) is
+// checked by Compile, which sees the expanded timeline.
+func Parse(src string) (*Schedule, error) {
+	s := &Schedule{}
+	for ln, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		e, err := parseEvent(fields)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: schedule line %d: %w", ln+1, err)
+		}
+		s.Events = append(s.Events, e)
+	}
+	if len(s.Events) == 0 {
+		return nil, fmt.Errorf("chaos: empty schedule")
+	}
+	return s, nil
+}
+
+// MustParse is Parse for static schedule literals: it panics on error.
+func MustParse(src string) *Schedule {
+	s, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func parseEvent(fields []string) (Event, error) {
+	var e Event
+	if !strings.HasPrefix(fields[0], "@") {
+		return e, fmt.Errorf("event must start with @tick, got %q", fields[0])
+	}
+	tick, err := parseNum(strings.TrimPrefix(fields[0], "@"))
+	if err != nil {
+		return e, fmt.Errorf("tick: %w", err)
+	}
+	e.Tick = tick
+	if len(fields) < 2 {
+		return e, fmt.Errorf("missing op after @%d", tick)
+	}
+	op, rest := fields[1], fields[2:]
+	switch op {
+	case "kill", "restart":
+		if e.Op = OpKill; op == "restart" {
+			e.Op = OpRestart
+		}
+		if len(rest) != 1 {
+			return e, fmt.Errorf("%s wants exactly one server", op)
+		}
+		e.Target = rest[0]
+		if op == "restart" && e.Target == "?" {
+			return e, fmt.Errorf("restart target cannot be '?'")
+		}
+	case "partition", "heal":
+		if e.Op = OpPartition; op == "heal" {
+			e.Op = OpHeal
+		}
+		if len(rest) < 3 || rest[1] != "->" {
+			return e, fmt.Errorf("%s wants '<from> -> <to>'", op)
+		}
+		e.Target, e.To = rest[0], rest[2]
+		rest = rest[3:]
+		if op == "heal" {
+			if len(rest) != 0 {
+				return e, fmt.Errorf("heal takes no trailing operands")
+			}
+			break
+		}
+		if len(rest) == 2 && rest[0] == "for" {
+			if e.For, err = parseNum(rest[1]); err != nil {
+				return e, fmt.Errorf("partition for: %w", err)
+			}
+			if e.For == 0 {
+				return e, fmt.Errorf("partition duration must be > 0 (zero-duration phase)")
+			}
+		} else if len(rest) != 0 {
+			return e, fmt.Errorf("partition trailing operands %v", rest)
+		}
+	case "rackfail", "rackheal":
+		if e.Op = OpRackFail; op == "rackheal" {
+			e.Op = OpRackHeal
+		}
+		if len(rest) < 1 {
+			return e, fmt.Errorf("%s wants a rack name", op)
+		}
+		e.Target = rest[0]
+		rest = rest[1:]
+		if op == "rackheal" {
+			if len(rest) != 0 {
+				return e, fmt.Errorf("rackheal takes no trailing operands")
+			}
+			break
+		}
+		if len(rest) == 2 && rest[0] == "for" {
+			if e.For, err = parseNum(rest[1]); err != nil {
+				return e, fmt.Errorf("rackfail for: %w", err)
+			}
+			if e.For == 0 {
+				return e, fmt.Errorf("rackfail duration must be > 0 (zero-duration phase)")
+			}
+		} else if len(rest) != 0 {
+			return e, fmt.Errorf("rackfail trailing operands %v", rest)
+		}
+	case "flap":
+		e.Op = OpFlap
+		if len(rest) != 5 || rest[1] != "period" || rest[3] != "count" {
+			return e, fmt.Errorf("flap wants '<server> period <p> count <c>'")
+		}
+		e.Target = rest[0]
+		if e.Period, err = parseNum(rest[2]); err != nil {
+			return e, fmt.Errorf("flap period: %w", err)
+		}
+		if e.Count, err = parseNum(rest[4]); err != nil {
+			return e, fmt.Errorf("flap count: %w", err)
+		}
+		if e.Period < 2 {
+			return e, fmt.Errorf("flap period must be >= 2 (a cycle needs down and up ticks)")
+		}
+		if e.Count < 1 {
+			return e, fmt.Errorf("flap count must be >= 1")
+		}
+	case "rolling":
+		e.Op = OpRolling
+		if len(rest) != 4 || rest[0] != "every" || rest[2] != "down" {
+			return e, fmt.Errorf("rolling wants 'every <e> down <d>'")
+		}
+		if e.Every, err = parseNum(rest[1]); err != nil {
+			return e, fmt.Errorf("rolling every: %w", err)
+		}
+		if e.Down, err = parseNum(rest[3]); err != nil {
+			return e, fmt.Errorf("rolling down: %w", err)
+		}
+		if e.Every < 1 || e.Down < 1 {
+			return e, fmt.Errorf("rolling every and down must be >= 1 (zero-duration phase)")
+		}
+	case "settle":
+		e.Op = OpSettle
+		if len(rest) != 0 {
+			return e, fmt.Errorf("settle takes no operands")
+		}
+	default:
+		return e, fmt.Errorf("unknown op %q", op)
+	}
+	return e, nil
+}
+
+// parseNum parses a non-negative bounded integer; the bound keeps a
+// fuzzed schedule from demanding a million-tick run.
+func parseNum(s string) (int, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("negative value %d", n)
+	}
+	if n > MaxTick {
+		return 0, fmt.Errorf("value %d exceeds schedule bound %d", n, MaxTick)
+	}
+	return n, nil
+}
+
+// prim is one compiled primitive step of a Timeline.
+type prim struct {
+	tick int
+	op   Op // OpKill, OpRestart, OpPartition, OpHeal, or OpSettle
+	a, b string
+}
+
+func (p prim) String() string {
+	switch p.op {
+	case OpPartition, OpHeal:
+		return fmt.Sprintf("t=%d %s %s->%s", p.tick, p.op, p.a, p.b)
+	case OpSettle:
+		return fmt.Sprintf("t=%d settle", p.tick)
+	}
+	return fmt.Sprintf("t=%d %s %s", p.tick, p.op, p.a)
+}
+
+// Timeline is a compiled schedule: primitives sorted by tick (stable
+// within a tick, in expansion order), ready to Fire against an Env.
+type Timeline struct {
+	prims []prim
+	// next is the cursor of the first unfired primitive; Fire demands
+	// non-decreasing ticks. log collects every fired step. Both are
+	// owned by the single goroutine driving Fire.
+	next int
+	log  []string
+}
+
+// Env is the set of cluster operations a Timeline fires. Kill,
+// Restart, Partition, and Heal are required; Settle may be nil (the
+// barrier becomes a no-op).
+type Env struct {
+	Kill      func(server string)
+	Restart   func(server string)
+	Partition func(from, to string)
+	Heal      func(from, to string)
+	// Settle blocks until the cluster has re-protected everything it
+	// can — the deterministic barrier that keeps a rolling restart
+	// from outrunning re-protection on a slow (-race) machine.
+	Settle func()
+}
+
+// Compile expands the schedule's directives over a concrete cluster —
+// servers (sorted order = rolling order), racks (failure domains for
+// rackfail), and a seed resolving every '?' target — and state-checks
+// the expanded timeline: kills of dead servers, restarts of live
+// ones, overlapping partitions, and unknown names are errors. The
+// result is a pure function of (schedule, seed, servers, racks).
+func (s *Schedule) Compile(seed int64, servers []string, racks map[string][]string) (*Timeline, error) {
+	known := make(map[string]bool, len(servers))
+	for _, sv := range servers {
+		known[sv] = true
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pick := func() string { return servers[rng.Intn(len(servers))] }
+
+	var prims []prim
+	for _, e := range s.Events {
+		switch e.Op {
+		case OpKill, OpRestart:
+			target := e.Target
+			if target == "?" {
+				if len(servers) == 0 {
+					return nil, fmt.Errorf("chaos: compile: '?' target with no servers")
+				}
+				target = pick()
+			}
+			if !known[target] {
+				return nil, fmt.Errorf("chaos: compile: unknown server %q", target)
+			}
+			prims = append(prims, prim{tick: e.Tick, op: e.Op, a: target})
+		case OpPartition:
+			if !known[e.To] {
+				return nil, fmt.Errorf("chaos: compile: partition into unknown server %q", e.To)
+			}
+			prims = append(prims, prim{tick: e.Tick, op: OpPartition, a: e.Target, b: e.To})
+			if e.For > 0 {
+				prims = append(prims, prim{tick: e.Tick + e.For, op: OpHeal, a: e.Target, b: e.To})
+			}
+		case OpHeal:
+			if !known[e.To] {
+				return nil, fmt.Errorf("chaos: compile: heal into unknown server %q", e.To)
+			}
+			prims = append(prims, prim{tick: e.Tick, op: OpHeal, a: e.Target, b: e.To})
+		case OpRackFail, OpRackHeal:
+			members := racks[e.Target]
+			if len(members) == 0 {
+				return nil, fmt.Errorf("chaos: compile: unknown or empty rack %q", e.Target)
+			}
+			for _, m := range members {
+				if !known[m] {
+					return nil, fmt.Errorf("chaos: compile: rack %q member %q is not a server", e.Target, m)
+				}
+				if e.Op == OpRackFail {
+					prims = append(prims, prim{tick: e.Tick, op: OpPartition, a: "*", b: m})
+					if e.For > 0 {
+						prims = append(prims, prim{tick: e.Tick + e.For, op: OpHeal, a: "*", b: m})
+					}
+				} else {
+					prims = append(prims, prim{tick: e.Tick, op: OpHeal, a: "*", b: m})
+				}
+			}
+		case OpFlap:
+			target := e.Target
+			if target == "?" {
+				if len(servers) == 0 {
+					return nil, fmt.Errorf("chaos: compile: '?' target with no servers")
+				}
+				target = pick()
+			}
+			if !known[target] {
+				return nil, fmt.Errorf("chaos: compile: unknown server %q", target)
+			}
+			down := e.Period / 2
+			if down < 1 {
+				down = 1
+			}
+			for c := 0; c < e.Count; c++ {
+				t := e.Tick + c*e.Period
+				prims = append(prims,
+					prim{tick: t, op: OpSettle},
+					prim{tick: t, op: OpKill, a: target},
+					prim{tick: t + down, op: OpRestart, a: target})
+			}
+		case OpRolling:
+			for i, sv := range servers {
+				t := e.Tick + i*e.Every
+				prims = append(prims,
+					prim{tick: t, op: OpSettle},
+					prim{tick: t, op: OpKill, a: sv},
+					prim{tick: t + e.Down, op: OpRestart, a: sv})
+			}
+		case OpSettle:
+			prims = append(prims, prim{tick: e.Tick, op: OpSettle})
+		default:
+			return nil, fmt.Errorf("chaos: compile: unexpected op %v", e.Op)
+		}
+	}
+
+	sort.SliceStable(prims, func(i, j int) bool { return prims[i].tick < prims[j].tick })
+	if err := checkTimeline(prims); err != nil {
+		return nil, err
+	}
+	return &Timeline{prims: prims}, nil
+}
+
+// checkTimeline walks the sorted primitives simulating cluster state:
+// a second kill of a down server, a restart of a live one, or an
+// overlapping partition means the schedule's phases overlap — the
+// author's intent is ambiguous, so it is rejected rather than
+// silently reordered.
+func checkTimeline(prims []prim) error {
+	down := make(map[string]bool)
+	parts := make(map[[2]string]bool)
+	for _, p := range prims {
+		switch p.op {
+		case OpKill:
+			if down[p.a] {
+				return fmt.Errorf("chaos: compile: %s: server already down (overlapping events)", p)
+			}
+			down[p.a] = true
+		case OpRestart:
+			if !down[p.a] {
+				return fmt.Errorf("chaos: compile: %s: server is not down (overlapping events)", p)
+			}
+			delete(down, p.a)
+		case OpPartition:
+			key := [2]string{p.a, p.b}
+			if parts[key] {
+				return fmt.Errorf("chaos: compile: %s: partition already installed (overlapping events)", p)
+			}
+			parts[key] = true
+		case OpHeal:
+			key := [2]string{p.a, p.b}
+			if !parts[key] {
+				return fmt.Errorf("chaos: compile: %s: no such partition to heal", p)
+			}
+			delete(parts, key)
+		}
+	}
+	return nil
+}
+
+// MaxTick is the last tick carrying an event (0 for an empty
+// timeline). The driver runs at least this many ticks.
+func (tl *Timeline) MaxTick() int {
+	if len(tl.prims) == 0 {
+		return 0
+	}
+	return tl.prims[len(tl.prims)-1].tick
+}
+
+// Steps is the number of compiled primitive steps.
+func (tl *Timeline) Steps() int { return len(tl.prims) }
+
+// Ticks returns the distinct ticks carrying events, ascending — a
+// driver that does no between-tick work can visit only these.
+func (tl *Timeline) Ticks() []int {
+	var out []int
+	for _, p := range tl.prims {
+		if len(out) == 0 || out[len(out)-1] != p.tick {
+			out = append(out, p.tick)
+		}
+	}
+	return out
+}
+
+// Fire executes every primitive due at tick, in compiled order,
+// appending each to the deterministic log. Ticks must be fired in
+// non-decreasing order by a single goroutine; skipped ticks fire
+// nothing (their events, if any, fire at the next call — the driver
+// is expected to visit every tick or use Ticks).
+func (tl *Timeline) Fire(tick int, env Env) []string {
+	var fired []string
+	for tl.next < len(tl.prims) && tl.prims[tl.next].tick <= tick {
+		p := tl.prims[tl.next]
+		tl.next++
+		switch p.op {
+		case OpKill:
+			env.Kill(p.a)
+		case OpRestart:
+			env.Restart(p.a)
+		case OpPartition:
+			env.Partition(p.a, p.b)
+		case OpHeal:
+			env.Heal(p.a, p.b)
+		case OpSettle:
+			if env.Settle != nil {
+				env.Settle()
+			}
+		}
+		line := p.String()
+		tl.log = append(tl.log, line)
+		fired = append(fired, line)
+	}
+	return fired
+}
+
+// Log returns the full fired-event timeline so far — the
+// byte-identical artifact the determinism tests compare across
+// replays of the same seed.
+func (tl *Timeline) Log() []string {
+	return append([]string(nil), tl.log...)
+}

@@ -72,17 +72,8 @@ func runPropCase(t *testing.T, pol client.Policy, c propCase) {
 		}
 	}
 	cl.crash(c.victim)
-	for id, fill := range c.want() {
-		got, err := p.PageIn(id)
-		if err != nil {
-			t.Fatalf("seed %d: pagein %d after crash of server %d: %v",
-				c.seed, id, c.victim, err)
-		}
-		want := fillPage(fill)
-		if got.Checksum() != want.Checksum() {
-			t.Fatalf("seed %d: page %d reconstructed wrong after crash of server %d",
-				c.seed, id, c.victim)
-		}
+	if err := chaos.NoLostPage(c.want(), p.PageIn); err != nil {
+		t.Fatalf("seed %d after crash of server %d: %v", c.seed, c.victim, err)
 	}
 	// The pager itself must agree nothing was lost.
 	if r := p.Redundancy(); r.Lost != 0 {
@@ -145,17 +136,8 @@ func runPropCaseTiered(t *testing.T, pol client.Policy, c propCase) {
 		srv.Store().Enforce()
 	}
 	cl.crash(c.victim)
-	for id, fill := range c.want() {
-		got, err := p.PageIn(id)
-		if err != nil {
-			t.Fatalf("seed %d: pagein %d after crash of server %d (tiered): %v",
-				c.seed, id, c.victim, err)
-		}
-		want := fillPage(fill)
-		if got.Checksum() != want.Checksum() {
-			t.Fatalf("seed %d: page %d reconstructed wrong from demoted tiers (victim %d)",
-				c.seed, id, c.victim)
-		}
+	if err := chaos.NoLostPage(c.want(), p.PageIn); err != nil {
+		t.Fatalf("seed %d after crash of server %d (tiered): %v", c.seed, c.victim, err)
 	}
 	if r := p.Redundancy(); r.Lost != 0 {
 		t.Fatalf("seed %d: Redundancy reports %d lost pages", c.seed, r.Lost)
@@ -251,16 +233,8 @@ func TestPropertyRSMultiCrashReconstruction(t *testing.T) {
 				t.Fatalf("seed %d: kill-set tick killed %v", seed, victims)
 			}
 
-			for id, fill := range lastWrites(writes) {
-				got, err := p.PageIn(id)
-				if err != nil {
-					t.Fatalf("seed %d: pagein %d after killing %v: %v",
-						seed, id, victims, err)
-				}
-				if got.Checksum() != fillPage(fill).Checksum() {
-					t.Fatalf("seed %d: page %d reconstructed wrong after killing %v",
-						seed, id, victims)
-				}
+			if err := chaos.NoLostPage(lastWrites(writes), p.PageIn); err != nil {
+				t.Fatalf("seed %d after killing %v: %v", seed, victims, err)
 			}
 			if r := p.Redundancy(); r.Lost != 0 {
 				t.Fatalf("seed %d: Redundancy reports %d lost pages", seed, r.Lost)

@@ -18,6 +18,7 @@ package memnet
 import (
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 )
@@ -31,11 +32,22 @@ type Network struct {
 	listeners map[string]*listener
 	// auto numbers automatically assigned addresses. Guarded by mu.
 	auto int
+	// partitions holds the directional block rules installed by
+	// Partition, keyed source -> destination. The source "*" matches
+	// every dialer (a node-level inbound outage). Guarded by mu.
+	partitions map[[2]string]struct{}
+	// racks labels addresses with a failure-domain name so correlated
+	// rack failures can target whole domains. Guarded by mu.
+	racks map[string]string
 }
 
 // New returns an empty in-memory network.
 func New() *Network {
-	return &Network{listeners: make(map[string]*listener)}
+	return &Network{
+		listeners:  make(map[string]*listener),
+		partitions: make(map[[2]string]struct{}),
+		racks:      make(map[string]string),
+	}
 }
 
 // addr is a memnet endpoint address.
@@ -87,23 +99,62 @@ func (n *Network) Dial(address string) (net.Conn, error) {
 
 // DialTimeout is Dial bounded by timeout (0 means no bound). The
 // signature matches the dial seam in client.Config and server.Config,
-// so a Network plugs straight in: Dial: net.DialTimeout.
+// so a Network plugs straight in: Dial: net.DialTimeout. Connections
+// dialed this way carry the anonymous source name "client"; use
+// DialFrom or DialerFrom when partitions must tell dialers apart.
 func (n *Network) DialTimeout(address string, timeout time.Duration) (net.Conn, error) {
+	return n.DialFrom("client", address, timeout)
+}
+
+// DialerFrom returns a dial function bound to a source name, with the
+// client.Config.Dial / server.Config.Dial signature. Every node of a
+// simulated cluster gets its own dialer, so directional partitions
+// (Partition) can block that node's outbound dials specifically.
+func (n *Network) DialerFrom(name string) func(string, time.Duration) (net.Conn, error) {
+	return func(address string, timeout time.Duration) (net.Conn, error) {
+		return n.DialFrom(name, address, timeout)
+	}
+}
+
+// DialFrom is DialTimeout with an explicit source name: the resulting
+// connection reports from as its local address, and partition rules
+// from -> address (or * -> address) make the dial fail.
+func (n *Network) DialFrom(from, address string, timeout time.Duration) (net.Conn, error) {
 	n.mu.Lock()
 	l := n.listeners[address]
+	_, blocked := n.partitions[[2]string{from, address}]
+	if !blocked {
+		_, blocked = n.partitions[[2]string{"*", address}]
+	}
 	n.mu.Unlock()
-	if l == nil {
+	if l == nil || blocked {
 		return nil, &net.OpError{Op: "dial", Net: "mem", Addr: addr(address),
 			Err: fmt.Errorf("connection refused")}
 	}
+	return dialListener(l, from, address, timeout)
+}
+
+// dialListener establishes a connection against an already-looked-up
+// listener. Split from DialFrom so the Kill race — a dial that fetched
+// its listener before the crash and proceeds after it — is directly
+// testable.
+func dialListener(l *listener, from, address string, timeout time.Duration) (net.Conn, error) {
 	client, server := net.Pipe()
-	cc := &conn{Conn: client, local: addr("client"), remote: addr(address)}
-	sc := &conn{Conn: server, local: addr(address), remote: addr("client")}
+	cc := &conn{Conn: client, local: addr(from), remote: addr(address), dialerEnd: true}
+	sc := &conn{Conn: server, local: addr(address), remote: addr(from)}
+	cc.peer, sc.peer = sc, cc
 	cc.forget = func() { l.forget(cc) }
 	sc.forget = func() { l.forget(sc) }
 	// Track both ends before the handoff so a Kill racing the dial
-	// cannot leave a half-established connection alive.
-	l.track(cc, sc)
+	// cannot leave a half-established connection alive; track refuses
+	// outright when the listener was already killed (its severAll pass
+	// has run and would never see these conns).
+	if !l.track(cc, sc) {
+		cc.Close()
+		sc.Close()
+		return nil, &net.OpError{Op: "dial", Net: "mem", Addr: addr(address),
+			Err: fmt.Errorf("connection refused")}
+	}
 	var expire <-chan time.Time
 	if timeout > 0 {
 		t := time.NewTimer(timeout)
@@ -126,6 +177,83 @@ func (n *Network) DialTimeout(address string, timeout time.Duration) (net.Conn, 
 	}
 }
 
+// Partition installs a directional block from -> to: new dials whose
+// source is from (or any source, when from is "*") to the listener at
+// to fail with connection refused, and established connections that
+// were dialed from -> to are severed. Returns how many connections it
+// cut.
+//
+// The asymmetry is connection-granular: net.Pipe conns are synchronous
+// rendezvous pairs, so a single direction of an established stream
+// cannot be silently dropped without wedging both ends. Instead a
+// connection belongs to the side that dialed it — Partition(A, B)
+// kills A's connections into B and A's ability to make new ones, while
+// connections B dialed into A (and B's new dials) keep flowing. That
+// is exactly what a pager observes under a real asymmetric outage: A
+// concludes B is dead while B still reaches A.
+func (n *Network) Partition(from, to string) int {
+	n.mu.Lock()
+	n.partitions[[2]string{from, to}] = struct{}{}
+	l := n.listeners[to]
+	n.mu.Unlock()
+	if l == nil {
+		return 0
+	}
+	return l.severDialedFrom(from)
+}
+
+// Heal removes a directional block previously installed by Partition.
+// Healing a rule that was never installed is a no-op, so schedules
+// need not track overlap.
+func (n *Network) Heal(from, to string) {
+	n.mu.Lock()
+	delete(n.partitions, [2]string{from, to})
+	n.mu.Unlock()
+}
+
+// Partitioned reports whether a from -> to block (exact or wildcard)
+// is currently installed.
+func (n *Network) Partitioned(from, to string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.partitions[[2]string{from, to}]; ok {
+		return true
+	}
+	_, ok := n.partitions[[2]string{"*", to}]
+	return ok
+}
+
+// SetRack labels an address with a failure-domain (rack) name.
+// Correlated failure schedules target racks; the label survives kills
+// and restarts of the address.
+func (n *Network) SetRack(address, rack string) {
+	n.mu.Lock()
+	n.racks[address] = rack
+	n.mu.Unlock()
+}
+
+// Rack returns the failure-domain label of an address ("" if unset).
+func (n *Network) Rack(address string) string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.racks[address]
+}
+
+// RackMembers returns every address labelled with rack, sorted, so
+// schedules iterate failure domains deterministically.
+func (n *Network) RackMembers(rack string) []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var out []string
+	for a, r := range n.racks {
+		if r == rack {
+			out = append(out, a)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Kill simulates a machine crash at address: the listener stops
 // accepting, its address is freed, and every established connection
 // to it is severed at once. Unlike a bare listener Close — which
@@ -143,6 +271,17 @@ func (n *Network) Kill(address string) int {
 	}
 	l.Close()
 	return l.severAll()
+}
+
+// KillRack kills every address labelled with rack (SetRack) — a whole
+// failure domain losing power in one instant. Returns connections
+// severed across all members.
+func (n *Network) KillRack(rack string) int {
+	severed := 0
+	for _, a := range n.RackMembers(rack) {
+		severed += n.Kill(a)
+	}
+	return severed
 }
 
 // timeoutError satisfies net.Error with Timeout() == true, so the
@@ -163,21 +302,35 @@ type listener struct {
 	done      chan struct{}
 	closeOnce sync.Once
 
-	// connMu guards conns: both pipe ends of every connection dialed
-	// through this listener, so Kill can sever them all at once.
+	// connMu guards conns and killed: both pipe ends of every
+	// connection dialed through this listener, so Kill can sever them
+	// all at once.
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
+	// killed latches once severAll has run. A dial that fetched this
+	// listener before the kill may still be in flight; track refuses
+	// it, so no connection can be established after the crash instant.
+	// Guarded by connMu.
+	killed bool
 }
 
-func (l *listener) track(cs ...net.Conn) {
+// track registers both ends of an in-flight dial. It reports false —
+// and registers nothing — when the listener has been killed: the
+// severAll pass has already run, so anything tracked now would
+// outlive the crash.
+func (l *listener) track(cs ...*conn) bool {
 	l.connMu.Lock()
 	defer l.connMu.Unlock()
+	if l.killed {
+		return false
+	}
 	if l.conns == nil {
 		l.conns = make(map[net.Conn]struct{})
 	}
 	for _, c := range cs {
 		l.conns[c] = struct{}{}
 	}
+	return true
 }
 
 func (l *listener) forget(c net.Conn) {
@@ -186,10 +339,12 @@ func (l *listener) forget(c net.Conn) {
 	l.connMu.Unlock()
 }
 
-// severAll closes every live connection dialed through this listener
-// and reports how many pipe pairs it cut.
+// severAll closes every live connection dialed through this listener,
+// marks it killed so late-racing dials cannot establish, and reports
+// how many pipe pairs it cut.
 func (l *listener) severAll() int {
 	l.connMu.Lock()
+	l.killed = true
 	conns := make([]net.Conn, 0, len(l.conns))
 	for c := range l.conns {
 		conns = append(conns, c)
@@ -200,6 +355,34 @@ func (l *listener) severAll() int {
 		c.Close()
 	}
 	return len(conns) / 2
+}
+
+// severDialedFrom closes every connection whose dialing end carries
+// the source name from ("*" matches all) and reports how many pipe
+// pairs it cut. Both ends of a matching pair die — the blocked
+// direction carries the requests, so the stream is unusable either
+// way — but the listener itself stays alive for dials from other
+// sources.
+func (l *listener) severDialedFrom(from string) int {
+	l.connMu.Lock()
+	var victims []*conn
+	for c := range l.conns {
+		mc, ok := c.(*conn)
+		if !ok || !mc.dialerEnd {
+			continue
+		}
+		if from == "*" || mc.local.String() == from {
+			victims = append(victims, mc)
+		}
+	}
+	l.connMu.Unlock()
+	for _, c := range victims {
+		c.Close()
+		if c.peer != nil {
+			c.peer.Close()
+		}
+	}
+	return len(victims)
 }
 
 func (l *listener) Accept() (net.Conn, error) {
@@ -230,8 +413,13 @@ func (l *listener) Addr() net.Addr { return l.addr }
 type conn struct {
 	net.Conn
 	local, remote net.Addr
-	forget        func()
-	forgetOnce    sync.Once
+	// dialerEnd marks the side that initiated the dial; directional
+	// partitions sever by dialing side. peer is the opposite pipe end,
+	// so severing one end can cut both. Both are set once at dial time.
+	dialerEnd  bool
+	peer       *conn
+	forget     func()
+	forgetOnce sync.Once
 }
 
 func (c *conn) Close() error {

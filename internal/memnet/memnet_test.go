@@ -203,3 +203,219 @@ func TestDeadlinesWork(t *testing.T) {
 		t.Fatalf("read past deadline: %v, want timeout", err)
 	}
 }
+
+// echoListener accepts connections forever and echoes one byte back
+// on each, so partition tests can prove which directions still flow.
+func echoListener(t *testing.T, n *Network, address string) net.Listener {
+	t.Helper()
+	ln := n.MustListen(address)
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				buf := make([]byte, 1)
+				for {
+					if _, err := c.Read(buf); err != nil {
+						return
+					}
+					if _, err := c.Write(buf); err != nil {
+						return
+					}
+				}
+			}(c)
+		}
+	}()
+	return ln
+}
+
+// roundTrip sends one byte and waits for the echo.
+func roundTrip(c net.Conn) error {
+	c.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Write([]byte{'p'}); err != nil {
+		return err
+	}
+	_, err := c.Read(make([]byte, 1))
+	return err
+}
+
+// TestPartitionAsymmetric: Partition(A, B) blocks A's dials into B and
+// severs A's established conns into B, while B's conns into A — and
+// B's new dials into A — keep flowing.
+func TestPartitionAsymmetric(t *testing.T) {
+	n := New()
+	lnA := echoListener(t, n, "a:1")
+	lnB := echoListener(t, n, "b:1")
+	defer lnA.Close()
+	defer lnB.Close()
+
+	aToB, err := n.DialFrom("a:1", "b:1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bToA, err := n.DialFrom("b:1", "a:1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := roundTrip(aToB); err != nil {
+		t.Fatalf("pre-partition a->b: %v", err)
+	}
+	if err := roundTrip(bToA); err != nil {
+		t.Fatalf("pre-partition b->a: %v", err)
+	}
+
+	if cut := n.Partition("a:1", "b:1"); cut != 1 {
+		t.Fatalf("Partition severed %d conns, want 1", cut)
+	}
+	// The severed direction: established conn dead, new dials refused.
+	if err := roundTrip(aToB); err == nil {
+		t.Fatal("a->b conn survived the partition")
+	}
+	if _, err := n.DialFrom("a:1", "b:1", 0); err == nil {
+		t.Fatal("a->b dial succeeded through the partition")
+	}
+	// The healthy direction: the old conn still echoes and new dials
+	// succeed — the partition is asymmetric.
+	if err := roundTrip(bToA); err != nil {
+		t.Fatalf("b->a conn killed by an a->b partition: %v", err)
+	}
+	c2, err := n.DialFrom("b:1", "a:1", 0)
+	if err != nil {
+		t.Fatalf("b->a dial blocked by an a->b partition: %v", err)
+	}
+	c2.Close()
+	// Third parties are untouched.
+	c3, err := n.DialFrom("c", "b:1", 0)
+	if err != nil {
+		t.Fatalf("c->b dial blocked by an a->b partition: %v", err)
+	}
+	c3.Close()
+
+	n.Heal("a:1", "b:1")
+	c4, err := n.DialFrom("a:1", "b:1", 0)
+	if err != nil {
+		t.Fatalf("a->b dial refused after heal: %v", err)
+	}
+	if err := roundTrip(c4); err != nil {
+		t.Fatalf("a->b after heal: %v", err)
+	}
+	c4.Close()
+	bToA.Close()
+}
+
+// TestPartitionWildcard: Partition("*", B) isolates B's inbound side —
+// every established conn into B dies and every dial is refused,
+// whatever its source — while B's own outbound dials still flow.
+func TestPartitionWildcard(t *testing.T) {
+	n := New()
+	lnA := echoListener(t, n, "a:1")
+	lnB := echoListener(t, n, "b:1")
+	defer lnA.Close()
+	defer lnB.Close()
+
+	in1, err := n.DialFrom("x", "b:1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in2, err := n.DialFrom("y", "b:1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut := n.Partition("*", "b:1"); cut != 2 {
+		t.Fatalf("wildcard partition severed %d conns, want 2", cut)
+	}
+	for i, c := range []net.Conn{in1, in2} {
+		if err := roundTrip(c); err == nil {
+			t.Fatalf("inbound conn %d survived the isolation", i)
+		}
+	}
+	if _, err := n.DialFrom("z", "b:1", 0); err == nil {
+		t.Fatal("dial into isolated node succeeded")
+	}
+	if !n.Partitioned("anything", "b:1") {
+		t.Fatal("Partitioned does not report the wildcard rule")
+	}
+	// The isolated node's outbound direction is untouched.
+	out, err := n.DialFrom("b:1", "a:1", 0)
+	if err != nil {
+		t.Fatalf("outbound dial from isolated node refused: %v", err)
+	}
+	if err := roundTrip(out); err != nil {
+		t.Fatalf("outbound conn from isolated node: %v", err)
+	}
+	out.Close()
+
+	n.Heal("*", "b:1")
+	c, err := n.DialFrom("z", "b:1", 0)
+	if err != nil {
+		t.Fatalf("dial refused after heal: %v", err)
+	}
+	c.Close()
+}
+
+// TestKillSeversRacingDial is the regression test for the Kill race:
+// a dial that looked its listener up before the crash but establishes
+// after severAll ran used to slip through and stay connected to a
+// "dead" server. track must refuse it.
+func TestKillSeversRacingDial(t *testing.T) {
+	n := New()
+	ln := n.MustListen("srv:1")
+	go func() {
+		for {
+			if _, err := ln.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+	// The racing dial's listener lookup happens here, pre-kill.
+	n.mu.Lock()
+	stale := n.listeners["srv:1"]
+	n.mu.Unlock()
+
+	if _, err := n.Dial("srv:1"); err != nil {
+		t.Fatalf("sanity dial: %v", err)
+	}
+	n.Kill("srv:1")
+
+	// The dial now proceeds with its stale listener pointer — after
+	// the kill's severAll pass. It must fail, not establish.
+	if c, err := dialListener(stale, "client", "srv:1", time.Second); err == nil {
+		c.Close()
+		t.Fatal("dial established a connection to a killed server")
+	}
+}
+
+// TestRackLabels: rack labelling and correlated rack kills.
+func TestRackLabels(t *testing.T) {
+	n := New()
+	for i, rack := range []string{"r0", "r1", "r0"} {
+		addr := []string{"a:1", "b:1", "c:1"}[i]
+		echoListener(t, n, addr)
+		n.SetRack(addr, rack)
+	}
+	if got := n.RackMembers("r0"); len(got) != 2 || got[0] != "a:1" || got[1] != "c:1" {
+		t.Fatalf("RackMembers(r0) = %v", got)
+	}
+	if n.Rack("b:1") != "r1" {
+		t.Fatalf("Rack(b:1) = %q", n.Rack("b:1"))
+	}
+	n.KillRack("r0")
+	if _, err := n.Dial("a:1"); err == nil {
+		t.Fatal("dial to killed rack member a:1 succeeded")
+	}
+	if _, err := n.Dial("c:1"); err == nil {
+		t.Fatal("dial to killed rack member c:1 succeeded")
+	}
+	if c, err := n.Dial("b:1"); err != nil {
+		t.Fatalf("rack kill of r0 took down r1 member: %v", err)
+	} else {
+		c.Close()
+	}
+	// Labels survive the kill: a restarted member is still in its rack.
+	if n.Rack("a:1") != "r0" {
+		t.Fatal("rack label lost after kill")
+	}
+}
